@@ -1,0 +1,56 @@
+"""Ablation: input-aware vs input-oblivious auto-tuning (§1-§2).
+
+The paper's central thesis: classic auto-tuners produce one
+hardware-optimal kernel and "generally do not retain optimal performance
+across the wide range of problems encountered in practice".  This bench
+freezes an empirically square-tuned kernel (ATLAS-style) and measures how
+much of the Table 4 suite it loses to the input-aware tuner.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.oblivious import ObliviousTuner
+from repro.core.types import DType
+from repro.harness.report import render_series
+from repro.workloads.gemm_suites import TABLE4_TASKS
+
+
+def _geomean(xs):
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def test_ablation_input_aware(benchmark, results_recorder,
+                              pascal_gemm_tuner):
+    def run():
+        oblivious = ObliviousTuner(
+            pascal_gemm_tuner.device, sample_size=512, seed=9
+        )
+        oblivious.tune(DType.FP32)
+        aware, frozen = [], []
+        for task in TABLE4_TASKS:
+            aware.append(
+                pascal_gemm_tuner.best_kernel(task.shape, k=60).measured_tflops
+            )
+            frozen.append(oblivious.tflops(task.shape))
+        return aware, frozen
+
+    aware, frozen = benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = [f"{t.group} {t.label}" for t in TABLE4_TASKS]
+    text = render_series(
+        "task", labels,
+        {"input-aware (ISAAC)": aware, "input-oblivious (square-tuned)": frozen},
+        title="Ablation: input-aware vs input-oblivious tuning "
+        "(Tesla P100, fp32)",
+    )
+    results_recorder("ablation_input_aware", text)
+
+    by_label = dict(zip(labels, zip(aware, frozen)))
+    # On its home turf the frozen kernel is competitive...
+    a, f = by_label["LINPACK 2048"]
+    assert f > 0.75 * a
+    # ...but collapses off-distribution.
+    a, f = by_label["ICA 16"]
+    assert a > 3 * f
+    assert _geomean(aware) > 1.3 * _geomean(frozen)

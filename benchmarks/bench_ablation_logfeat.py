@@ -1,0 +1,90 @@
+"""Ablation: the log feature transform (§5.2) at a fixed architecture.
+
+Beyond Table 2's MSE columns, this measures the *selection* effect: both
+models (log and raw features, same architecture, same data) rank the same
+random sample of legal candidates per shape; we realize each model's
+best-of-top-10 on the device.  The log-feature model must rank better.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import TESLA_P100
+from repro.gpu.simulator import benchmark_gemm
+from repro.harness.report import render_table
+from repro.inference.search import legal_configs
+from repro.mlp.crossval import fit_regressor
+from repro.sampling.dataset import generate_gemm_dataset
+from repro.sampling.features import gemm_design_matrix
+
+SHAPES = [
+    GemmShape(2048, 2048, 2048, DType.FP32, False, True),
+    GemmShape(2560, 16, 2560, DType.FP32, False, False),
+    GemmShape(64, 64, 60000, DType.FP32, False, True),
+]
+
+
+def _best_of_topk(fit, log, configs, shape, k=10):
+    design = gemm_design_matrix(configs, shape, log=log)
+    z = fit.x_scaler.transform(design)
+    preds = fit.model.predict(z)
+    top = np.argsort(-preds)[:k]
+    return max(
+        benchmark_gemm(TESLA_P100, configs[i], shape, reps=3) for i in top
+    )
+
+
+def test_ablation_log_features(benchmark, results_recorder):
+    def run():
+        rng = np.random.default_rng(11)
+        ds = generate_gemm_dataset(
+            TESLA_P100, 10_000, rng, dtypes=(DType.FP32,)
+        )
+        tr, va = ds.split(0.1, rng)
+        fits = {
+            log: fit_regressor(
+                tr.x, tr.y, va.x, va.y, hidden=(32, 64, 32),
+                epochs=40, log_features=log,
+            )
+            for log in (True, False)
+        }
+        all_configs, _ = legal_configs(TESLA_P100, DType.FP32, "gemm")
+        sample = [
+            all_configs[i]
+            for i in rng.choice(len(all_configs), size=2000, replace=False)
+        ]
+        rows = []
+        realized = {True: [], False: []}
+        for shape in SHAPES:
+            vals = {
+                log: _best_of_topk(fits[log], log, sample, shape)
+                for log in (True, False)
+            }
+            realized[True].append(vals[True])
+            realized[False].append(vals[False])
+            rows.append(
+                [shape.describe(), f"{vals[True]:.2f}", f"{vals[False]:.2f}"]
+            )
+        return rows, realized, fits[True].val_mse, fits[False].val_mse
+
+    rows, realized, mse_log, mse_raw = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    text = render_table(
+        ["shape", "log-features TFLOPS", "raw-features TFLOPS"],
+        rows,
+        title=(
+            f"Ablation: log feature transform "
+            f"(val MSE {mse_log:.3f} log vs {mse_raw:.3f} raw)"
+        ),
+    )
+    results_recorder("ablation_logfeat", text)
+
+    # Model quality: the paper's headline claim for the transform.
+    assert mse_raw > 2 * mse_log
+    # Selection quality: log features never pick worse kernels overall.
+    geo = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))  # noqa
+    assert geo(realized[True]) >= 0.95 * geo(realized[False])

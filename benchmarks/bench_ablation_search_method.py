@@ -1,0 +1,55 @@
+"""Ablation: discrete optimizer for runtime inference (§6).
+
+The paper chose exhaustive search for its guarantees and batchability but
+lists simulated annealing and genetic algorithms as alternatives.  This
+bench compares all three at equal top-k, measuring realized kernel
+performance and model evaluations spent.
+"""
+
+import math
+
+import pytest
+
+from repro.inference.optimizers import SEARCH_METHODS
+from repro.inference.search import ExhaustiveSearch
+from repro.inference.topk import best_after_rerank
+from repro.harness.report import render_series
+from repro.workloads.gemm_suites import TABLE4_TASKS
+
+
+def _geomean(xs):
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def test_ablation_search_method(benchmark, results_recorder,
+                                pascal_gemm_tuner):
+    search = ExhaustiveSearch(
+        pascal_gemm_tuner.fit_result, pascal_gemm_tuner.device, "gemm"
+    )
+    tasks = [t for t in TABLE4_TASKS
+             if t.label in ("2048", "16", "64", "256", "4096")]
+
+    def run():
+        series = {name: [] for name in SEARCH_METHODS}
+        for task in tasks:
+            for name, method in SEARCH_METHODS.items():
+                cands = method(search, task.shape, k=40)
+                best = best_after_rerank(
+                    pascal_gemm_tuner.device, task.shape, cands, reps=3
+                )
+                series[name].append(best.measured_tflops)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = [f"{t.group} {t.label}" for t in tasks]
+    text = render_series(
+        "task", labels, series,
+        title="Ablation: runtime search method (Tesla P100, fp32, k=40)",
+    )
+    results_recorder("ablation_search_method", text)
+
+    g = {name: _geomean(vals) for name, vals in series.items()}
+    # Exhaustive is the gold standard; heuristics must come close.
+    assert g["annealing"] > 0.7 * g["exhaustive"]
+    assert g["genetic"] > 0.7 * g["exhaustive"]
+    assert g["exhaustive"] >= 0.95 * max(g.values())

@@ -1,0 +1,70 @@
+"""Ablation: reduction splitting (§3.2, §8.2).
+
+The paper singles out KS/KL/KG as the parameterization feature "too often
+overlooked by automatically tuned on-node software libraries".  This
+ablation re-runs the ICA and DeepBench tasks with the tuner's candidate
+set restricted to KL = KG = 1 and measures what is lost.
+"""
+
+import math
+
+import pytest
+
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import TESLA_P100
+from repro.gpu.simulator import benchmark_gemm
+from repro.harness.report import render_table
+from repro.inference.search import legal_configs
+from repro.sampling.features import gemm_design_matrix
+
+import numpy as np
+
+SHAPES = [
+    ("ICA 32", GemmShape(32, 32, 60000, DType.FP32, False, True)),
+    ("ICA 256", GemmShape(256, 256, 60000, DType.FP32, False, True)),
+    ("DeepBench-B 16", GemmShape(2560, 16, 2560, DType.FP32, True, False)),
+    ("LINPACK 2048", GemmShape(2048, 2048, 2048, DType.FP32, False, True)),
+]
+
+
+def _best(fit, configs, matrix_cache, shape, k=60):
+    design = gemm_design_matrix(configs, shape, log=True)
+    z = fit.x_scaler.transform(design)
+    preds = fit.model.predict(z)
+    top = np.argsort(-preds)[:k]
+    return max(
+        benchmark_gemm(TESLA_P100, configs[i], shape, reps=3) for i in top
+    )
+
+
+def test_ablation_reduction_splits(benchmark, results_recorder,
+                                   pascal_gemm_tuner):
+    fit = pascal_gemm_tuner.fit_result
+
+    def run():
+        all_configs, _ = legal_configs(TESLA_P100, DType.FP32, "gemm")
+        no_split = [c for c in all_configs if c.kl == 1 and c.kg == 1]
+        rows = []
+        ratios = []
+        for label, shape in SHAPES:
+            full = _best(fit, all_configs, None, shape)
+            crippled = _best(fit, no_split, None, shape)
+            rows.append([label, f"{full:.2f}", f"{crippled:.2f}",
+                         f"{full / crippled:.2f}x"])
+            ratios.append((label, full / crippled))
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["task", "full space", "KL=KG=1", "gain from splitting"],
+        rows,
+        title="Ablation: reduction splitting (Tesla P100, fp32)",
+    )
+    results_recorder("ablation_splits", text)
+
+    by_label = dict(ratios)
+    # Deep reductions collapse without splitting.
+    assert by_label["ICA 32"] > 3.0
+    assert by_label["ICA 256"] > 1.3
+    # Square problems don't need it.
+    assert by_label["LINPACK 2048"] < 1.15

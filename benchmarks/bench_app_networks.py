@@ -1,0 +1,56 @@
+"""Application-level benchmark: whole network steps (the paper's §1 motif).
+
+One mis-selected kernel in a chain drags the whole application step; this
+bench measures end-to-end step time for the RNN-training, ICA and
+blocked-SVD workloads under ISAAC vs the baseline library.
+"""
+
+import pytest
+
+from repro.harness.app_eval import run_network_step
+from repro.harness.report import render_table
+from repro.workloads.networks import (
+    blocked_svd_sweep,
+    ica_pipeline_step,
+    rnn_training_step,
+)
+
+
+def test_app_network_steps(benchmark, results_recorder, pascal_gemm_tuner):
+    steps = [
+        rnn_training_step(hidden=2560, batch=32, timesteps=4),
+        ica_pipeline_step(channels=64, iters=3),
+        blocked_svd_sweep(),
+    ]
+
+    def run():
+        return [
+            run_network_step(pascal_gemm_tuner, step, k=60, reps=3)
+            for step in steps
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            r.step.name,
+            f"{r.isaac_ms:.2f}",
+            f"{r.baseline_ms:.2f}",
+            f"{r.speedup:.2f}x",
+            f"{r.isaac_tflops:.2f}",
+        ]
+        for r in results
+    ]
+    text = render_table(
+        ["step", "ISAAC ms", "baseline ms", "speedup", "ISAAC TFLOPS"],
+        rows,
+        title="Application steps: end-to-end time (Tesla P100, fp32)",
+    )
+    results_recorder("app_networks", text)
+
+    by_name = {r.step.name: r for r in results}
+    # Skinny-batch RNN training: the motivating DeepBench case.
+    assert by_name["rnn-h2560-b32-t4"].speedup > 1.3
+    # Deep-reduction ICA: reduction splitting pays end to end.
+    assert by_name["ica-c64-w60000"].speedup > 1.2
+    # Nothing regresses.
+    assert all(r.speedup > 0.9 for r in results)

@@ -1,0 +1,43 @@
+"""Extension: self-bootstrapping (§5).
+
+The MLP's inference workload is itself a stack of highly rectangular
+GEMMs; the framework can tune kernels for them.  This bench reports the
+speedup of ISAAC-tuned kernels over the cuBLAS-like heuristics on the
+tuner's own forward pass.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.bootstrap import bootstrap_report
+from repro.harness.report import render_table
+
+
+def test_ext_bootstrap(benchmark, results_recorder, pascal_gemm_tuner):
+    rows = benchmark.pedantic(
+        lambda: bootstrap_report(pascal_gemm_tuner, batch_rows=65_536, k=60),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(
+        ["layer GEMM", "shape", "ISAAC", "cuBLAS", "speedup"],
+        [
+            [
+                r.layer,
+                f"{r.shape.m}x{r.shape.n}x{r.shape.k}",
+                f"{r.isaac_tflops:.2f}",
+                f"{r.cublas_tflops:.2f}",
+                f"{r.speedup:.2f}x",
+            ]
+            for r in rows
+        ],
+        title="Extension: tuning the tuner's own inference GEMMs "
+        "(batch = 65536 candidates)",
+    )
+    results_recorder("ext_bootstrap", text)
+
+    geo = math.exp(sum(math.log(r.speedup) for r in rows) / len(rows))
+    # Skinny layer GEMMs are exactly where input-aware tuning shines.
+    assert geo > 1.0
+    assert max(r.speedup for r in rows) > 1.15

@@ -1,0 +1,62 @@
+"""Extension: energy-aware kernel choice (§4.1).
+
+The paper's data-generation step explicitly allows Joules / FLOPS-per-watt
+targets.  This bench re-ranks the model's top candidates by energy
+efficiency instead of speed and quantifies the trade-off frontier on two
+contrasting shapes.
+"""
+
+import pytest
+
+from repro.core.types import DType, GemmShape
+from repro.gpu.energy import gemm_energy
+from repro.gpu.simulator import IllegalKernelError
+from repro.harness.report import render_table
+
+SHAPES = [
+    GemmShape(2048, 2048, 2048, DType.FP32, False, True),
+    GemmShape(2560, 32, 2560, DType.FP32, False, False),
+]
+
+
+def test_ext_energy_aware_choice(benchmark, results_recorder,
+                                 pascal_gemm_tuner):
+    device = pascal_gemm_tuner.device
+
+    def run():
+        rows = []
+        payload = []
+        for shape in SHAPES:
+            cands = pascal_gemm_tuner.top_k(shape, k=60)
+            scored = []
+            for cand in cands:
+                try:
+                    est = gemm_energy(device, cand.config, shape)
+                except IllegalKernelError:  # pragma: no cover
+                    continue
+                scored.append((cand.config, est))
+            fastest = min(scored, key=lambda ce: ce[1].time_ms)
+            greenest = max(scored, key=lambda ce: ce[1].gflops_per_watt)
+            rows.append(
+                [
+                    shape.describe(),
+                    f"{fastest[1].gflops_per_watt:.1f}",
+                    f"{greenest[1].gflops_per_watt:.1f}",
+                    f"{greenest[1].time_ms / fastest[1].time_ms:.2f}x",
+                ]
+            )
+            payload.append((fastest[1], greenest[1]))
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["shape", "fastest GF/W", "greenest GF/W", "greenest slowdown"],
+        rows,
+        title="Extension: speed- vs energy-optimal kernel choice (P100)",
+    )
+    results_recorder("ext_energy", text)
+
+    for fastest, greenest in payload:
+        assert greenest.gflops_per_watt >= fastest.gflops_per_watt
+        # The efficiency-optimal kernel must not be pathologically slow.
+        assert greenest.time_ms < 4 * fastest.time_ms

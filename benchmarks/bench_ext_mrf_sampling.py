@@ -1,0 +1,60 @@
+"""Extension: MRF generative model vs the categorical one (§9 future work).
+
+"Data-generation could be improved using better generative modeling
+techniques (e.g., Markov random field)."  This bench fits both models on
+identical warm-up streams in the Table-1 space and compares acceptance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GemmConfig
+from repro.core.legality import is_legal_gemm
+from repro.core.space import GEMM_SPACE, table1_space
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI
+from repro.harness.report import render_table
+from repro.sampling.generative import CategoricalModel
+from repro.sampling.mrf import PairwiseMRF
+from repro.sampling.uniform import UniformSampler
+
+
+def _accept(pt):
+    return is_legal_gemm(GemmConfig.from_dict(pt), DType.FP32, GTX_980_TI)
+
+
+def test_ext_mrf_sampling(benchmark, results_recorder):
+    def run():
+        rng = np.random.default_rng(21)
+        space = table1_space(GEMM_SPACE)
+
+        uniform = UniformSampler(space, rng)
+        n_u = 120_000
+        u_rate = sum(_accept(p) for p in uniform.sample_batch(n_u)) / n_u
+
+        cat = CategoricalModel(space)
+        cat.fit(_accept, rng, target_accepted=800)
+        n = 6_000
+        c_rate = sum(_accept(cat.sample(rng)) for _ in range(n)) / n
+
+        mrf = PairwiseMRF(space)
+        mrf.fit(_accept, rng, target_accepted=800)
+        m_rate = sum(
+            _accept(mrf.sample(rng, sweeps=2)) for _ in range(n)
+        ) / n
+        return u_rate, c_rate, m_rate
+
+    u_rate, c_rate, m_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["sampler", "acceptance"],
+        [
+            ["uniform", f"{u_rate:.2%}"],
+            ["categorical (paper §4.1)", f"{c_rate:.1%}"],
+            ["pairwise MRF (paper §9)", f"{m_rate:.1%}"],
+        ],
+        title="Extension: generative-model acceptance in the Table-1 space",
+    )
+    results_recorder("ext_mrf_sampling", text)
+
+    assert c_rate > 8 * u_rate
+    assert m_rate > c_rate          # the extension pays off

@@ -1,0 +1,64 @@
+"""Extension: prune the big MLP and keep its accuracy (§5.2).
+
+The paper argues for "train larger networks even if it means pruning or
+binarizing them afterwards".  This bench trains the Table-2 mid-size
+network, prunes it at increasing sparsity with fine-tuning, and tracks
+cross-validation MSE vs the multiply-accumulate count of runtime inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI
+from repro.harness.report import render_table
+from repro.mlp.crossval import fit_regressor, _maybe_log
+from repro.mlp.losses import mse
+from repro.mlp.pruning import prune
+from repro.sampling.dataset import generate_gemm_dataset
+
+
+def test_ext_pruning(benchmark, results_recorder):
+    def run():
+        rng = np.random.default_rng(31)
+        ds = generate_gemm_dataset(GTX_980_TI, 15_000, rng)
+        tr, va = ds.split(0.15, rng)
+        fit = fit_regressor(
+            tr.x, tr.y, va.x, va.y, hidden=(64, 128, 64), epochs=50
+        )
+        xt = fit.x_scaler.transform(_maybe_log(tr.x, True))
+        yt = fit.y_scaler.transform(tr.y)
+        xv = fit.x_scaler.transform(_maybe_log(va.x, True))
+        yv = fit.y_scaler.transform(va.y)
+
+        rows = [("0%", fit.model.n_params, mse(fit.model.predict(xv), yv))]
+        for sparsity in (0.5, 0.8, 0.9):
+            report = prune(
+                fit.model, sparsity,
+                x_finetune=xt, y_finetune=yt, finetune_epochs=8,
+            )
+            rows.append(
+                (
+                    f"{report.sparsity:.0%}",
+                    report.sparse_macs,
+                    mse(fit.model.predict(xv), yv),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["sparsity", "MACs/row", "val MSE"],
+        [[s, m, f"{e:.4f}"] for s, m, e in rows],
+        title="Extension: magnitude pruning of the regression MLP",
+    )
+    results_recorder("ext_pruning", text)
+
+    dense_mse = rows[0][2]
+    half_mse = rows[1][2]
+    # Half the weights gone, accuracy essentially intact.
+    assert half_mse < 2.0 * dense_mse
+    # 90% sparsity costs something but stays usable.
+    assert rows[-1][2] < 10 * dense_mse
+    # MAC counts drop as advertised.
+    assert rows[1][1] < 0.55 * rows[0][1]

@@ -1,0 +1,34 @@
+"""Figure 10: SCONV on the Tesla P100.
+
+Paper shape: larger gains than on Maxwell (cuDNN's kernels and heuristics
+were tailored to Maxwell): >5x on Conv8, ~70% on Conv13.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.experiments import run_fig10
+
+
+def test_fig10_sconv_pascal(benchmark, results_recorder, pascal_conv_tuner):
+    result = benchmark.pedantic(
+        lambda: run_fig10(tuner=pascal_conv_tuner),
+        rounds=1,
+        iterations=1,
+    )
+    results_recorder("fig10", result.text)
+
+    by_label = {r.task.label: r for r in result.data}
+
+    # The deep-reduction gains survive the architecture change (the paper
+    # reports >5x on Conv8; our simulated baseline degrades more gently —
+    # see EXPERIMENTS.md).
+    assert by_label["Conv8"].speedup > 1.25
+    assert by_label["Conv7"].speedup > 1.4
+
+    geo = math.exp(
+        sum(math.log(r.speedup) for r in result.data) / len(result.data)
+    )
+    assert geo > 1.0
+    assert all(r.speedup > 0.8 for r in result.data)

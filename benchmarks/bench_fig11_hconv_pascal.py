@@ -1,0 +1,29 @@
+"""Figure 11: HCONV (fp16) on the Tesla P100.
+
+Paper shape: ISAAC's fp16x2 support across all tiling schemes yields almost
+consistently faster half-precision convolutions than cuDNN.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.experiments import run_fig11
+
+
+def test_fig11_hconv_pascal(benchmark, results_recorder,
+                            pascal_conv_tuner_fp16):
+    result = benchmark.pedantic(
+        lambda: run_fig11(tuner=pascal_conv_tuner_fp16),
+        rounds=1,
+        iterations=1,
+    )
+    results_recorder("fig11", result.text)
+
+    speedups = [r.speedup for r in result.data]
+    # "Almost consistently faster": most layers win, none loses badly.
+    wins = sum(1 for s in speedups if s > 1.0)
+    assert wins >= len(speedups) * 0.6
+    assert min(speedups) > 0.75
+    geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    assert geo > 1.1

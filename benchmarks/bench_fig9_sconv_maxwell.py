@@ -1,0 +1,37 @@
+"""Figure 9: SCONV on the GTX 980 TI — ISAAC vs cuDNN.
+
+Paper shape: noticeable but smaller gains than GEMM (cuDNN was tuned for
+Maxwell + DeepBench); 1.5-2x on the deep reductions Conv7/Conv8; ~10% on
+small-NPQ true convolutions (Conv13).
+"""
+
+import math
+
+import pytest
+
+from repro.harness.experiments import run_fig9
+
+
+def test_fig9_sconv_maxwell(benchmark, results_recorder, maxwell_conv_tuner):
+    result = benchmark.pedantic(
+        lambda: run_fig9(tuner=maxwell_conv_tuner),
+        rounds=1,
+        iterations=1,
+    )
+    results_recorder("fig9", result.text)
+
+    by_label = {r.task.label: r for r in result.data}
+
+    # Deep reductions: the paper's largest Maxwell conv gains (1.5-2x in
+    # the paper; our simulated baseline holds up somewhat better, see
+    # EXPERIMENTS.md).
+    assert by_label["Conv7"].speedup > 1.2
+    assert by_label["Conv8"].speedup > 1.1
+
+    # ISAAC never loses badly anywhere.
+    assert all(r.speedup > 0.8 for r in result.data)
+
+    geo = math.exp(
+        sum(math.log(r.speedup) for r in result.data) / len(result.data)
+    )
+    assert geo > 1.0

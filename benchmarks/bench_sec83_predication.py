@@ -1,0 +1,19 @@
+"""§8.3: bounds-checking strategies — PTX predication vs CUDA-C checks.
+
+Paper: moving from CUDA-C to PTX cut the bounds-checking overhead from
+15-20% to ~2%, thanks to hardware predication.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_sec83
+
+
+def test_sec83_predication_overhead(benchmark, results_recorder):
+    result = benchmark.pedantic(run_sec83, rounds=1, iterations=1)
+    results_recorder("sec83", result.text)
+
+    for res in result.data:
+        assert res.predicated_overhead < 0.05, res.shape
+        assert 0.05 < res.checked_overhead < 0.35, res.shape
+        assert res.predicated_overhead < res.checked_overhead / 3

@@ -1,0 +1,39 @@
+"""Table 2: cross-validation MSE by MLP architecture, with/without the log
+feature transform.
+
+Paper shape: deeper networks beat shallower ones at comparable parameter
+counts, and removing the log transform inflates MSE by roughly an order of
+magnitude.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import run_table2
+
+N_TRAIN = int(os.environ.get("REPRO_BENCH_TABLE2_TRAIN", "25000"))
+
+
+def test_table2_mlp_architectures(benchmark, results_recorder):
+    result = benchmark.pedantic(
+        lambda: run_table2(n_train=N_TRAIN, n_val=3_000, epochs=40),
+        rounds=1,
+        iterations=1,
+    )
+    results_recorder("table2", result.text)
+
+    by_arch = {arch: (n, m, nolog) for arch, n, m, nolog in result.data}
+    shallow = by_arch[(64,)][1]
+    deep3 = by_arch[(32, 64, 32)][1]
+    deepest = by_arch[(64, 128, 192, 256, 192, 128, 64)][1]
+
+    # Depth helps (Table 2 ordering).
+    assert deep3 < shallow
+    assert deepest <= deep3 * 1.25  # deepest at least comparable
+
+    # The log transform is essential (bracketed column).
+    for arch in ((64,), (32, 64, 32)):
+        mse, nolog = by_arch[arch][1], by_arch[arch][2]
+        assert nolog is not None
+        assert nolog > 3 * mse, (arch, mse, nolog)

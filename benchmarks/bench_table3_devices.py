@@ -1,0 +1,19 @@
+"""Table 3: the two simulated test platforms (spec fidelity check)."""
+
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.harness.experiments import run_table3
+
+
+def test_table3_devices(benchmark, results_recorder):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    results_recorder("table3", result.text)
+
+    assert GTX_980_TI.peak_tflops(DType.FP32) == pytest.approx(5.8, rel=0.06)
+    assert TESLA_P100.peak_tflops(DType.FP32) == pytest.approx(9.7, rel=0.06)
+    assert TESLA_P100.mem_bw_gbs / GTX_980_TI.mem_bw_gbs == pytest.approx(
+        732 / 336
+    )
+
+
+import pytest  # noqa: E402  (used in the assertion above)

@@ -1,0 +1,38 @@
+"""Table 6: the tuning parameters ISAAC selects per representative problem.
+
+Paper shape: (1) smaller tiles for smaller problems, (2) deep reductions
+always split (KL and/or KG > 1), (3) large outer products (LAPACK) keep
+KG = KL = 1.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_table6
+
+
+def test_table6_parameter_choices(benchmark, results_recorder,
+                                  maxwell_gemm_tuner):
+    result = benchmark.pedantic(
+        lambda: run_table6(tuner=maxwell_gemm_tuner),
+        rounds=1,
+        iterations=1,
+    )
+    results_recorder("table6", result.text)
+
+    chosen = dict(result.data)
+
+    # Deep reductions (ICA, K=60000) must be split.
+    for label in ("ICA (32)", "ICA (256)"):
+        cfg = chosen[label]
+        assert cfg.kl > 1 or cfg.kg > 1, (label, cfg)
+
+    # Large square problems need essentially no grid-level split (the
+    # simulator occasionally prefers a mild kg=2 for tail-wave balance).
+    assert chosen["LINPACK (2048)"].kg <= 2
+
+    # Skinny DeepBench batches get narrow N tiles.
+    assert chosen["DeepBench-F (16)"].nl <= 32
+
+    # LAPACK outer products (K=32) cannot use splitting.
+    for label in ("LAPACK (896)", "LAPACK (4096)"):
+        assert chosen[label].kg <= 2

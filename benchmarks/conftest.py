@@ -1,0 +1,81 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one benchmark; tuned models are expensive, so
+they are session-scoped and shared across benches.  Each bench writes its
+rendered text into ``benchmarks/results/<exp>.txt`` (the source material
+for EXPERIMENTS.md) and also prints it.
+
+Budgets scale with the REPRO_BENCH_SAMPLES environment variable
+(default 12000 training samples per tuner).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.tuner import Isaac
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "12000"))
+N_CONV_SAMPLES = int(os.environ.get("REPRO_BENCH_CONV_SAMPLES", "8000"))
+
+
+def record(exp_id: str, text: str) -> None:
+    """Persist one experiment's rendered output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def results_recorder():
+    return record
+
+
+def _gemm_tuner(device, dtypes, seed=0) -> Isaac:
+    tuner = Isaac(device, op="gemm", dtypes=dtypes)
+    tuner.tune(n_samples=N_SAMPLES, seed=seed, epochs=40)
+    return tuner
+
+
+def _conv_tuner(device, dtypes, seed=0) -> Isaac:
+    tuner = Isaac(device, op="conv", dtypes=dtypes)
+    tuner.tune(n_samples=N_CONV_SAMPLES, seed=seed, epochs=40)
+    return tuner
+
+
+@pytest.fixture(scope="session")
+def maxwell_gemm_tuner() -> Isaac:
+    return _gemm_tuner(GTX_980_TI, (DType.FP32,))
+
+
+@pytest.fixture(scope="session")
+def pascal_gemm_tuner() -> Isaac:
+    return _gemm_tuner(TESLA_P100, (DType.FP32,))
+
+
+@pytest.fixture(scope="session")
+def pascal_gemm_tuner_hd() -> Isaac:
+    """fp16 + fp64 tuner for Figure 8."""
+    return _gemm_tuner(TESLA_P100, (DType.FP16, DType.FP64))
+
+
+@pytest.fixture(scope="session")
+def maxwell_conv_tuner() -> Isaac:
+    return _conv_tuner(GTX_980_TI, (DType.FP32,))
+
+
+@pytest.fixture(scope="session")
+def pascal_conv_tuner() -> Isaac:
+    return _conv_tuner(TESLA_P100, (DType.FP32,))
+
+
+@pytest.fixture(scope="session")
+def pascal_conv_tuner_fp16() -> Isaac:
+    return _conv_tuner(TESLA_P100, (DType.FP16,))

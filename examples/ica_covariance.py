@@ -1,0 +1,62 @@
+"""ICA scenario: covariance matrices with very deep reductions (paper §3.2).
+
+Independent Component Analysis multiplies a small channel matrix by its
+transpose over very long signal windows: (C x T) @ (T x C) with C <= 256
+and T = 60000.  Without reduction splitting only a handful of blocks exist
+and the GPU idles; the paper credits ISAAC's KL/KG splitting for an
+order-of-magnitude win over mis-heuristicked cuBLAS.
+
+This example (1) shows the tuned kernels and their reduction splits,
+(2) *functionally executes* the chosen decomposition with the numpy kernel
+executor and checks it against a reference matmul — demonstrating that
+grid-level atomics-style accumulation is numerically sound.
+
+Run:  python examples/ica_covariance.py
+"""
+
+import numpy as np
+
+from repro import DType, GemmShape, Isaac, GTX_980_TI
+from repro.baselines.cublas import CuBLASLike
+from repro.kernels.gemm_ref import execute_gemm, gemm_reference, make_operands
+from repro.kernels.tiling import ExecutionTrace
+
+
+def main() -> None:
+    device = GTX_980_TI
+    tuner = Isaac(device, op="gemm", dtypes=(DType.FP32,))
+    print(f"tuning on {device.name} ...")
+    print(f"  {tuner.tune(n_samples=8_000, seed=0)}")
+    cublas = CuBLASLike(device)
+
+    print(f"\n{'channels':>8s} {'ISAAC':>7s} {'cuBLAS':>7s} "
+          f"{'KL':>3s} {'KG':>3s}  kernel")
+    for channels in (16, 32, 64, 256):
+        shape = GemmShape(channels, channels, 60000, DType.FP32, False, True)
+        kernel = tuner.best_kernel(shape)
+        baseline = cublas.tflops(shape, "heuristic")
+        cfg = kernel.config
+        print(
+            f"{channels:8d} {kernel.measured_tflops:7.2f} {baseline:7.2f} "
+            f"{cfg.kl:3d} {cfg.kg:3d}  {cfg.short()}"
+        )
+
+    # Functional check of the tuned decomposition at a reduced size: the
+    # same config, executed tile by tile with partial-sum accumulation.
+    shape = GemmShape(32, 32, 4096, DType.FP32, False, True)
+    cfg = tuner.best_kernel(shape).config
+    a, b = make_operands(shape, seed=1)
+    trace = ExecutionTrace()
+    result = execute_gemm(cfg, shape, a, b, trace=trace)
+    reference = gemm_reference(a, b)
+    err = np.max(np.abs(result.astype(np.float64) - reference.astype(np.float64)))
+    print(f"\nfunctional check ({cfg.short()} on {shape.describe()}):")
+    print(f"  blocks executed: {trace.blocks_executed}, "
+          f"grid-level accumulations: {trace.global_accumulations}")
+    print(f"  max |tiled - reference| = {err:.2e}")
+    assert err < 1e-2, "tiled decomposition diverged from reference"
+    print("  OK: reduction-split execution matches the reference")
+
+
+if __name__ == "__main__":
+    main()

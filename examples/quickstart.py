@@ -1,0 +1,44 @@
+"""Quickstart: tune ISAAC for GEMM on the simulated Tesla P100.
+
+Runs the full paper pipeline end to end at a small budget (~1 minute):
+fit the generative sampler, benchmark random kernels, train the MLP, then
+answer runtime queries for a few input shapes and compare against the
+cuBLAS-like baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DType, GemmShape, Isaac, TESLA_P100
+from repro.baselines.cublas import CuBLASLike
+
+
+def main() -> None:
+    print(f"device: {TESLA_P100.name} "
+          f"({TESLA_P100.peak_tflops(DType.FP32):.1f} fp32 TFLOPS peak)")
+
+    tuner = Isaac(TESLA_P100, op="gemm", dtypes=(DType.FP32,))
+    print("tuning (data generation + MLP training)...")
+    report = tuner.tune(n_samples=8_000, seed=0)
+    print(f"  {report}")
+
+    cublas = CuBLASLike(TESLA_P100)
+    queries = [
+        GemmShape(2048, 2048, 2048, DType.FP32, False, True),  # square
+        GemmShape(2560, 16, 2560, DType.FP32, False, False),   # skinny batch
+        GemmShape(64, 64, 60000, DType.FP32, False, True),     # deep reduction
+    ]
+    print(f"\n{'shape':>28s} {'ISAAC':>8s} {'cuBLAS':>8s} {'speedup':>8s}"
+          f"   chosen kernel")
+    for shape in queries:
+        kernel = tuner.best_kernel(shape, k=100, reps=3)
+        baseline = cublas.tflops(shape, mode="heuristic")
+        print(
+            f"{shape.describe():>28s} "
+            f"{kernel.measured_tflops:8.2f} {baseline:8.2f} "
+            f"{kernel.measured_tflops / baseline:7.2f}x"
+            f"   {kernel.config.short()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

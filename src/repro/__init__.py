@@ -1,0 +1,66 @@
+"""repro — reproduction of "Input-Aware Auto-Tuning of Compute-Bound HPC
+Kernels" (Tillet & Cox, SC'17; the ISAAC auto-tuner).
+
+The public API mirrors the paper's pipeline (Figure 1):
+
+* **kernel generation** — :class:`~repro.core.config.GemmConfig` /
+  :class:`~repro.core.config.ConvConfig` parameterize tiled kernels;
+  :mod:`repro.ptx` lowers them to pseudo-PTX instruction streams and
+  :mod:`repro.kernels` executes them functionally;
+* **hardware** — :mod:`repro.gpu` simulates the paper's two test devices
+  (see DESIGN.md for the substitution rationale);
+* **data generation** — :mod:`repro.sampling` implements the categorical
+  generative model over legal configurations;
+* **regression analysis** — :mod:`repro.mlp` is the from-scratch MLP;
+* **runtime inference** — :mod:`repro.inference` does exhaustive model
+  search plus top-k device re-ranking;
+* **the tuner** — :class:`~repro.core.tuner.Isaac` glues it all together;
+* **baselines & evaluation** — :mod:`repro.baselines`,
+  :mod:`repro.workloads` and :mod:`repro.harness` regenerate every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Isaac, GemmShape, TESLA_P100
+
+    tuner = Isaac(TESLA_P100, op="gemm")
+    tuner.tune(n_samples=10_000, seed=0)
+    kernel = tuner.best_kernel(GemmShape(2560, 16, 2560))
+    print(kernel.config, f"{kernel.measured_tflops:.2f} TFLOPS")
+"""
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.profile_cache import ProfileCache
+from repro.core.tuner import Isaac, TuneReport
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100, DeviceSpec, get_device
+from repro.gpu.simulator import (
+    KernelStats,
+    benchmark_conv,
+    benchmark_gemm,
+    simulate_conv,
+    simulate_gemm,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ConvConfig",
+    "ConvShape",
+    "DType",
+    "DeviceSpec",
+    "GTX_980_TI",
+    "GemmConfig",
+    "GemmShape",
+    "Isaac",
+    "KernelStats",
+    "ProfileCache",
+    "TESLA_P100",
+    "TuneReport",
+    "benchmark_conv",
+    "benchmark_gemm",
+    "get_device",
+    "simulate_conv",
+    "simulate_gemm",
+    "__version__",
+]

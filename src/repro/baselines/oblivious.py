@@ -1,0 +1,77 @@
+"""The input-oblivious auto-tuner baseline (the approach §1-§2 criticize).
+
+Classical auto-tuners (ATLAS-style) tune once per *device* — typically on
+large square matrices — and reuse the winning configuration for every
+input.  The paper's whole argument is that this leaves large parts of the
+input space badly served.  This baseline makes that argument measurable:
+it runs a real empirical tuning pass (top candidates by actual device
+measurement) on a reference shape, then answers every query with that one
+frozen kernel (falling back to the nearest legal relative when the frozen
+kernel is illegal for a query's dtype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import GemmConfig
+from repro.core.legality import is_legal_gemm
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import DeviceSpec
+from repro.gpu.simulator import IllegalKernelError, benchmark_gemm
+from repro.inference.search import legal_configs
+
+
+@dataclass
+class ObliviousTuner:
+    """Hardware-aware but input-oblivious: one kernel per (device, dtype)."""
+
+    device: DeviceSpec
+    reference_shape: GemmShape | None = None
+    sample_size: int = 512
+    reps: int = 3
+    seed: int = 0
+
+    def __post_init__(self):
+        self._frozen: dict[DType, GemmConfig] = {}
+
+    def tune(self, dtype: DType = DType.FP32) -> GemmConfig:
+        """Empirically tune on the reference shape (square 2048 default)."""
+        ref = self.reference_shape or GemmShape(
+            2048, 2048, 2048, dtype, False, True
+        )
+        if ref.dtype is not dtype:
+            ref = GemmShape(ref.m, ref.n, ref.k, dtype, ref.ta, ref.tb)
+        configs, _ = legal_configs(self.device, dtype, "gemm")
+        rng = np.random.default_rng(self.seed)
+        idx = rng.choice(
+            len(configs), size=min(self.sample_size, len(configs)),
+            replace=False,
+        )
+        best_cfg, best_tflops = None, -1.0
+        for i in idx:
+            try:
+                t = benchmark_gemm(
+                    self.device, configs[i], ref, reps=self.reps
+                )
+            except IllegalKernelError:  # pragma: no cover - space is legal
+                continue
+            if t > best_tflops:
+                best_cfg, best_tflops = configs[i], t
+        if best_cfg is None:  # pragma: no cover
+            raise RuntimeError("no legal kernel found while tuning")
+        self._frozen[dtype] = best_cfg
+        return best_cfg
+
+    def config_for(self, shape: GemmShape) -> GemmConfig:
+        if shape.dtype not in self._frozen:
+            self.tune(shape.dtype)
+        return self._frozen[shape.dtype]
+
+    def tflops(self, shape: GemmShape, reps: int = 3) -> float:
+        """Run the frozen kernel on an arbitrary input."""
+        return benchmark_gemm(
+            self.device, self.config_for(shape), shape, reps=reps
+        )

@@ -1,0 +1,240 @@
+"""Tuning-parameter vectors for the GEMM and CONV kernel generators.
+
+These are the blue parameters of Figure 3 in the paper.  A config describes
+*how* a kernel decomposes the problem; :mod:`repro.core.legality` decides
+whether a config can actually run on a given device, and
+:mod:`repro.ptx.gemm_codegen` / :mod:`repro.ptx.conv_codegen` turn a config
+into an instruction stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Mapping
+
+from repro.core.types import ConvShape, DType, GemmShape, ceil_div
+
+
+@dataclass(frozen=True, slots=True)
+class GemmConfig:
+    """The ten tuning parameters of the paper's GEMM parameterization.
+
+    * ``ms``, ``ns`` — per-*thread* output tile (``MS x NS`` accumulators).
+    * ``ml``, ``nl`` — per-*block* output tile (``ML x NL`` elements of C).
+    * ``u``  — prefetch / unroll depth along K: each main-loop iteration
+      stages ``ML*U`` elements of A and ``U*NL`` of B in shared memory.
+    * ``ks`` — reduction split *within a thread*: the ``U``-deep unrolled
+      chain is carved into ``KS`` independent accumulation chains to expose
+      instruction-level parallelism.
+    * ``kl`` — reduction split *within a block*: ``KL`` thread-slices each
+      reduce a disjoint K-range; partials merge through shared memory.
+    * ``kg`` — reduction split *across the grid*: ``KG`` blocks cooperate on
+      one C-tile and merge partials with global atomics.
+    * ``vec`` — vector width (elements) of global load/store instructions.
+    * ``db`` — staging buffers in shared memory (1 = single, 2 = double
+      buffering for prefetch overlap).
+    """
+
+    ms: int
+    ns: int
+    ml: int
+    nl: int
+    u: int
+    ks: int = 1
+    kl: int = 1
+    kg: int = 1
+    vec: int = 1
+    db: int = 1
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def threads(self) -> int:
+        """Threads per block: one per thread-tile, times the KL slices."""
+        return (self.ml // self.ms) * (self.nl // self.ns) * self.kl
+
+    @property
+    def warps(self) -> int:
+        return ceil_div(self.threads, 32)
+
+    def grid(self, shape: GemmShape) -> tuple[int, int, int]:
+        """Blocks launched along (M, N, K-split)."""
+        return (
+            ceil_div(shape.m, self.ml),
+            ceil_div(shape.n, self.nl),
+            self.kg,
+        )
+
+    def grid_size(self, shape: GemmShape) -> int:
+        gm, gn, gk = self.grid(shape)
+        return gm * gn * gk
+
+    def padded_flops(self, shape: GemmShape) -> int:
+        """FLOPs actually executed, counting the padded edges of full tiles.
+
+        The kernel always computes full ``ML x NL`` tiles (predicated lanes
+        still occupy issue slots), so wasted work grows when M or N is not a
+        multiple of the block tile — the wave-quantization effect central to
+        the paper's DeepBench analysis (§8.1).
+        """
+        gm, gn, _ = self.grid(shape)
+        return 2 * gm * self.ml * gn * self.nl * shape.k
+
+    def k_per_block(self, shape: GemmShape) -> int:
+        """Reduction extent each block handles after the KG grid split."""
+        return ceil_div(shape.k, self.kg)
+
+    def main_loop_iters(self, shape: GemmShape) -> int:
+        """Iterations of the U-stepped main loop per thread-slice."""
+        return ceil_div(self.k_per_block(shape), self.kl * self.u)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, int]) -> "GemmConfig":
+        return cls(**{f.name: int(d[f.name]) for f in fields(cls)})
+
+    @classmethod
+    def param_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    def with_(self, **kw: int) -> "GemmConfig":
+        return replace(self, **kw)
+
+    def short(self) -> str:
+        return (
+            f"gemm<{self.ms}x{self.ns}/{self.ml}x{self.nl}"
+            f",u{self.u},ks{self.ks},kl{self.kl},kg{self.kg}"
+            f",v{self.vec},db{self.db}>"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ConvConfig:
+    """Tuning parameters for multi-channel convolution (paper §3.3).
+
+    Tiling spans five dimensions (K, P, Q, N, C).  Each thread computes a
+    ``KT x PT x QT x NT`` tile of O; each block a ``KB x PB x QB x NB`` tile.
+    ``U`` elements along the ``CRS`` reduction are staged per main-loop
+    iteration, and the reduction is split by ``cs`` (in-thread), ``cl``
+    (in-block) and ``cg`` (grid / atomics), mirroring KS/KL/KG of GEMM.
+    """
+
+    kt: int
+    pt: int
+    qt: int
+    nt: int
+    kb: int
+    pb: int
+    qb: int
+    nb: int
+    u: int
+    cs: int = 1
+    cl: int = 1
+    cg: int = 1
+    vec: int = 1
+    db: int = 1
+
+    @property
+    def threads(self) -> int:
+        return (
+            (self.kb // self.kt)
+            * (self.pb // self.pt)
+            * (self.qb // self.qt)
+            * (self.nb // self.nt)
+            * self.cl
+        )
+
+    @property
+    def warps(self) -> int:
+        return ceil_div(self.threads, 32)
+
+    @property
+    def block_m(self) -> int:
+        """Rows of the implicit-GEMM output tile: the N*P*Q side."""
+        return self.nb * self.pb * self.qb
+
+    @property
+    def block_n(self) -> int:
+        """Columns of the implicit-GEMM output tile: the K side."""
+        return self.kb
+
+    @property
+    def thread_m(self) -> int:
+        return self.nt * self.pt * self.qt
+
+    @property
+    def thread_n(self) -> int:
+        return self.kt
+
+    def grid(self, shape: ConvShape) -> tuple[int, int, int, int, int]:
+        return (
+            ceil_div(shape.k, self.kb),
+            ceil_div(shape.p, self.pb),
+            ceil_div(shape.q, self.qb),
+            ceil_div(shape.n, self.nb),
+            self.cg,
+        )
+
+    def grid_size(self, shape: ConvShape) -> int:
+        g = self.grid(shape)
+        return g[0] * g[1] * g[2] * g[3] * g[4]
+
+    def padded_flops(self, shape: ConvShape) -> int:
+        gk, gp, gq, gn, _ = self.grid(shape)
+        covered = (
+            gk * self.kb * gp * self.pb * gq * self.qb * gn * self.nb
+        )
+        return 2 * covered * shape.crs
+
+    def crs_per_block(self, shape: ConvShape) -> int:
+        return ceil_div(shape.crs, self.cg)
+
+    def main_loop_iters(self, shape: ConvShape) -> int:
+        return ceil_div(self.crs_per_block(shape), self.cl * self.u)
+
+    def as_gemm_config(self) -> GemmConfig:
+        """Project onto the implicit-GEMM parameterization.
+
+        The performance model treats the convolution as its implicit GEMM
+        with an indirection-table surcharge, so this projection carries the
+        tiling across.
+        """
+        return GemmConfig(
+            ms=self.thread_m,
+            ns=self.thread_n,
+            ml=self.block_m,
+            nl=self.block_n,
+            u=self.u,
+            ks=self.cs,
+            kl=self.cl,
+            kg=self.cg,
+            vec=self.vec,
+            db=self.db,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, int]) -> "ConvConfig":
+        return cls(**{f.name: int(d[f.name]) for f in fields(cls)})
+
+    @classmethod
+    def param_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    def with_(self, **kw: int) -> "ConvConfig":
+        return replace(self, **kw)
+
+    def short(self) -> str:
+        return (
+            f"conv<{self.kt}x{self.pt}x{self.qt}x{self.nt}"
+            f"/{self.kb}x{self.pb}x{self.qb}x{self.nb}"
+            f",u{self.u},cs{self.cs},cl{self.cl},cg{self.cg},v{self.vec}>"
+        )

@@ -1,0 +1,217 @@
+"""A small tensor-expression front-end (paper §9 future work).
+
+"Another valuable addition to our framework would be a more flexible
+front-end (possibly a Domain Specific Language) to allow its use on
+problems beyond GEMM and CONV."
+
+This module implements a first step in that direction: an einsum-like
+expression parser that recognizes the contraction patterns the backend can
+execute and lowers them to :class:`GemmShape` / :class:`ConvShape`
+problems.  Recognized forms (index names are free, dimensions bound by the
+caller):
+
+* ``C[m,n] = A[m,k] * B[k,n]``           — GEMM (any of the four layouts,
+  via ``A[k,m]`` / ``B[n,k]`` index orders)
+* ``O[k,p,q,n] = I[c,p+r,q+s,n] * F[c,r,s,k]`` — multi-channel CONV
+
+The lowering returns a :class:`LoweredOp` carrying the problem shape and
+an executor closure, so DSL programs run against the functional kernels
+and can be auto-tuned with the usual Isaac pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.types import ConvShape, DType, GemmShape
+
+_EXPR = re.compile(
+    r"^\s*(\w+)\s*\[([^\]]*)\]\s*=\s*(\w+)\s*\[([^\]]*)\]\s*\*\s*"
+    r"(\w+)\s*\[([^\]]*)\]\s*$"
+)
+
+
+class FrontendError(ValueError):
+    """Raised when an expression cannot be parsed or lowered."""
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    name: str
+    indices: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Contraction:
+    """Parsed form of ``out = lhs * rhs`` with einsum-style indices."""
+
+    out: TensorRef
+    lhs: TensorRef
+    rhs: TensorRef
+
+    @property
+    def reduction_indices(self) -> tuple[str, ...]:
+        out_set = set(self.out.indices)
+        shared = [
+            i for i in self.lhs.indices
+            if i in self.rhs.indices and i not in out_set
+        ]
+        return tuple(shared)
+
+
+def parse(expr: str) -> Contraction:
+    """Parse ``Out[i,j] = A[i,k] * B[k,j]``-style expressions."""
+    m = _EXPR.match(expr)
+    if not m:
+        raise FrontendError(f"cannot parse expression: {expr!r}")
+    names = m.group(1), m.group(3), m.group(5)
+    index_lists = []
+    for grp in (m.group(2), m.group(4), m.group(6)):
+        idx = tuple(s.strip() for s in grp.split(",") if s.strip())
+        if not idx:
+            raise FrontendError(f"empty index list in {expr!r}")
+        index_lists.append(idx)
+    out, lhs, rhs = (
+        TensorRef(n, i) for n, i in zip(names, index_lists)
+    )
+    return Contraction(out=out, lhs=lhs, rhs=rhs)
+
+
+@dataclass(frozen=True)
+class LoweredOp:
+    """A recognized operation, ready for tuning and execution."""
+
+    kind: str                  # "gemm" | "conv"
+    shape: object              # GemmShape | ConvShape
+    execute: Callable[..., np.ndarray]
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.shape.describe()}"
+
+
+def lower(
+    expr: str | Contraction,
+    dims: Mapping[str, int],
+    dtype: DType = DType.FP32,
+) -> LoweredOp:
+    """Recognize and lower a contraction to a backend problem.
+
+    ``dims`` binds every index name to its extent.
+    """
+    c = parse(expr) if isinstance(expr, str) else expr
+
+    if _is_gemm(c):
+        return _lower_gemm(c, dims, dtype)
+    if _is_conv(c):
+        return _lower_conv(c, dims, dtype)
+    raise FrontendError(
+        f"unrecognized contraction pattern "
+        f"(out={c.out.indices}, lhs={c.lhs.indices}, rhs={c.rhs.indices}); "
+        "supported: 2-D matrix product, 4-D multi-channel convolution"
+    )
+
+
+# ----------------------------------------------------------------------
+# GEMM recognition
+# ----------------------------------------------------------------------
+
+def _is_gemm(c: Contraction) -> bool:
+    return (
+        len(c.out.indices) == 2
+        and len(c.lhs.indices) == 2
+        and len(c.rhs.indices) == 2
+        and len(c.reduction_indices) == 1
+    )
+
+
+def _lower_gemm(
+    c: Contraction, dims: Mapping[str, int], dtype: DType
+) -> LoweredOp:
+    m_idx, n_idx = c.out.indices
+    (k_idx,) = c.reduction_indices
+    for idx in (m_idx, n_idx, k_idx):
+        if idx not in dims:
+            raise FrontendError(f"dimension {idx!r} not bound")
+    if m_idx not in c.lhs.indices or n_idx not in c.rhs.indices:
+        # Operands may be swapped relative to the output order.
+        raise FrontendError(
+            "left operand must carry the first output index and the right "
+            "operand the second (swap the operands)"
+        )
+    # Storage transposition: A is 'transposed' when its K index comes first.
+    ta = c.lhs.indices[0] == k_idx
+    tb = c.rhs.indices[1] == k_idx
+    shape = GemmShape(
+        m=dims[m_idx], n=dims[n_idx], k=dims[k_idx], dtype=dtype,
+        ta=ta, tb=tb,
+    )
+
+    def execute(a: np.ndarray, b: np.ndarray, cfg=None) -> np.ndarray:
+        from repro.core.config import GemmConfig
+        from repro.kernels.gemm_ref import execute_gemm, gemm_reference
+
+        a_logical = a.T if ta else a
+        b_logical = b.T if tb else b
+        if cfg is None:
+            return gemm_reference(a_logical, b_logical)
+        return execute_gemm(cfg, shape, a_logical, b_logical)
+
+    return LoweredOp(kind="gemm", shape=shape, execute=execute)
+
+
+# ----------------------------------------------------------------------
+# CONV recognition
+# ----------------------------------------------------------------------
+
+_SUM_IDX = re.compile(r"^(\w+)\+(\w+)$")
+
+
+def _is_conv(c: Contraction) -> bool:
+    return (
+        len(c.out.indices) == 4
+        and len(c.lhs.indices) == 4
+        and len(c.rhs.indices) == 4
+        and sum(1 for i in c.lhs.indices if _SUM_IDX.match(i)) == 2
+    )
+
+
+def _lower_conv(
+    c: Contraction, dims: Mapping[str, int], dtype: DType
+) -> LoweredOp:
+    k_idx, p_idx, q_idx, n_idx = c.out.indices
+    c_idx = c.lhs.indices[0]
+    sums = [
+        _SUM_IDX.match(i) for i in c.lhs.indices[1:3]
+    ]
+    if not all(sums):
+        raise FrontendError(
+            "convolution input must index spatial dims as p+r / q+s"
+        )
+    (pp, rr), (qq, ss) = (m.groups() for m in sums)
+    if (pp, qq) != (p_idx, q_idx):
+        raise FrontendError("spatial output indices must match I's windows")
+    expected_rhs = (c_idx, rr, ss, k_idx)
+    if c.rhs.indices != expected_rhs:
+        raise FrontendError(
+            f"filter must be indexed {expected_rhs}, got {c.rhs.indices}"
+        )
+    for idx in (k_idx, p_idx, q_idx, n_idx, c_idx, rr, ss):
+        if idx not in dims:
+            raise FrontendError(f"dimension {idx!r} not bound")
+    shape = ConvShape.from_output(
+        n=dims[n_idx], p=dims[p_idx], q=dims[q_idx], k=dims[k_idx],
+        c=dims[c_idx], r=dims[rr], s=dims[ss], dtype=dtype,
+    )
+
+    def execute(i_t: np.ndarray, f_t: np.ndarray, cfg=None) -> np.ndarray:
+        from repro.kernels.conv_ref import conv_reference, execute_conv
+
+        if cfg is None:
+            return conv_reference(i_t, f_t, shape)
+        return execute_conv(cfg, shape, i_t, f_t)
+
+    return LoweredOp(kind="conv", shape=shape, execute=execute)

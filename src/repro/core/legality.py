@@ -1,0 +1,266 @@
+"""Legality of tuning configurations: the paper's X ⊂ X̂ distinction (§4).
+
+Some points of the product space compile but cannot run: they oversubscribe
+shared memory or the register file, launch a non-multiple-of-warp thread
+count, or decompose tiles unevenly.  This module estimates per-config
+resource usage and applies the device's hard limits.
+
+The resource estimates here are the *single source of truth*: the occupancy
+calculator, the simulator and the PTX verifier all consume the same
+:class:`ResourceUsage`, so a config deemed legal is guaranteed simulable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import DType
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceUsage:
+    """Static resources one block of the generated kernel consumes."""
+
+    threads: int
+    regs_per_thread: int
+    smem_bytes: int
+
+    @property
+    def warps(self) -> int:
+        return -(-self.threads // 32)
+
+    @property
+    def regs_per_block(self) -> int:
+        return self.regs_per_thread * self.threads
+
+
+#: Fixed per-thread register overhead: loop counters, base pointers,
+#: predicate staging.  PTX's flat register model keeps this small (§8.3).
+_REG_OVERHEAD = 22
+
+#: Longest per-thread staging load stream the generator will fully unroll.
+_MAX_LOADS_PER_THREAD = 8
+
+
+def _regs_per_elem(dtype: DType) -> int:
+    """32-bit registers needed to hold one element of ``dtype``."""
+    return max(1, dtype.size // 4)
+
+
+def gemm_resources(cfg: GemmConfig, dtype: DType) -> ResourceUsage:
+    """Registers / shared memory / threads for a GEMM config.
+
+    * accumulators: ``MS*NS`` elements per thread;
+    * operand registers: one A-column fragment and one B-row fragment,
+      double-buffered when ``db=2``;
+    * shared staging: ``db*(ML+NL)*U`` elements;
+    * shared reduction scratch when ``KL>1``: the full ``ML*NL`` output tile
+      (partials from the KL slices are merged tree-wise through it).
+    """
+    rpe = _regs_per_elem(dtype)
+    accum = cfg.ms * cfg.ns * rpe
+    operands = (cfg.ms + cfg.ns) * rpe * cfg.db
+    # Every in-flight staging load needs destination registers and an
+    # address register: the fully unrolled PTX keeps all of an iteration's
+    # loads live at once.
+    threads = max(1, cfg.threads)
+    loads_per_thread = (cfg.ml + cfg.nl) * cfg.u * cfg.kl // (threads * cfg.vec)
+    staging_regs = loads_per_thread * (cfg.vec * rpe + 2)
+    addressing = _REG_OVERHEAD + 2 * (cfg.ks - 1) + cfg.vec
+    regs = accum + operands + staging_regs + addressing
+
+    # Each of the KL reduction slices stages its own (ML + NL) x U sub-tile.
+    staging = cfg.db * (cfg.ml + cfg.nl) * cfg.u * cfg.kl * dtype.size
+    reduction = cfg.ml * cfg.nl * dtype.size if cfg.kl > 1 else 0
+    return ResourceUsage(
+        threads=cfg.threads,
+        regs_per_thread=regs,
+        smem_bytes=staging + reduction,
+    )
+
+
+def conv_resources(cfg: ConvConfig, dtype: DType) -> ResourceUsage:
+    """Resources for a CONV config.
+
+    Beyond the implicit-GEMM staging, the kernel keeps the indirection table
+    (precomputed (c, r, s) offsets for the staged reduction slice, §3.3) in
+    shared memory: one 32-bit entry per staged reduction index.
+    """
+    rpe = _regs_per_elem(dtype)
+    accum = cfg.thread_m * cfg.thread_n * rpe
+    operands = (cfg.thread_m + cfg.thread_n) * rpe * cfg.db
+    threads = max(1, cfg.threads)
+    loads_per_thread = (
+        (cfg.block_m + cfg.block_n) * cfg.u * cfg.cl // (threads * cfg.vec)
+    )
+    staging_regs = loads_per_thread * (cfg.vec * rpe + 2)
+    addressing = _REG_OVERHEAD + 4 + 2 * (cfg.cs - 1) + cfg.vec  # +4: 5-D indexing
+    regs = accum + operands + staging_regs + addressing
+
+    staging = cfg.db * (cfg.block_m + cfg.block_n) * cfg.u * cfg.cl * dtype.size
+    reduction = cfg.block_m * cfg.block_n * dtype.size if cfg.cl > 1 else 0
+    table = 4 * cfg.u * cfg.cl
+    return ResourceUsage(
+        threads=cfg.threads,
+        regs_per_thread=regs,
+        smem_bytes=staging + reduction + table,
+    )
+
+
+# ----------------------------------------------------------------------
+# GEMM legality
+# ----------------------------------------------------------------------
+
+def gemm_violations(
+    cfg: GemmConfig, dtype: DType, device: DeviceSpec
+) -> list[str]:
+    """All reasons ``cfg`` is illegal on ``device`` (empty list = legal)."""
+    v: list[str] = []
+    if cfg.ml % cfg.ms != 0:
+        v.append(f"ML={cfg.ml} not divisible by MS={cfg.ms}")
+    if cfg.nl % cfg.ns != 0:
+        v.append(f"NL={cfg.nl} not divisible by NS={cfg.ns}")
+    if cfg.ks > cfg.u or cfg.u % cfg.ks != 0:
+        v.append(f"U={cfg.u} not divisible by KS={cfg.ks}")
+    if v:
+        return v  # derived quantities below assume divisibility
+
+    threads = cfg.threads
+    if threads < 2 * device.warp_size:
+        v.append(f"threads={threads} below two warps (scheduler minimum)")
+    if threads > device.max_threads_per_block:
+        v.append(f"threads={threads} exceeds {device.max_threads_per_block}")
+    if threads % device.warp_size != 0:
+        v.append(f"threads={threads} not a multiple of warp size")
+    if cfg.ms * cfg.ns < 4:
+        v.append(
+            f"thread tile {cfg.ms}x{cfg.ns} exposes too little ILP "
+            "(fewer than 4 accumulators)"
+        )
+    if v:
+        return v
+
+    # Cooperative staging: every thread of a KL slice must move the same
+    # whole number of vec-wide chunks of its operand sub-tile per iteration,
+    # and the unrolled load stream must stay within a sane register budget.
+    slice_threads = threads // cfg.kl
+    for label, tile in (("A", cfg.ml * cfg.u), ("B", cfg.nl * cfg.u)):
+        if tile % (slice_threads * cfg.vec) != 0:
+            v.append(
+                f"{label}-tile ({tile} elems) not evenly split across "
+                f"{slice_threads} slice-threads x vec={cfg.vec}"
+            )
+        else:
+            per_thread = tile // (slice_threads * cfg.vec)
+            if per_thread > _MAX_LOADS_PER_THREAD:
+                v.append(
+                    f"{label}-staging needs {per_thread} loads/thread "
+                    f"(max {_MAX_LOADS_PER_THREAD}: unrolled stream too long)"
+                )
+    if cfg.ns % cfg.vec != 0:
+        v.append(f"NS={cfg.ns} not divisible by vec={cfg.vec} (C stores)")
+    if (cfg.ml * cfg.nl) % (threads * cfg.vec) != 0:
+        v.append(
+            f"C tile {cfg.ml}x{cfg.nl} not evenly written back by "
+            f"{threads} threads x vec={cfg.vec}"
+        )
+    if cfg.vec * dtype.size > 16:
+        v.append(f"vec={cfg.vec} exceeds 128-bit access for {dtype.name}")
+
+    res = gemm_resources(cfg, dtype)
+    if res.smem_bytes > device.smem_per_block_kb * 1024:
+        v.append(
+            f"shared memory {res.smem_bytes}B exceeds "
+            f"{device.smem_per_block_kb}KB/block"
+        )
+    if res.regs_per_thread > device.max_regs_per_thread:
+        v.append(
+            f"{res.regs_per_thread} regs/thread exceeds "
+            f"{device.max_regs_per_thread}"
+        )
+    if res.regs_per_block > device.regfile_per_sm:
+        v.append(
+            f"{res.regs_per_block} regs/block exceeds register file "
+            f"({device.regfile_per_sm})"
+        )
+    return v
+
+
+def is_legal_gemm(cfg: GemmConfig, dtype: DType, device: DeviceSpec) -> bool:
+    return not gemm_violations(cfg, dtype, device)
+
+
+# ----------------------------------------------------------------------
+# CONV legality
+# ----------------------------------------------------------------------
+
+def conv_violations(
+    cfg: ConvConfig, dtype: DType, device: DeviceSpec
+) -> list[str]:
+    v: list[str] = []
+    for big, small, bn, sn in (
+        (cfg.kb, cfg.kt, "KB", "KT"),
+        (cfg.pb, cfg.pt, "PB", "PT"),
+        (cfg.qb, cfg.qt, "QB", "QT"),
+        (cfg.nb, cfg.nt, "NB", "NT"),
+    ):
+        if big % small != 0:
+            v.append(f"{bn}={big} not divisible by {sn}={small}")
+    if cfg.cs > cfg.u or cfg.u % cfg.cs != 0:
+        v.append(f"U={cfg.u} not divisible by CS={cfg.cs}")
+    if v:
+        return v
+
+    threads = cfg.threads
+    if threads < 2 * device.warp_size:
+        v.append(f"threads={threads} below two warps (scheduler minimum)")
+    if threads > device.max_threads_per_block:
+        v.append(f"threads={threads} exceeds {device.max_threads_per_block}")
+    if threads % device.warp_size != 0:
+        v.append(f"threads={threads} not a multiple of warp size")
+    if cfg.thread_m * cfg.thread_n < 4:
+        v.append("thread tile exposes too little ILP (fewer than 4 accumulators)")
+    if v:
+        return v
+
+    slice_threads = threads // cfg.cl
+    for label, tile in (
+        ("I", cfg.block_m * cfg.u),
+        ("F", cfg.block_n * cfg.u),
+    ):
+        if tile % (slice_threads * cfg.vec) != 0:
+            v.append(
+                f"{label}-tile ({tile} elems) not evenly split across "
+                f"{slice_threads} slice-threads x vec={cfg.vec}"
+            )
+        else:
+            per_thread = tile // (slice_threads * cfg.vec)
+            if per_thread > _MAX_LOADS_PER_THREAD:
+                v.append(
+                    f"{label}-staging needs {per_thread} loads/thread "
+                    f"(max {_MAX_LOADS_PER_THREAD}: unrolled stream too long)"
+                )
+    if cfg.kt % cfg.vec != 0:
+        v.append(f"KT={cfg.kt} not divisible by vec={cfg.vec} (O stores)")
+    if (cfg.block_m * cfg.block_n) % (threads * cfg.vec) != 0:
+        v.append(
+            f"O tile {cfg.block_m}x{cfg.block_n} not evenly written back by "
+            f"{threads} threads x vec={cfg.vec}"
+        )
+    if cfg.vec * dtype.size > 16:
+        v.append(f"vec={cfg.vec} exceeds 128-bit access for {dtype.name}")
+
+    res = conv_resources(cfg, dtype)
+    if res.smem_bytes > device.smem_per_block_kb * 1024:
+        v.append(f"shared memory {res.smem_bytes}B exceeds limit")
+    if res.regs_per_thread > device.max_regs_per_thread:
+        v.append(f"{res.regs_per_thread} regs/thread exceeds limit")
+    if res.regs_per_block > device.regfile_per_sm:
+        v.append(f"{res.regs_per_block} regs/block exceeds register file")
+    return v
+
+
+def is_legal_conv(cfg: ConvConfig, dtype: DType, device: DeviceSpec) -> bool:
+    return not conv_violations(cfg, dtype, device)

@@ -1,0 +1,96 @@
+"""Filesystem cache of inferred kernels (paper §6).
+
+"The resulting predictions may be used directly in applications where this
+latency would be negligible (e.g., Deep Learning), cached on the
+filesystem, or even used as a kernel generation backend..."  This module is
+that cache: a JSON file mapping (device, op, input parameters) to the
+chosen tuning parameters and their measured performance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import ConvShape, DType, GemmShape
+
+
+@dataclass(frozen=True)
+class CachedKernel:
+    config_dict: dict
+    measured_tflops: float
+
+
+def _gemm_key(device_name: str, shape: GemmShape) -> str:
+    return (
+        f"gemm|{device_name}|{shape.m}x{shape.n}x{shape.k}"
+        f"|{shape.dtype.name}|{shape.layout_code}"
+    )
+
+
+def _conv_key(device_name: str, shape: ConvShape) -> str:
+    return (
+        f"conv|{device_name}|n{shape.n}c{shape.c}h{shape.h}w{shape.w}"
+        f"k{shape.k}r{shape.r}s{shape.s}|{shape.dtype.name}"
+    )
+
+
+class ProfileCache:
+    """A JSON-backed map from problem descriptions to tuned kernels."""
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._data: dict[str, dict] = {}
+        if self._path.exists():
+            self._data = json.loads(self._path.read_text())
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    def get_gemm(
+        self, device_name: str, shape: GemmShape
+    ) -> tuple[GemmConfig, float] | None:
+        entry = self._data.get(_gemm_key(device_name, shape))
+        if entry is None:
+            return None
+        return GemmConfig.from_dict(entry["config"]), entry["tflops"]
+
+    def put_gemm(
+        self,
+        device_name: str,
+        shape: GemmShape,
+        cfg: GemmConfig,
+        tflops: float,
+    ) -> None:
+        self._data[_gemm_key(device_name, shape)] = {
+            "config": cfg.as_dict(),
+            "tflops": tflops,
+        }
+
+    def get_conv(
+        self, device_name: str, shape: ConvShape
+    ) -> tuple[ConvConfig, float] | None:
+        entry = self._data.get(_conv_key(device_name, shape))
+        if entry is None:
+            return None
+        return ConvConfig.from_dict(entry["config"]), entry["tflops"]
+
+    def put_conv(
+        self,
+        device_name: str,
+        shape: ConvShape,
+        cfg: ConvConfig,
+        tflops: float,
+    ) -> None:
+        self._data[_conv_key(device_name, shape)] = {
+            "config": cfg.as_dict(),
+            "tflops": tflops,
+        }
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._path.write_text(json.dumps(self._data, indent=1, sort_keys=True))

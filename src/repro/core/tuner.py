@@ -1,0 +1,233 @@
+"""ISAAC: the end-to-end input-aware auto-tuner (paper Figure 1).
+
+One :class:`Isaac` instance owns the whole pipeline for one device and one
+operation:
+
+1. *data generation* — fit the categorical generative model, benchmark
+   random legal kernels on the (simulated) device;
+2. *regression analysis* — train the MLP on log-transformed features;
+3. *runtime inference* — exhaustive model search over tuning parameters
+   for the user's input parameters, then top-k re-ranking on the device.
+
+The tuned mapping ``input parameters -> kernel`` can be persisted through
+:class:`~repro.core.profile_cache.ProfileCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.profile_cache import ProfileCache
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import DeviceSpec
+from repro.inference.search import ExhaustiveSearch, Prediction
+from repro.inference.topk import RankedKernel, best_after_rerank, rerank
+from repro.mlp.crossval import FitResult, fit_regressor
+from repro.sampling.dataset import (
+    Dataset,
+    fit_generative_models,
+    generate_conv_dataset,
+    generate_gemm_dataset,
+)
+
+
+@dataclass
+class TuneReport:
+    """Summary of one offline tuning run."""
+
+    n_samples: int
+    val_mse: float
+    hidden: tuple[int, ...]
+
+    def __str__(self) -> str:
+        arch = ", ".join(map(str, self.hidden))
+        return (
+            f"tuned on {self.n_samples} samples; "
+            f"MLP[{arch}] cross-val MSE {self.val_mse:.4f}"
+        )
+
+
+class Isaac:
+    """Input-aware auto-tuner for one device and one operation.
+
+    Typical use::
+
+        tuner = Isaac(TESLA_P100, op="gemm")
+        tuner.tune(n_samples=20_000, seed=0)
+        kernel = tuner.best_kernel(GemmShape(2560, 16, 2560))
+        print(kernel.config, kernel.measured_tflops)
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        op: str = "gemm",
+        dtypes: Sequence[DType] | None = None,
+    ):
+        if op not in ("gemm", "conv"):
+            raise ValueError(f"unknown op {op!r}")
+        self.device = device
+        self.op = op
+        if dtypes is None:
+            dtypes = (
+                (DType.FP32, DType.FP16, DType.FP64)
+                if op == "gemm"
+                else (DType.FP32, DType.FP16)
+            )
+        self.dtypes = tuple(dtypes)
+        self.dataset: Dataset | None = None
+        self.fit_result: FitResult | None = None
+        self._search: ExhaustiveSearch | None = None
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        n_samples: int = 20_000,
+        *,
+        hidden: Sequence[int] = (32, 64, 32),
+        epochs: int = 40,
+        val_frac: float = 0.1,
+        seed: int = 0,
+        patience: int = 8,
+        generative_target: int = 400,
+    ) -> TuneReport:
+        """Run data generation and regression analysis."""
+        rng = np.random.default_rng(seed)
+        samplers = fit_generative_models(
+            self.device,
+            op=self.op,
+            dtypes=self.dtypes,
+            rng=rng,
+            target_accepted=generative_target,
+        )
+        generate = (
+            generate_gemm_dataset if self.op == "gemm" else generate_conv_dataset
+        )
+        self.dataset = generate(
+            self.device, n_samples, rng, samplers=samplers, dtypes=self.dtypes
+        )
+        train, val = self.dataset.split(val_frac, rng)
+        self.fit_result = fit_regressor(
+            train.x,
+            train.y,
+            val.x,
+            val.y,
+            hidden=hidden,
+            epochs=epochs,
+            seed=seed,
+            patience=patience,
+        )
+        self._search = ExhaustiveSearch(self.fit_result, self.device, self.op)
+        return TuneReport(
+            n_samples=n_samples,
+            val_mse=self.fit_result.val_mse,
+            hidden=tuple(hidden),
+        )
+
+    @property
+    def is_tuned(self) -> bool:
+        return self._search is not None
+
+    def _require_tuned(self) -> ExhaustiveSearch:
+        if self._search is None:
+            raise RuntimeError("call tune() before runtime inference")
+        return self._search
+
+    # ------------------------------------------------------------------
+    # Runtime phase
+    # ------------------------------------------------------------------
+    def top_k(self, shape, k: int = 100) -> list[Prediction]:
+        """The model's k best tuning vectors for fixed input parameters."""
+        return self._require_tuned().top_k(shape, k)
+
+    def best_kernel(
+        self,
+        shape,
+        *,
+        k: int = 100,
+        reps: int = 3,
+        cache: ProfileCache | None = None,
+    ) -> RankedKernel:
+        """Exhaustive model search + top-k device re-ranking (§6)."""
+        if cache is not None:
+            hit = (
+                cache.get_gemm(self.device.name, shape)
+                if self.op == "gemm"
+                else cache.get_conv(self.device.name, shape)
+            )
+            if hit is not None:
+                cfg, tflops = hit
+                return RankedKernel(
+                    config=cfg,
+                    predicted_tflops=tflops,
+                    measured_tflops=tflops,
+                )
+        best = best_after_rerank(
+            self.device, shape, self.top_k(shape, k), op=self.op, reps=reps
+        )
+        if cache is not None:
+            if self.op == "gemm":
+                cache.put_gemm(
+                    self.device.name, shape, best.config, best.measured_tflops
+                )
+            else:
+                cache.put_conv(
+                    self.device.name, shape, best.config, best.measured_tflops
+                )
+        return best
+
+    def tflops(self, shape, *, k: int = 100, reps: int = 3) -> float:
+        """Measured TFLOPS of the tuned kernel for this shape."""
+        return self.best_kernel(shape, k=k, reps=reps).measured_tflops
+
+    # ------------------------------------------------------------------
+    # Persistence: ship the trained model, not the training data.
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialize the trained regressor (+ device/op metadata) to .npz."""
+        import json
+        from pathlib import Path
+
+        from repro.mlp.serialize import save_fit
+
+        if self.fit_result is None:
+            raise RuntimeError("nothing to save — call tune() first")
+        path = Path(path)
+        save_fit(self.fit_result, path)
+        sidecar = {
+            "device": self.device.name,
+            "op": self.op,
+            "dtypes": [d.name for d in self.dtypes],
+        }
+        path.with_suffix(path.suffix + ".meta.json").write_text(
+            json.dumps(sidecar)
+        )
+
+    @classmethod
+    def load(cls, path) -> "Isaac":
+        """Restore a tuner saved by :meth:`save`; ready for inference."""
+        import json
+        from pathlib import Path
+
+        from repro.gpu.device import get_device
+        from repro.mlp.serialize import load_fit
+
+        path = Path(path)
+        sidecar = json.loads(
+            path.with_suffix(path.suffix + ".meta.json").read_text()
+        )
+        tuner = cls(
+            get_device(sidecar["device"]),
+            op=sidecar["op"],
+            dtypes=tuple(DType[name] for name in sidecar["dtypes"]),
+        )
+        tuner.fit_result = load_fit(path)
+        tuner._search = ExhaustiveSearch(
+            tuner.fit_result, tuner.device, tuner.op
+        )
+        return tuner

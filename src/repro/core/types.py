@@ -1,0 +1,229 @@
+"""Fundamental value types shared across the ISAAC reproduction.
+
+The paper distinguishes *input parameters* — characteristics of the problem
+the user hands to the library (shapes, data-type, transposition layout) —
+from *tuning parameters* (tile sizes, reduction splits).  This module defines
+the input-parameter side: data-types and the GEMM / CONV problem shapes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class DType(enum.Enum):
+    """Numeric precision of a kernel's operands.
+
+    ``value`` is the size of one element in bytes; this matches the way the
+    paper's resource model (shared memory, registers, global traffic) scales
+    with precision.
+    """
+
+    FP16 = 2
+    FP32 = 4
+    FP64 = 8
+
+    @property
+    def size(self) -> int:
+        """Element size in bytes."""
+        return self.value
+
+    @property
+    def short_name(self) -> str:
+        return {DType.FP16: "h", DType.FP32: "s", DType.FP64: "d"}[self]
+
+    @property
+    def numpy_name(self) -> str:
+        return {
+            DType.FP16: "float16",
+            DType.FP32: "float32",
+            DType.FP64: "float64",
+        }[self]
+
+    @classmethod
+    def from_name(cls, name: str) -> "DType":
+        table = {
+            "fp16": cls.FP16,
+            "half": cls.FP16,
+            "float16": cls.FP16,
+            "fp32": cls.FP32,
+            "single": cls.FP32,
+            "float32": cls.FP32,
+            "fp64": cls.FP64,
+            "double": cls.FP64,
+            "float64": cls.FP64,
+        }
+        key = name.lower()
+        if key not in table:
+            raise ValueError(f"unknown dtype name: {name!r}")
+        return table[key]
+
+
+@dataclass(frozen=True, slots=True)
+class GemmShape:
+    """Input parameters of a GEMM problem ``C = op(A) @ op(B)``.
+
+    The paper's GEMM input space has six components: three extents
+    ``(M, N, K)``, one data-type and two transposition layouts.  ``ta`` /
+    ``tb`` follow BLAS convention: ``ta=True`` means A is stored transposed
+    (a ``K x M`` buffer read as ``M x K``).
+    """
+
+    m: int
+    n: int
+    k: int
+    dtype: DType = DType.FP32
+    ta: bool = False
+    tb: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("m", "n", "k"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v <= 0:
+                raise ValueError(f"GemmShape.{name} must be a positive int, got {v!r}")
+
+    @property
+    def flops(self) -> int:
+        """Useful floating-point operations (multiply + add counted separately)."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def bytes_moved(self) -> int:
+        """Compulsory global traffic: read A and B once, write C once."""
+        return (self.m * self.k + self.k * self.n + self.m * self.n) * self.dtype.size
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per compulsory byte — large values mean compute-bound."""
+        return self.flops / self.bytes_moved
+
+    @property
+    def layout_code(self) -> str:
+        """BLAS-style layout string, e.g. ``'NT'`` for A normal / B transposed."""
+        return ("T" if self.ta else "N") + ("T" if self.tb else "N")
+
+    def describe(self) -> str:
+        return (
+            f"GEMM[{self.dtype.short_name.upper()}] M={self.m} N={self.n} "
+            f"K={self.k} layout={self.layout_code}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ConvShape:
+    """Input parameters of a multi-channel convolution (paper eq. (1)).
+
+    ``O[k, p, q, n] = sum_{c,r,s} I[c, p+r, q+s, n] * F[c, r, s, k]``
+
+    Dimension names follow the paper / cuDNN convention:
+
+    * ``n`` — batch size (number of image sets)
+    * ``c`` — input channels,   ``k`` — output channels (filter sets)
+    * ``h x w`` — input spatial extents, ``r x s`` — filter extents
+    * ``p x q`` — output spatial extents (derived)
+
+    ``pad`` / ``stride`` generalize the paper's implicit stride-1, no-pad
+    formulation; Table 5 workloads use the defaults.
+    """
+
+    n: int
+    c: int
+    h: int
+    w: int
+    k: int
+    r: int
+    s: int
+    dtype: DType = DType.FP32
+    pad_h: int = 0
+    pad_w: int = 0
+    stride_h: int = 1
+    stride_w: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("n", "c", "h", "w", "k", "r", "s", "stride_h", "stride_w"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v <= 0:
+                raise ValueError(f"ConvShape.{name} must be a positive int, got {v!r}")
+        for name in ("pad_h", "pad_w"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 0:
+                raise ValueError(f"ConvShape.{name} must be a non-negative int, got {v!r}")
+        if self.p <= 0 or self.q <= 0:
+            raise ValueError("ConvShape: filter larger than (padded) image")
+
+    @classmethod
+    def from_output(
+        cls,
+        n: int,
+        p: int,
+        q: int,
+        k: int,
+        c: int,
+        r: int,
+        s: int,
+        dtype: DType = DType.FP32,
+    ) -> "ConvShape":
+        """Build a shape from *output* extents, as Table 5 of the paper lists them.
+
+        Assumes stride 1 and no padding, so ``H = P + R - 1``.
+        """
+        return cls(n=n, c=c, h=p + r - 1, w=q + s - 1, k=k, r=r, s=s, dtype=dtype)
+
+    @property
+    def p(self) -> int:
+        """Output height."""
+        return (self.h + 2 * self.pad_h - self.r) // self.stride_h + 1
+
+    @property
+    def q(self) -> int:
+        """Output width."""
+        return (self.w + 2 * self.pad_w - self.s) // self.stride_w + 1
+
+    @property
+    def npq(self) -> int:
+        """Rows of the implicit-GEMM output (the paper's ``NPQ`` column)."""
+        return self.n * self.p * self.q
+
+    @property
+    def crs(self) -> int:
+        """Reduction extent of the implicit GEMM (the paper's ``CRS`` column)."""
+        return self.c * self.r * self.s
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.k * self.p * self.q * self.n * self.c * self.r * self.s
+
+    def implicit_gemm(self) -> GemmShape:
+        """The (NPQ, K, CRS) matrix-multiplication this convolution reduces to."""
+        return GemmShape(m=self.npq, n=self.k, k=self.crs, dtype=self.dtype)
+
+    def describe(self) -> str:
+        return (
+            f"CONV[{self.dtype.short_name.upper()}] N={self.n} C={self.c} "
+            f"HxW={self.h}x{self.w} K={self.k} RxS={self.r}x{self.s} "
+            f"PxQ={self.p}x{self.q} (NPQ={self.npq}, CRS={self.crs})"
+        )
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; the workhorse of every tiling computation."""
+    if b <= 0:
+        raise ValueError(f"ceil_div: divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def round_up(a: int, b: int) -> int:
+    """Round ``a`` up to the next multiple of ``b``."""
+    return ceil_div(a, b) * b
+
+
+def is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_int(x: int) -> int:
+    if not is_pow2(x):
+        raise ValueError(f"log2_int: {x} is not a power of two")
+    return x.bit_length() - 1

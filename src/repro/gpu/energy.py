@@ -1,0 +1,83 @@
+"""Energy model for the simulated devices (paper §4.1).
+
+The paper's data-generation step is agnostic about the measured quantity:
+"a performance measurement (e.g., FLOPS, Joules, FLOPS/W...)".  This module
+provides the Joules/FLOPS-per-watt view so the tuner can optimize for
+efficiency instead of raw speed.
+
+The power model is the standard two-component decomposition: idle power
+plus dynamic power that scales with how hard each subsystem is driven —
+compute intensity (issue-slot utilization vs the TDP-rated maximum) and
+DRAM bandwidth utilization.  Constants are anchored so a kernel at full
+arithmetic throughput draws roughly the card's TDP, matching how vendor
+power limits behave on Maxwell/Pascal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import DType
+from repro.gpu.device import DeviceSpec
+from repro.gpu.simulator import KernelStats
+
+#: Fraction of TDP a busy-idle (clocked, not computing) GPU draws.
+IDLE_FRAC = 0.25
+#: Fraction of TDP attributable to the DRAM subsystem at full bandwidth.
+DRAM_FRAC = 0.25
+#: The remainder is core dynamic power at full arithmetic utilization.
+CORE_FRAC = 1.0 - IDLE_FRAC - DRAM_FRAC
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Power/energy view of one kernel launch."""
+
+    avg_power_w: float
+    energy_j: float
+    useful_flops: int
+    time_ms: float
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.useful_flops / self.energy_j / 1e9
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s) — the classic efficiency compromise."""
+        return self.energy_j * self.time_ms * 1e-3
+
+
+def estimate_energy(
+    device: DeviceSpec, stats: KernelStats, dtype: DType = DType.FP32
+) -> EnergyEstimate:
+    """Energy of a simulated launch from its utilization figures."""
+    time_s = stats.time_ms * 1e-3
+
+    # Compute utilization: achieved padded FLOPs rate vs device peak.
+    peak_flops = device.peak_tflops(dtype) * 1e12
+    padded_rate = stats.padded_flops / max(time_s, 1e-12)
+    compute_util = min(1.0, padded_rate / peak_flops)
+
+    # Memory utilization: achieved DRAM bandwidth vs peak.
+    dram_util = min(1.0, stats.dram_gbs / device.mem_bw_gbs)
+
+    power = device.tdp_w * (
+        IDLE_FRAC + CORE_FRAC * compute_util + DRAM_FRAC * dram_util
+    )
+    return EnergyEstimate(
+        avg_power_w=power,
+        energy_j=power * time_s,
+        useful_flops=stats.useful_flops,
+        time_ms=stats.time_ms,
+    )
+
+
+def gemm_energy(
+    device: DeviceSpec, cfg, shape, **sim_kwargs
+) -> EnergyEstimate:
+    """Convenience: simulate + energy in one call."""
+    from repro.gpu.simulator import simulate_gemm
+
+    stats = simulate_gemm(device, cfg, shape, **sim_kwargs)
+    return estimate_energy(device, stats, shape.dtype)

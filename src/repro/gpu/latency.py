@@ -1,0 +1,113 @@
+"""Volkov-style latency-hiding throughput model (paper §5.2, eqs. (2)-(3)).
+
+Each SM exposes three issue pipes — floating-point ALU, integer/predicate
+ALU (shared lanes), and load/store — plus an overall scheduler issue cap.
+For every pipe the attainable rate is::
+
+    rate(n) = min(peak_throughput, n * parallelism / latency)
+
+with ``n`` the resident warps and ``parallelism`` the per-warp independent
+work (ILP for arithmetic, MLP for memory).  Kernel time per wave is the
+maximum over the pipes — precisely the paper's
+``t = max(t_arith * i_arith, t_mem * i_mem)`` generalized to more pipes.
+All rates below are in *warp-instructions per cycle per SM*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import DType
+from repro.gpu.device import DeviceSpec
+from repro.ptx.counts import BlockCounts
+
+#: Cycles a bar.sync stalls the block pipeline on average.
+BARRIER_CYCLES = 30.0
+#: Scheduler dual-issue efficiency: each scheduler sustains slightly more
+#: than one instruction per cycle on mixed streams.
+ISSUE_FACTOR = 1.4
+#: Independent shared-memory accesses a warp keeps in flight.
+SMEM_PARALLELISM = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class PipeTimes:
+    """Per-wave cycle counts by bottleneck candidate."""
+
+    alu_cycles: float
+    ldst_cycles: float
+    issue_cycles: float
+    barrier_cycles: float
+
+    @property
+    def cycles(self) -> float:
+        return max(self.alu_cycles, self.ldst_cycles, self.issue_cycles) + (
+            self.barrier_cycles
+        )
+
+    @property
+    def limiter(self) -> str:
+        pairs = (
+            (self.alu_cycles, "alu"),
+            (self.ldst_cycles, "ldst"),
+            (self.issue_cycles, "issue"),
+        )
+        return max(pairs, key=lambda p: p[0])[1]
+
+
+def _clamped_rate(peak: float, warps: float, parallelism: float, lat: float) -> float:
+    """min(peak, n * parallelism / latency), floored away from zero."""
+    return max(1e-12, min(peak, warps * parallelism / lat))
+
+
+def pipe_times(
+    device: DeviceSpec,
+    counts: BlockCounts,
+    blocks_per_sm: int,
+    warps_per_sm: float,
+    dtype: DType,
+) -> PipeTimes:
+    """Cycles one SM needs to retire ``blocks_per_sm`` resident blocks."""
+    b = blocks_per_sm
+    n = max(warps_per_sm, 1e-9)
+
+    # Warp-instruction totals for the resident blocks.
+    w_fma = counts.fma * b / device.warp_size
+    w_iop = counts.iop * b / device.warp_size
+    w_glb = (counts.ldg + counts.stg) * b / device.warp_size
+    w_atm = counts.atom * b / device.warp_size
+    w_smm = counts.smem_ops * b / device.warp_size
+
+    packed = counts.flops_per_fma == 4
+    fma_peak = device.fma_rate(dtype, packed) / device.warp_size
+    alu_peak = device.fma_per_sm_per_cycle / device.warp_size
+    ldst_peak = device.ldst_per_sm_per_cycle / device.warp_size
+
+    # -- arithmetic pipe ------------------------------------------------
+    fma_rate = _clamped_rate(fma_peak, n, counts.ilp, device.alu_lat)
+    iop_rate = _clamped_rate(alu_peak, n, counts.ilp, device.alu_lat)
+    alu_cycles = w_fma / fma_rate + w_iop / iop_rate
+
+    # -- load/store pipe --------------------------------------------------
+    glb_rate = _clamped_rate(ldst_peak, n, counts.mlp, device.mem_lat)
+    atm_rate = _clamped_rate(
+        ldst_peak * device.atomic_bw_frac, n, counts.mlp, device.mem_lat
+    )
+    smm_rate = _clamped_rate(ldst_peak, n, SMEM_PARALLELISM, device.smem_lat)
+    ldst_cycles = w_glb / glb_rate + w_atm / atm_rate + w_smm / smm_rate
+
+    # -- scheduler issue cap -----------------------------------------------
+    issue_peak = device.schedulers_per_sm * ISSUE_FACTOR
+    total_warp_instrs = w_fma + w_iop + w_glb + w_atm + w_smm
+    issue_cycles = total_warp_instrs / issue_peak
+
+    # -- barriers: each sync stalls the block; blocks overlap, so the cost
+    #    amortizes over the resident blocks but never fully vanishes.
+    barrier_cycles = counts.bar * BARRIER_CYCLES * (1.0 + (b - 1) * 0.15) / max(b, 1)
+
+    return PipeTimes(
+        alu_cycles=alu_cycles,
+        ldst_cycles=ldst_cycles,
+        issue_cycles=issue_cycles,
+        barrier_cycles=barrier_cycles * b / max(b, 1),
+    )

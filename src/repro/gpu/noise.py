@@ -1,0 +1,51 @@
+"""Deterministic measurement noise for the simulated hardware.
+
+Real benchmarking data is noisy — the paper's §6 re-evaluates the model's
+top-100 predictions on the device precisely "to smooth out the inherent
+noise".  Our stand-in hardware reproduces this with *deterministic*
+multiplicative lognormal noise: the same (device, kernel, shape, repetition)
+always measures the same value, but distinct repetitions differ, so
+averaging over repetitions genuinely reduces variance, exactly like re-running
+a kernel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+#: Default run-to-run noise level (standard deviation of log-performance).
+DEFAULT_SIGMA = 0.06
+
+
+def _hash_to_unit(payload: bytes) -> tuple[float, float]:
+    """Map bytes to two iid U(0,1) samples via BLAKE2b."""
+    digest = hashlib.blake2b(payload, digest_size=16).digest()
+    a, b = struct.unpack("<QQ", digest)
+    # 53-bit mantissa keeps the floats uniform in (0, 1).
+    u1 = ((a >> 11) + 1) / (2**53 + 2)
+    u2 = ((b >> 11) + 1) / (2**53 + 2)
+    return u1, u2
+
+
+def noise_factor(key: str, rep: int = 0, sigma: float = DEFAULT_SIGMA) -> float:
+    """Deterministic lognormal factor ``exp(sigma * z)`` for a measurement.
+
+    ``key`` should uniquely identify (device, kernel config, problem shape);
+    ``rep`` distinguishes repetitions of the same measurement.
+    """
+    if sigma <= 0:
+        return 1.0
+    u1, u2 = _hash_to_unit(f"{key}#{rep}".encode())
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    return math.exp(sigma * z)
+
+
+def averaged_noise_factor(
+    key: str, reps: int, sigma: float = DEFAULT_SIGMA
+) -> float:
+    """Mean of ``reps`` independent noise factors (variance shrinks ~1/reps)."""
+    if reps <= 1:
+        return noise_factor(key, 0, sigma)
+    return sum(noise_factor(key, r, sigma) for r in range(reps)) / reps

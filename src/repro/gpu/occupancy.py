@@ -1,0 +1,72 @@
+"""CUDA occupancy calculator for the simulated devices.
+
+Occupancy — resident warps per SM — is the central hidden variable of the
+paper's performance analysis (§8.1): tile sizes determine register and
+shared-memory pressure, which bounds how many blocks an SM can host, which
+bounds latency hiding.  This module reproduces the standard occupancy
+computation (per-block limits on threads, registers, shared memory, and the
+hard block-count cap) with the usual allocation-granularity rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.legality import ResourceUsage
+from repro.gpu.device import DeviceSpec
+
+#: Register allocation granularity (registers are allocated per warp in
+#: chunks; 256-register granularity matches Maxwell/Pascal).
+_REG_ALLOC_UNIT = 256
+#: Shared-memory allocation granularity in bytes.
+_SMEM_ALLOC_UNIT = 256
+
+
+@dataclass(frozen=True, slots=True)
+class Occupancy:
+    """Resident-block accounting for one kernel on one SM."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float          # resident warps / max warps
+    limiter: str              # which resource capped the block count
+
+    @property
+    def active(self) -> bool:
+        return self.blocks_per_sm > 0
+
+
+def occupancy_for(device: DeviceSpec, res: ResourceUsage) -> Occupancy:
+    """Blocks and warps an SM can keep resident for a kernel's resources."""
+    warps = res.warps
+    threads = warps * device.warp_size  # thread slots allocate whole warps
+
+    limits: dict[str, int] = {}
+    limits["threads"] = device.max_threads_per_sm // threads if threads else 0
+    limits["blocks"] = device.max_blocks_per_sm
+
+    regs_per_warp = _round_up(
+        res.regs_per_thread * device.warp_size, _REG_ALLOC_UNIT
+    )
+    regs_per_block = regs_per_warp * warps
+    limits["registers"] = (
+        device.regfile_per_sm // regs_per_block if regs_per_block else 0
+    )
+
+    smem = _round_up(max(res.smem_bytes, 1), _SMEM_ALLOC_UNIT)
+    limits["shared memory"] = (device.smem_per_sm_kb * 1024) // smem
+
+    limiter, blocks = min(limits.items(), key=lambda kv: kv[1])
+    blocks = max(0, blocks)
+    resident_warps = blocks * warps
+    max_warps = device.max_threads_per_sm // device.warp_size
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=resident_warps,
+        occupancy=resident_warps / max_warps,
+        limiter=limiter if blocks else "does not fit",
+    )
+
+
+def _round_up(x: int, unit: int) -> int:
+    return -(-x // unit) * unit

@@ -1,0 +1,311 @@
+"""The simulated GPU: ground-truth performance for generated kernels.
+
+This module is the stand-in for the paper's physical GTX 980 TI / Tesla P100
+(see DESIGN.md).  ``simulate_gemm`` / ``simulate_conv`` run the full model
+chain — codegen counts → occupancy → wave schedule → per-pipe latency-hiding
+throughput → L2/DRAM traffic — and return a :class:`KernelStats` with the
+kernel's time and the diagnostic quantities the paper reports in §8.1
+(occupancy, register count, shared memory, L2 hit rate).
+
+``benchmark_gemm`` / ``benchmark_conv`` add deterministic measurement noise
+and are what the auto-tuner's data-generation and re-ranking stages call:
+they play the role of actually launching the kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.legality import (
+    ResourceUsage,
+    conv_resources,
+    gemm_resources,
+    gemm_violations,
+    conv_violations,
+)
+from repro.core.types import ConvShape, DType, GemmShape, ceil_div
+from repro.gpu.device import DeviceSpec
+from repro.gpu.latency import PipeTimes, pipe_times
+from repro.gpu.memory import TrafficEstimate, estimate_traffic
+from repro.gpu.noise import DEFAULT_SIGMA, averaged_noise_factor
+from repro.gpu.occupancy import Occupancy, occupancy_for
+from repro.ptx.conv_codegen import ConvKernel
+from repro.ptx.counts import KernelCounts
+from repro.ptx.gemm_codegen import GemmKernel
+
+
+class IllegalKernelError(ValueError):
+    """Raised when a config outside X (the legal set) is simulated."""
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Everything the simulator knows about one kernel launch."""
+
+    device_name: str
+    time_ms: float
+    useful_flops: int
+    padded_flops: int
+    occupancy: Occupancy
+    resources: ResourceUsage
+    traffic: TrafficEstimate
+    limiter: str
+    waves: float
+    grid_size: int
+
+    @property
+    def tflops(self) -> float:
+        """Effective throughput in useful TFLOPS (the paper's y-axis)."""
+        return self.useful_flops / self.time_ms / 1e9
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of executed FLOPs spent on predicated-off tile padding."""
+        if self.padded_flops == 0:
+            return 0.0
+        return 1.0 - self.useful_flops / self.padded_flops
+
+    @property
+    def dram_gbs(self) -> float:
+        return self.traffic.dram_bytes / (self.time_ms * 1e6)
+
+
+def _wave_time_ms(
+    device: DeviceSpec,
+    counts: KernelCounts,
+    blocks_in_wave: int,
+    blocks_per_sm_cap: int,
+    dram_bytes_per_block: float,
+    dtype: DType,
+) -> tuple[float, str]:
+    """Time for one wave of ``blocks_in_wave`` concurrent blocks."""
+    busy_sms = min(device.sms, blocks_in_wave)
+    b_eff = ceil_div(blocks_in_wave, busy_sms)
+    b_eff = min(b_eff, blocks_per_sm_cap)
+    warps = b_eff * ceil_div(counts.threads_per_block, device.warp_size)
+
+    pipes = pipe_times(device, counts.block, b_eff, warps, dtype)
+    clock_hz = device.boost_mhz * 1e6
+    t_sm_ms = pipes.cycles / clock_hz * 1e3
+
+    # DRAM is a device-wide resource: the wave's traffic at full bandwidth.
+    wave_bytes = dram_bytes_per_block * blocks_in_wave
+    t_dram_ms = wave_bytes / (device.mem_bw_gbs * 1e9) * 1e3
+
+    # Pipeline ramp: the first loads of a wave see full memory latency.
+    t_ramp_ms = device.mem_lat / clock_hz * 1e3
+
+    if t_dram_ms > t_sm_ms:
+        return t_dram_ms + t_ramp_ms, "dram"
+    return t_sm_ms + t_ramp_ms, pipes.limiter
+
+
+def _simulate(
+    device: DeviceSpec,
+    counts: KernelCounts,
+    res: ResourceUsage,
+    grid_mn: tuple[int, int],
+    kg: int,
+    useful_flops: int,
+    padded_flops: int,
+    staged_bytes: float,
+    staged_depth: int,
+    dtype: DType,
+    a_bytes_frac: float = 0.5,
+) -> KernelStats:
+    occ = occupancy_for(device, res)
+    if not occ.active:
+        raise IllegalKernelError(
+            f"kernel does not fit on {device.name}: {occ.limiter}"
+        )
+
+    grid_size = counts.grid_size
+    concurrent = occ.blocks_per_sm * device.sms
+
+    block = counts.block
+    traffic = estimate_traffic(
+        device,
+        ldg_bytes_per_block=block.ldg_bytes,
+        ideal_ldg_bytes_per_block=block.ideal_ldg_bytes,
+        st_bytes_per_block=block.st_bytes,
+        grid_m=grid_mn[0],
+        grid_n=grid_mn[1],
+        kg=kg,
+        concurrent_blocks=concurrent,
+        a_bytes_frac=a_bytes_frac,
+        staged_bytes_per_block=staged_bytes,
+        staged_depth=staged_depth,
+    )
+    dram_bytes_per_block = traffic.dram_bytes / max(1, grid_size)
+
+    full_waves, rem = divmod(grid_size, concurrent)
+    total_ms = 0.0
+    limiter = "alu"
+    if full_waves:
+        t, limiter = _wave_time_ms(
+            device, counts, concurrent, occ.blocks_per_sm,
+            dram_bytes_per_block, dtype,
+        )
+        total_ms += t * full_waves
+    if rem:
+        t, lim_p = _wave_time_ms(
+            device, counts, rem, occ.blocks_per_sm,
+            dram_bytes_per_block, dtype,
+        )
+        total_ms += t
+        if not full_waves:
+            limiter = lim_p
+
+    total_ms += device.kernel_launch_us * 1e-3
+    waves = grid_size / concurrent
+
+    return KernelStats(
+        device_name=device.name,
+        time_ms=total_ms,
+        useful_flops=useful_flops,
+        padded_flops=padded_flops,
+        occupancy=occ,
+        resources=res,
+        traffic=traffic,
+        limiter=limiter,
+        waves=waves,
+        grid_size=grid_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# GEMM
+# ----------------------------------------------------------------------
+
+def simulate_gemm(
+    device: DeviceSpec,
+    cfg: GemmConfig,
+    shape: GemmShape,
+    *,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+    check_legality: bool = True,
+) -> KernelStats:
+    """Noise-free model evaluation of a GEMM kernel."""
+    if check_legality:
+        violations = gemm_violations(cfg, shape.dtype, device)
+        if violations:
+            raise IllegalKernelError("; ".join(violations))
+    kernel = GemmKernel(
+        cfg=cfg,
+        shape=shape,
+        device=device,
+        bounds_mode=bounds_mode,
+        allow_fp16x2=allow_fp16x2,
+    )
+    eff = kernel.effective_shape
+    counts = kernel.kernel_counts()
+    res = gemm_resources(cfg, shape.dtype)
+    gm, gn, _ = cfg.grid(eff)
+    staged_bytes = cfg.db * (cfg.ml + cfg.nl) * cfg.u * cfg.kl * shape.dtype.size
+    return _simulate(
+        device,
+        counts,
+        res,
+        grid_mn=(gm, gn),
+        kg=cfg.kg,
+        useful_flops=shape.flops,
+        padded_flops=cfg.padded_flops(eff),
+        staged_bytes=staged_bytes,
+        staged_depth=cfg.u * cfg.kl,
+        dtype=shape.dtype,
+        a_bytes_frac=cfg.ml / (cfg.ml + cfg.nl),
+    )
+
+
+def benchmark_gemm(
+    device: DeviceSpec,
+    cfg: GemmConfig,
+    shape: GemmShape,
+    *,
+    reps: int = 1,
+    sigma: float = DEFAULT_SIGMA,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+) -> float:
+    """Measured TFLOPS — the simulator's analogue of launching the kernel.
+
+    Deterministic per (device, cfg, shape); ``reps`` averages independent
+    repetitions like a real benchmark loop would.
+    """
+    stats = simulate_gemm(
+        device, cfg, shape,
+        bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
+    )
+    key = f"{device.name}|gemm|{cfg.as_dict()}|{shape}"
+    return stats.tflops * averaged_noise_factor(key, reps, sigma)
+
+
+# ----------------------------------------------------------------------
+# CONV
+# ----------------------------------------------------------------------
+
+def simulate_conv(
+    device: DeviceSpec,
+    cfg: ConvConfig,
+    shape: ConvShape,
+    *,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+    check_legality: bool = True,
+) -> KernelStats:
+    """Noise-free model evaluation of an implicit-GEMM convolution kernel."""
+    if check_legality:
+        violations = conv_violations(cfg, shape.dtype, device)
+        if violations:
+            raise IllegalKernelError("; ".join(violations))
+    kernel = ConvKernel(
+        cfg=cfg,
+        shape=shape,
+        device=device,
+        bounds_mode=bounds_mode,
+        allow_fp16x2=allow_fp16x2,
+    )
+    counts = kernel.kernel_counts()
+    res = conv_resources(cfg, shape.dtype)
+    gk, gp, gq, gn, _ = cfg.grid(shape)
+    # Implicit-GEMM grid: NPQ tiles x K tiles.
+    grid_m = gp * gq * gn
+    grid_n = gk
+    staged_bytes = (
+        cfg.db * (cfg.block_m + cfg.block_n) * cfg.u * cfg.cl * shape.dtype.size
+    )
+    return _simulate(
+        device,
+        counts,
+        res,
+        grid_mn=(grid_m, grid_n),
+        kg=cfg.cg,
+        useful_flops=shape.flops,
+        padded_flops=cfg.padded_flops(shape),
+        staged_bytes=staged_bytes,
+        staged_depth=cfg.u * cfg.cl,
+        dtype=shape.dtype,
+        a_bytes_frac=cfg.block_m / (cfg.block_m + cfg.block_n),
+    )
+
+
+def benchmark_conv(
+    device: DeviceSpec,
+    cfg: ConvConfig,
+    shape: ConvShape,
+    *,
+    reps: int = 1,
+    sigma: float = DEFAULT_SIGMA,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+) -> float:
+    """Measured TFLOPS for a convolution kernel (deterministic noise)."""
+    stats = simulate_conv(
+        device, cfg, shape,
+        bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
+    )
+    key = f"{device.name}|conv|{cfg.as_dict()}|{shape}"
+    return stats.tflops * averaged_noise_factor(key, reps, sigma)

@@ -1,0 +1,97 @@
+"""Application-level evaluation: whole network steps, not single kernels.
+
+Computes per-step wall time (sum of kernel times) under ISAAC and under
+the baseline library, exposing the amplification effect: one badly chosen
+kernel in a chain drags the entire application step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cublas import CuBLASLike
+from repro.baselines.cudnn import CuDNNLike
+from repro.core.tuner import Isaac
+from repro.core.types import ConvShape, GemmShape
+from repro.gpu.simulator import simulate_conv, simulate_gemm
+from repro.workloads.networks import NetworkStep
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """End-to-end timing of one network step."""
+
+    step: NetworkStep
+    isaac_ms: float
+    baseline_ms: float
+    per_kernel: tuple[tuple[str, float, float], ...]  # label, isaac, baseline
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.isaac_ms
+
+    @property
+    def isaac_tflops(self) -> float:
+        return self.step.total_flops / self.isaac_ms / 1e9
+
+    @property
+    def baseline_tflops(self) -> float:
+        return self.step.total_flops / self.baseline_ms / 1e9
+
+
+def _kernel_time_ms(device, shape, cfg, op: str) -> float:
+    if op == "gemm":
+        return simulate_gemm(device, cfg, shape).time_ms
+    return simulate_conv(device, cfg, shape).time_ms
+
+
+def run_network_step(
+    tuner: Isaac,
+    step: NetworkStep,
+    *,
+    k: int = 60,
+    reps: int = 3,
+) -> AppResult:
+    """Tune every kernel of the step; compare against the baseline library.
+
+    Repeated shapes within a step are tuned once (the profile-cache effect:
+    an application sees each distinct shape once per deployment).
+    """
+    device = tuner.device
+    gemm_lib = CuBLASLike(device)
+    conv_lib = CuDNNLike(device)
+
+    tuned: dict[object, object] = {}
+    rows = []
+    isaac_total = 0.0
+    base_total = 0.0
+    for label, shape in step.kernels:
+        if shape not in tuned:
+            tuned[shape] = tuner.best_kernel(shape, k=k, reps=reps).config
+        cfg = tuned[shape]
+        isaac_ms = _kernel_time_ms(device, shape, cfg, tuner.op)
+
+        if isinstance(shape, GemmShape):
+            variants = {x.name: x for x in gemm_lib.kernels(shape.dtype)}
+            chosen = variants.get(gemm_lib.select(shape).name)
+            if chosen is None:
+                chosen = gemm_lib.best_kernel(shape)
+            base_ms = simulate_gemm(
+                device, chosen.cfg, shape, allow_fp16x2=chosen.fp16x2
+            ).time_ms
+        else:
+            kernel = conv_lib.select(shape)
+            base_ms = simulate_conv(
+                device, kernel.cfg, shape, allow_fp16x2=kernel.fp16x2
+            ).time_ms
+
+        rows.append((label, isaac_ms, base_ms))
+        isaac_total += isaac_ms
+        base_total += base_ms
+
+    return AppResult(
+        step=step,
+        isaac_ms=isaac_total,
+        baseline_ms=base_total,
+        per_kernel=tuple(rows),
+    )

@@ -1,0 +1,85 @@
+"""Self-bootstrapping analysis (paper §5).
+
+"Since MLP involving small feature vectors (around 20 in our case) rely on
+highly rectangular matrix computations, our system could itself be
+bootstrapped to make its own auto-tuning procedure more efficient."
+
+This module makes the observation concrete: it extracts the GEMM problems
+of the tuner's own MLP (one per layer, batched inference over the
+exhaustive search's candidate matrix), tunes kernels for them, and reports
+the speedup over the cuBLAS-like heuristics — i.e. how much faster the
+runtime search itself would run on ISAAC-generated kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cublas import CuBLASLike
+from repro.core.tuner import Isaac
+from repro.core.types import DType, GemmShape
+from repro.mlp.network import MLP
+
+
+@dataclass(frozen=True)
+class BootstrapRow:
+    """One MLP layer's inference GEMM."""
+
+    layer: str
+    shape: GemmShape
+    isaac_tflops: float
+    cublas_tflops: float
+
+    @property
+    def speedup(self) -> float:
+        return self.isaac_tflops / self.cublas_tflops
+
+
+def inference_gemms(
+    model: MLP, batch_rows: int, dtype: DType = DType.FP32
+) -> list[tuple[str, GemmShape]]:
+    """The GEMM problems of one batched forward pass.
+
+    A layer mapping ``n_in -> n_out`` over ``batch_rows`` candidates is a
+    (batch_rows x n_in) @ (n_in x n_out) product — extremely rectangular
+    when scoring ~10^5 candidates through ~10^2-wide layers.
+    """
+    out = []
+    for i, layer in enumerate(model.layers):
+        n_in, n_out = layer.w.shape
+        out.append(
+            (
+                f"layer{i} ({n_in}->{n_out})",
+                GemmShape(m=batch_rows, n=n_out, k=n_in, dtype=dtype),
+            )
+        )
+    return out
+
+
+def bootstrap_report(
+    tuner: Isaac,
+    *,
+    batch_rows: int = 65_536,
+    k: int = 60,
+    reps: int = 3,
+) -> list[BootstrapRow]:
+    """Tune the tuner's own inference GEMMs and compare to the baseline.
+
+    ``batch_rows`` defaults to the search's prediction batch size.
+    """
+    if not tuner.is_tuned:
+        raise RuntimeError("tune() the tuner before bootstrapping it")
+    model = tuner.fit_result.model
+    lib = CuBLASLike(tuner.device)
+    rows = []
+    for label, shape in inference_gemms(model, batch_rows):
+        best = tuner.best_kernel(shape, k=k, reps=reps)
+        rows.append(
+            BootstrapRow(
+                layer=label,
+                shape=shape,
+                isaac_tflops=best.measured_tflops,
+                cublas_tflops=lib.tflops(shape, "heuristic", reps=reps),
+            )
+        )
+    return rows

@@ -1,0 +1,63 @@
+"""Command-line entry point: ``repro-experiments <experiment> [...]``.
+
+Runs any of the paper's tables/figures and prints the rendered text.
+``repro-experiments all`` runs everything at default (laptop-scale)
+budgets; individual experiments accept ``--samples`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments as ex
+
+_REGISTRY = {
+    "table1": lambda a: ex.run_table1(seed=a.seed),
+    "table2": lambda a: ex.run_table2(n_train=a.samples, seed=a.seed),
+    "table3": lambda a: ex.run_table3(),
+    "fig5": lambda a: ex.run_fig5(seed=a.seed),
+    "fig6": lambda a: ex.run_fig6(n_samples=a.samples, seed=a.seed),
+    "fig7": lambda a: ex.run_fig7(n_samples=a.samples, seed=a.seed),
+    "fig8": lambda a: ex.run_fig8(n_samples=a.samples, seed=a.seed),
+    "fig9": lambda a: ex.run_fig9(n_samples=a.samples, seed=a.seed),
+    "fig10": lambda a: ex.run_fig10(n_samples=a.samples, seed=a.seed),
+    "fig11": lambda a: ex.run_fig11(n_samples=a.samples, seed=a.seed),
+    "table6": lambda a: ex.run_table6(n_samples=a.samples, seed=a.seed),
+    "sec81": lambda a: ex.run_sec81(n_samples=a.samples, seed=a.seed),
+    "sec83": lambda a: ex.run_sec83(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce tables/figures of the ISAAC paper (SC'17) "
+        "on the simulated GPU substrate.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*_REGISTRY, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=12_000,
+        help="training samples for learned components (default 12000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = list(_REGISTRY) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        result = _REGISTRY[name](args)
+        print(result)
+        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""CONV evaluation runs: the data behind paper Figures 9, 10 and 11."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.cudnn import CuDNNLike
+from repro.core.tuner import Isaac
+from repro.workloads.conv_suites import ConvTask
+
+
+@dataclass(frozen=True)
+class ConvResult:
+    """One bar group of a CONV performance figure."""
+
+    task: ConvTask
+    isaac_tflops: float
+    cudnn_tflops: float
+    isaac_config: object
+
+    @property
+    def speedup(self) -> float:
+        return self.isaac_tflops / self.cudnn_tflops
+
+
+def run_conv_suite(
+    tuner: Isaac,
+    tasks: Sequence[ConvTask],
+    *,
+    k: int = 100,
+    reps: int = 3,
+) -> list[ConvResult]:
+    """Evaluate ISAAC and cuDNN-like heuristic selection on each task.
+
+    cuDNN exposes no public per-kernel benchmarking (paper §7.4.1), so only
+    its heuristic mode appears in the figures.
+    """
+    if not tuner.is_tuned:
+        raise RuntimeError("tuner must be tuned before evaluation")
+    lib = CuDNNLike(tuner.device)
+    out: list[ConvResult] = []
+    for task in tasks:
+        best = tuner.best_kernel(task.shape, k=k, reps=reps)
+        out.append(
+            ConvResult(
+                task=task,
+                isaac_tflops=best.measured_tflops,
+                cudnn_tflops=lib.tflops(task.shape, "heuristic", reps=reps),
+                isaac_config=best.config,
+            )
+        )
+    return out
+
+
+def results_as_series(
+    results: Sequence[ConvResult],
+) -> tuple[list[str], dict[str, list[float]]]:
+    labels = [r.task.label for r in results]
+    series = {
+        "ISAAC": [r.isaac_tflops for r in results],
+        "cuDNN": [r.cudnn_tflops for r in results],
+    }
+    return labels, series

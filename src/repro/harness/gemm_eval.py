@@ -1,0 +1,79 @@
+"""GEMM evaluation runs: the data behind paper Figures 6, 7 and 8.
+
+``run_gemm_suite`` evaluates a tuned ISAAC instance and the cuBLAS-like
+baseline over Table 4's tasks on one device, returning one record per task
+with the three series the paper plots (ISAAC, cuBLAS heuristics, cuBLAS
+best kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.cublas import CuBLASLike
+from repro.core.tuner import Isaac
+from repro.workloads.gemm_suites import GemmTask
+
+
+@dataclass(frozen=True)
+class GemmResult:
+    """One bar group of a GEMM performance figure."""
+
+    task: GemmTask
+    isaac_tflops: float
+    cublas_heuristic_tflops: float
+    cublas_best_tflops: float
+    isaac_config: object
+
+    @property
+    def speedup_vs_heuristic(self) -> float:
+        return self.isaac_tflops / self.cublas_heuristic_tflops
+
+    @property
+    def speedup_vs_best(self) -> float:
+        return self.isaac_tflops / self.cublas_best_tflops
+
+
+def run_gemm_suite(
+    tuner: Isaac,
+    tasks: Sequence[GemmTask],
+    *,
+    k: int = 100,
+    reps: int = 3,
+) -> list[GemmResult]:
+    """Evaluate ISAAC and both cuBLAS modes on each task."""
+    if not tuner.is_tuned:
+        raise RuntimeError("tuner must be tuned before evaluation")
+    lib = CuBLASLike(tuner.device)
+    out: list[GemmResult] = []
+    for task in tasks:
+        best = tuner.best_kernel(task.shape, k=k, reps=reps)
+        out.append(
+            GemmResult(
+                task=task,
+                isaac_tflops=best.measured_tflops,
+                cublas_heuristic_tflops=lib.tflops(
+                    task.shape, "heuristic", reps=reps
+                ),
+                cublas_best_tflops=lib.tflops(task.shape, "best", reps=reps),
+                isaac_config=best.config,
+            )
+        )
+    return out
+
+
+def results_as_series(
+    results: Sequence[GemmResult], include_best: bool = True
+) -> tuple[list[str], dict[str, list[float]]]:
+    """(labels, series) in the layout of the paper's bar figures."""
+    labels = [f"{r.task.group} {r.task.label}" for r in results]
+    series: dict[str, list[float]] = {
+        "ISAAC": [r.isaac_tflops for r in results],
+        "cuBLAS (Heuristics)": [r.cublas_heuristic_tflops for r in results],
+    }
+    if include_best:
+        series["cuBLAS (Best Kernel)"] = [
+            r.cublas_best_tflops for r in results
+        ]
+    return labels, series

@@ -1,0 +1,99 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+Figures are rendered as aligned numeric tables (one row per x-tick, one
+column per series) so a terminal run of the benchmark harness prints the
+same information the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(
+                c.rjust(w) if _numeric(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    unit: str = "TFLOPS",
+) -> str:
+    """A figure as a table: x ticks down the side, one column per series."""
+    headers = [x_label, *(f"{name} ({unit})" for name in series)]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(vals[i] for vals in series.values())])
+    return render_table(headers, rows, title=title)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """ASCII horizontal bars — a rough visual of the paper's bar figures."""
+    peak = max(max(v) for v in series.values())
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        for name, vals in series.items():
+            n = int(round(vals[i] / peak * width)) if peak > 0 else 0
+            lines.append(f"{label:>16s} {name:<18s} {'#' * n} {vals[i]:.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}" if abs(cell) < 0.1 else f"{cell:.2f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def speedup_summary(
+    labels: Sequence[str], ours: Sequence[float], theirs: Sequence[float]
+) -> str:
+    """One-line per-task speedups plus the geometric mean."""
+    import math
+
+    lines = []
+    logs = []
+    for label, a, b in zip(labels, ours, theirs):
+        s = a / b if b > 0 else float("inf")
+        logs.append(math.log(max(s, 1e-12)))
+        lines.append(f"  {label}: {s:.2f}x")
+    geo = math.exp(sum(logs) / len(logs)) if logs else float("nan")
+    lines.append(f"  geomean: {geo:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Shape-aware candidate generation for the CONV search.
+
+The CONV tuning space is the product of five tiled dimensions and is far
+too large to enumerate directly (hundreds of millions of points).  But the
+performance of an implicit-GEMM kernel depends on the five-dimensional
+tiling almost entirely through the induced *implicit-GEMM tile*
+(block_m, block_n, thread tile, staging depth, splits) — how block_m
+factors into (NB, PB, QB) only changes padding waste and load contiguity.
+
+So the runtime search enumerates the legal implicit-GEMM tiles (the cached
+GEMM set) and factorizes each block/thread tile over (N, Q, P) *for the
+query shape*, batch-first so small batches are never padded away — the
+input-aware factorization real libraries hand-code.  The result is a
+per-shape candidate list of a few 10^5 ConvConfigs, which the MLP scores
+exactly like GEMM candidates.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.legality import is_legal_conv
+from repro.core.space import CONV_SPACE
+from repro.core.types import ConvShape, DType
+from repro.gpu.device import DeviceSpec
+from repro.inference.search import legal_configs
+
+
+def _next_pow2(x: int) -> int:
+    return 1 << max(0, (x - 1).bit_length())
+
+
+def factorize_tile(
+    block: int, thread: int, shape: ConvShape
+) -> tuple[int, int, int, int, int, int] | None:
+    """Split an implicit-GEMM M-tile into (NB, PB, QB) / (NT, PT, QT).
+
+    Batch-first: NB covers the batch up to its next power of two, then QB
+    covers the output width, and PB takes the rest.  The thread tile is
+    factored under the block tile with the same priorities.  Returns None
+    when the factorization cannot respect divisibility.
+    """
+    nb = min(_next_pow2(shape.n), block)
+    rest = block // nb
+    qb = min(_next_pow2(shape.q), rest)
+    pb = rest // qb
+    if nb * pb * qb != block:
+        return None
+
+    nt = min(thread, nb)
+    rest_t = thread // nt
+    qt = min(rest_t, qb)
+    pt = rest_t // qt
+    if nt * pt * qt != thread or pt > pb:
+        return None
+    return nb, pb, qb, nt, pt, qt
+
+
+def conv_config_from_gemm(
+    g: GemmConfig, shape: ConvShape
+) -> ConvConfig | None:
+    """Project one implicit-GEMM tile onto the 5-D CONV parameterization."""
+    cg_vals = CONV_SPACE.values("cg")
+    if g.kg not in cg_vals:
+        return None
+    factors = factorize_tile(g.ml, g.ms, shape)
+    if factors is None:
+        return None
+    nb, pb, qb, nt, pt, qt = factors
+    return ConvConfig(
+        kt=g.ns,
+        pt=pt,
+        qt=qt,
+        nt=nt,
+        kb=g.nl,
+        pb=pb,
+        qb=qb,
+        nb=nb,
+        u=g.u,
+        cs=g.ks,
+        cl=g.kl,
+        cg=g.kg,
+        vec=g.vec,
+        db=g.db,
+    )
+
+
+def conv_candidates(
+    device: DeviceSpec,
+    shape: ConvShape,
+    *,
+    max_candidates: int | None = None,
+) -> list[ConvConfig]:
+    """Legal CONV configs for one query shape, via tile factorization."""
+    gemm_cfgs, _ = legal_configs(device, shape.dtype, "gemm")
+    seen: set[tuple] = set()
+    out: list[ConvConfig] = []
+    for g in gemm_cfgs:
+        cfg = conv_config_from_gemm(g, shape)
+        if cfg is None:
+            continue
+        key = tuple(cfg.as_dict().values())
+        if key in seen:
+            continue
+        seen.add(key)
+        if is_legal_conv(cfg, shape.dtype, device):
+            out.append(cfg)
+            if max_candidates is not None and len(out) >= max_candidates:
+                break
+    if not out:
+        raise RuntimeError(f"no CONV candidate for {shape} on {device.name}")
+    return out

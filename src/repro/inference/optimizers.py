@@ -1,0 +1,184 @@
+"""Alternative discrete optimizers for runtime kernel inference (§6).
+
+The paper opts for exhaustive search but notes that "any discrete
+optimization method (e.g., simulated annealing, genetic algorithm,
+exhaustive search) may be used for this purpose".  This module implements
+both alternatives over the legal configuration list, with the same
+interface as :class:`~repro.inference.search.ExhaustiveSearch.top_k`:
+they return the candidates the *model* believes are fastest, to be fed to
+the top-k re-ranking stage.
+
+Both operate on candidate *indices* into the legal-config list and query
+the model through a shared vectorized scorer, so a fitness evaluation
+costs one MLP row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.inference.search import ExhaustiveSearch, Prediction
+
+
+class _Scorer:
+    """Vectorized model evaluation for arbitrary candidate index sets."""
+
+    def __init__(self, search: ExhaustiveSearch, shape):
+        self._search = search
+        self._shape = shape
+        self._configs, self._cfg_matrix = search.candidates(shape)
+        from repro.sampling.features import (
+            conv_shape_vector,
+            gemm_shape_vector,
+        )
+
+        vec = (
+            gemm_shape_vector(shape, log=True)
+            if search._op == "gemm"
+            else conv_shape_vector(shape, log=True)
+        )
+        self._shape_vec = vec
+        self._cache: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def config(self, idx: int):
+        return self._configs[idx]
+
+    def score(self, indices: Sequence[int]) -> np.ndarray:
+        """Predicted log2-TFLOPS for each index (memoized)."""
+        missing = [i for i in indices if i not in self._cache]
+        if missing:
+            design = np.hstack(
+                [
+                    self._cfg_matrix[missing],
+                    np.tile(self._shape_vec, (len(missing), 1)),
+                ]
+            )
+            fit = self._search._fit
+            preds = fit.y_scaler.inverse_transform(
+                fit.model.predict(fit.x_scaler.transform(design))
+            )
+            for i, p in zip(missing, np.atleast_1d(preds).ravel()):
+                self._cache[i] = float(p)
+        return np.array([self._cache[i] for i in indices])
+
+    @property
+    def evaluations(self) -> int:
+        return len(self._cache)
+
+    def best_k(self, k: int) -> list[Prediction]:
+        items = sorted(self._cache.items(), key=lambda kv: -kv[1])[:k]
+        return [
+            Prediction(
+                config=self._configs[i], predicted_tflops=float(2.0**p)
+            )
+            for i, p in items
+        ]
+
+
+@dataclass
+class SearchBudget:
+    """Model-evaluation budget accounting for the heuristic searches."""
+
+    max_evaluations: int = 10_000
+
+
+def simulated_annealing(
+    search: ExhaustiveSearch,
+    shape,
+    *,
+    k: int = 100,
+    budget: SearchBudget | None = None,
+    iters: int = 4_000,
+    t0: float = 1.0,
+    t1: float = 0.01,
+    seed: int = 0,
+) -> list[Prediction]:
+    """Simulated annealing over the legal-config index space.
+
+    Neighborhood: jump to a uniformly random index with probability 0.2
+    (restart pressure), otherwise a local step of at most ±32 positions —
+    the enumeration order is lexicographic in the tuning parameters, so
+    nearby indices share most parameter values.
+    """
+    budget = budget or SearchBudget()
+    rng = np.random.default_rng(seed)
+    scorer = _Scorer(search, shape)
+    n = len(scorer)
+
+    current = int(rng.integers(n))
+    current_score = scorer.score([current])[0]
+    iters = min(iters, budget.max_evaluations)
+    for step in range(iters):
+        t = t0 * (t1 / t0) ** (step / max(1, iters - 1))
+        if rng.random() < 0.2:
+            cand = int(rng.integers(n))
+        else:
+            cand = int(np.clip(current + rng.integers(-32, 33), 0, n - 1))
+        cand_score = scorer.score([cand])[0]
+        if cand_score >= current_score or rng.random() < np.exp(
+            (cand_score - current_score) / max(t, 1e-9)
+        ):
+            current, current_score = cand, cand_score
+        if scorer.evaluations >= budget.max_evaluations:
+            break
+    return scorer.best_k(k)
+
+
+def genetic_algorithm(
+    search: ExhaustiveSearch,
+    shape,
+    *,
+    k: int = 100,
+    budget: SearchBudget | None = None,
+    population: int = 128,
+    generations: int = 30,
+    elite_frac: float = 0.25,
+    mutation: float = 0.3,
+    seed: int = 0,
+) -> list[Prediction]:
+    """A simple index-space genetic algorithm.
+
+    Crossover averages two parent indices (a crude but effective blend in
+    the lexicographic enumeration); mutation perturbs by a geometric step.
+    """
+    budget = budget or SearchBudget()
+    rng = np.random.default_rng(seed)
+    scorer = _Scorer(search, shape)
+    n = len(scorer)
+
+    pop = rng.integers(n, size=population)
+    for _ in range(generations):
+        scores = scorer.score(list(map(int, pop)))
+        order = np.argsort(-scores)
+        elite = pop[order[: max(2, int(population * elite_frac))]]
+        children = []
+        while len(children) < population - len(elite):
+            pa, pb = rng.choice(elite, size=2)
+            child = (int(pa) + int(pb)) // 2
+            if rng.random() < mutation:
+                child += int(rng.geometric(0.05)) * rng.choice((-1, 1))
+            children.append(int(np.clip(child, 0, n - 1)))
+        pop = np.concatenate([elite, np.array(children, dtype=int)])
+        if scorer.evaluations >= budget.max_evaluations:
+            break
+    return scorer.best_k(k)
+
+
+def exhaustive(
+    search: ExhaustiveSearch, shape, *, k: int = 100, **_ignored
+) -> list[Prediction]:
+    """The paper's choice, wrapped for interface parity."""
+    return search.top_k(shape, k)
+
+
+SEARCH_METHODS = {
+    "exhaustive": exhaustive,
+    "annealing": simulated_annealing,
+    "genetic": genetic_algorithm,
+}

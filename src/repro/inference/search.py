@@ -1,0 +1,139 @@
+"""Exhaustive runtime search over tuning parameters (paper §6).
+
+At runtime the input parameters are fixed, so the trained model is
+optimized over tuning parameters only.  The paper opts for exhaustive
+search: it finds the global optimum of the model within the search range,
+is trivially batchable (up to a million configurations per second), and
+yields the top-k list that the re-ranking step re-benchmarks.
+
+The legal configuration set for a (device, dtype) pair is enumerated once
+and cached module-wide, together with its feature sub-matrix, so repeated
+searches only pay one matrix product per MLP layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.legality import is_legal_conv, is_legal_gemm
+from repro.core.space import CONV_SPACE, GEMM_SPACE, ParamSpace
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import DeviceSpec
+from repro.mlp.crossval import FitResult
+from repro.sampling.features import (
+    conv_config_matrix,
+    conv_shape_vector,
+    gemm_config_matrix,
+    gemm_shape_vector,
+)
+
+_LEGAL_CACHE: dict[tuple[str, str, str], tuple[list, np.ndarray]] = {}
+
+
+def legal_configs(
+    device: DeviceSpec,
+    dtype: DType,
+    op: str = "gemm",
+    space: ParamSpace | None = None,
+) -> tuple[list, np.ndarray]:
+    """All legal configs for (device, dtype) plus their log-feature matrix.
+
+    Cached: the enumeration walks the full product space once (a few
+    seconds for GEMM's ~2M points) and is reused by every later search.
+    """
+    if op != "gemm":
+        raise ValueError(
+            "only the GEMM space is enumerable; CONV candidates are "
+            "generated per shape by repro.inference.conv_search"
+        )
+    space = space or GEMM_SPACE
+    key = (device.name, dtype.name, space.name)
+    if key in _LEGAL_CACHE:
+        return _LEGAL_CACHE[key]
+
+    configs: list = []
+    for point in space.iter_points():
+        cfg = GemmConfig.from_dict(point)
+        if is_legal_gemm(cfg, dtype, device):
+            configs.append(cfg)
+    matrix = gemm_config_matrix(configs, log=True)
+
+    _LEGAL_CACHE[key] = (configs, matrix)
+    return _LEGAL_CACHE[key]
+
+
+def clear_cache() -> None:
+    _LEGAL_CACHE.clear()
+
+
+@dataclass
+class Prediction:
+    """One candidate from the exhaustive search."""
+
+    config: object
+    predicted_tflops: float
+
+
+class ExhaustiveSearch:
+    """Vectorized model evaluation over every legal tuning vector."""
+
+    def __init__(
+        self,
+        fit: FitResult,
+        device: DeviceSpec,
+        op: str = "gemm",
+        space: ParamSpace | None = None,
+    ):
+        if op not in ("gemm", "conv"):
+            raise ValueError(f"unknown op {op!r}")
+        self._fit = fit
+        self._device = device
+        self._op = op
+        self._space = space
+        self._conv_cache: dict = {}
+
+    def candidates(self, shape) -> tuple[list, np.ndarray]:
+        """Candidate configs + config-feature matrix for one query shape."""
+        if self._op == "gemm":
+            return legal_configs(self._device, shape.dtype, "gemm", self._space)
+        key = shape
+        if key not in self._conv_cache:
+            from repro.inference.conv_search import conv_candidates
+
+            configs = conv_candidates(self._device, shape)
+            self._conv_cache[key] = (configs, conv_config_matrix(configs))
+        return self._conv_cache[key]
+
+    def predictions(self, shape) -> np.ndarray:
+        """Predicted log2-TFLOPS for every candidate config at this shape."""
+        configs, cfg_matrix = self.candidates(shape)
+        if self._op == "gemm":
+            shape_vec = gemm_shape_vector(shape, log=True)
+        else:
+            shape_vec = conv_shape_vector(shape, log=True)
+        design = np.hstack(
+            [cfg_matrix, np.tile(shape_vec, (len(configs), 1))]
+        )
+        z = self._fit.x_scaler.transform(design)
+        pred = self._fit.model.predict(z)
+        return self._fit.y_scaler.inverse_transform(pred)
+
+    def top_k(self, shape, k: int = 100) -> list[Prediction]:
+        """The k configs the model believes are fastest, best first."""
+        configs, _ = self.candidates(shape)
+        preds = self.predictions(shape)
+        k = min(k, len(configs))
+        if k == 0:
+            raise RuntimeError(
+                f"no legal configuration for {shape} on {self._device.name}"
+            )
+        top = np.argpartition(-preds, k - 1)[:k]
+        top = top[np.argsort(-preds[top])]
+        return [
+            Prediction(config=configs[i], predicted_tflops=float(2.0 ** preds[i]))
+            for i in top
+        ]

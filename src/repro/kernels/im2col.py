@@ -1,0 +1,122 @@
+"""Indirection-table construction for implicit-GEMM convolution (§3.3).
+
+The paper lowers multi-channel convolution to matrix multiplication by
+"scrambling" tiles of I into shared memory through an *indirection table*
+that pre-resolves the (c, r, s) -> address arithmetic.  This module builds
+that table explicitly and provides the im2col gather it implies, so the
+functional convolution executor performs the very same index computation a
+generated kernel would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import ConvShape
+
+
+@dataclass(frozen=True)
+class IndirectionTable:
+    """Pre-decomposed reduction indices for one convolution shape.
+
+    ``c``, ``r``, ``s`` are parallel arrays of length CRS: entry ``i``
+    decomposes flat reduction index ``i`` into channel / filter-row /
+    filter-column, using the same c-major, then r, then s order as the
+    filter tensor's memory layout (F is C x R x S x K).
+    """
+
+    c: np.ndarray
+    r: np.ndarray
+    s: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.c)
+
+
+def build_indirection_table(shape: ConvShape) -> IndirectionTable:
+    idx = np.arange(shape.crs)
+    s = idx % shape.s
+    r = (idx // shape.s) % shape.r
+    c = idx // (shape.r * shape.s)
+    return IndirectionTable(c=c, r=r, s=s)
+
+
+def row_coords(shape: ConvShape) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose implicit-GEMM row indices into (n, p, q).
+
+    Rows are n-major then p then q, matching the output layout used by
+    :func:`output_from_gemm`.
+    """
+    rows = np.arange(shape.npq)
+    q = rows % shape.q
+    p = (rows // shape.q) % shape.p
+    n = rows // (shape.p * shape.q)
+    return n, p, q
+
+
+def im2col(i_tensor: np.ndarray, shape: ConvShape) -> np.ndarray:
+    """Materialize the (NPQ, CRS) implicit-GEMM left operand.
+
+    ``i_tensor`` is the input in the paper's C x H x W x N layout.  Padding
+    is handled by gathering from a zero-extended copy, mirroring how a
+    kernel's predication returns zero for out-of-image taps.
+    """
+    if i_tensor.shape != (shape.c, shape.h, shape.w, shape.n):
+        raise ValueError(
+            f"I has shape {i_tensor.shape}, expected "
+            f"{(shape.c, shape.h, shape.w, shape.n)}"
+        )
+    if shape.pad_h or shape.pad_w:
+        padded = np.zeros(
+            (
+                shape.c,
+                shape.h + 2 * shape.pad_h,
+                shape.w + 2 * shape.pad_w,
+                shape.n,
+            ),
+            dtype=i_tensor.dtype,
+        )
+        padded[
+            :,
+            shape.pad_h : shape.pad_h + shape.h,
+            shape.pad_w : shape.pad_w + shape.w,
+            :,
+        ] = i_tensor
+    else:
+        padded = i_tensor
+
+    table = build_indirection_table(shape)
+    n_idx, p_idx, q_idx = row_coords(shape)
+
+    # Gather: rows index (n, p, q), columns index (c, r, s).
+    h_idx = p_idx[:, None] * shape.stride_h + table.r[None, :]
+    w_idx = q_idx[:, None] * shape.stride_w + table.s[None, :]
+    return padded[
+        table.c[None, :],
+        h_idx,
+        w_idx,
+        n_idx[:, None],
+    ]
+
+
+def filters_as_matrix(f_tensor: np.ndarray, shape: ConvShape) -> np.ndarray:
+    """Flatten F (C x R x S x K) to the (CRS, K) implicit-GEMM right operand."""
+    if f_tensor.shape != (shape.c, shape.r, shape.s, shape.k):
+        raise ValueError(
+            f"F has shape {f_tensor.shape}, expected "
+            f"{(shape.c, shape.r, shape.s, shape.k)}"
+        )
+    return f_tensor.reshape(shape.crs, shape.k)
+
+
+def output_from_gemm(gemm_out: np.ndarray, shape: ConvShape) -> np.ndarray:
+    """Fold the (NPQ, K) implicit-GEMM result back to K x P x Q x N."""
+    if gemm_out.shape != (shape.npq, shape.k):
+        raise ValueError(
+            f"GEMM output has shape {gemm_out.shape}, expected "
+            f"{(shape.npq, shape.k)}"
+        )
+    npqk = gemm_out.reshape(shape.n, shape.p, shape.q, shape.k)
+    return np.transpose(npqk, (3, 1, 2, 0))

@@ -1,0 +1,106 @@
+"""Dense layers and activations for the from-scratch MLP.
+
+The paper's regression network is a plain fully-connected MLP (Figure 4,
+Algorithm 1): ``z_n = W_n a_{n-1}; a_n = f_n(z_n)`` with a shared nonlinear
+activation per layer.  ReLU is the paper's choice — "appropriate to handle
+maximums" in the latency-hiding performance surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class Activation:
+    """A differentiable elementwise nonlinearity."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    grad: Callable[[np.ndarray, np.ndarray], np.ndarray]  # (z, a) -> da/dz
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return (z > 0.0).astype(z.dtype)
+
+
+def _tanh(z: np.ndarray) -> np.ndarray:
+    return np.tanh(z)
+
+
+def _tanh_grad(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return 1.0 - a * a
+
+
+def _identity(z: np.ndarray) -> np.ndarray:
+    return z
+
+
+def _identity_grad(z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    return np.ones_like(z)
+
+
+ACTIVATIONS: dict[str, Activation] = {
+    "relu": Activation("relu", _relu, _relu_grad),
+    "tanh": Activation("tanh", _tanh, _tanh_grad),
+    "identity": Activation("identity", _identity, _identity_grad),
+}
+
+
+class Dense:
+    """A fully connected layer ``a = f(x W + b)``.
+
+    Weights use He initialization (appropriate for ReLU); the bias starts at
+    zero.  ``forward`` caches what ``backward`` needs, so one instance is
+    used for one (forward, backward) pair at a time — the standard
+    minibatch training pattern.
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        activation: str,
+        rng: np.random.Generator,
+    ):
+        if activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; "
+                f"known: {sorted(ACTIVATIONS)}"
+            )
+        scale = np.sqrt(2.0 / n_in)
+        self.w = rng.standard_normal((n_in, n_out)) * scale
+        self.b = np.zeros(n_out)
+        self.activation = ACTIVATIONS[activation]
+        self._x: np.ndarray | None = None
+        self._z: np.ndarray | None = None
+        self._a: np.ndarray | None = None
+        self.grad_w = np.zeros_like(self.w)
+        self.grad_b = np.zeros_like(self.b)
+
+    @property
+    def n_params(self) -> int:
+        return self.w.size + self.b.size
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        z = x @ self.w + self.b
+        a = self.activation.fn(z)
+        if train:
+            self._x, self._z, self._a = x, z, a
+        return a
+
+    def backward(self, grad_a: np.ndarray) -> np.ndarray:
+        """Given dL/da, accumulate dL/dW, dL/db; return dL/dx."""
+        if self._x is None or self._z is None or self._a is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        grad_z = grad_a * self.activation.grad(self._z, self._a)
+        self.grad_w = self._x.T @ grad_z
+        self.grad_b = grad_z.sum(axis=0)
+        return grad_z @ self.w.T

@@ -1,0 +1,25 @@
+"""Loss functions for regression training.
+
+The paper uses mean squared error — the maximum-likelihood choice when
+measurements are the true performance plus Gaussian noise (§5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error."""
+    diff = pred - target
+    return float(np.mean(diff * diff))
+
+
+def mse_grad(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """d(MSE)/d(pred) — the gradient fed to backprop."""
+    return 2.0 * (pred - target) / len(pred)
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error (reported as a secondary diagnostic)."""
+    return float(np.mean(np.abs(pred - target)))

@@ -1,0 +1,97 @@
+"""The multi-layer perceptron of paper §5 (Figure 4 / Algorithm 1)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.mlp.layers import Dense
+
+
+class MLP:
+    """A scalar-output regression MLP.
+
+    ``hidden`` follows the paper's Table 2 notation: e.g. ``(32, 64, 32)``
+    is the three-hidden-layer network with 5k weights.  Hidden layers share
+    one activation (ReLU by default); the output layer is linear, as usual
+    for MSE regression.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden: Sequence[int],
+        *,
+        activation: str = "relu",
+        seed: int = 0,
+    ):
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if any(h <= 0 for h in hidden):
+            raise ValueError(f"hidden sizes must be positive, got {hidden}")
+        rng = np.random.default_rng(seed)
+        sizes = [n_features, *hidden, 1]
+        self.layers: list[Dense] = []
+        for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            act = activation if i < len(sizes) - 2 else "identity"
+            self.layers.append(Dense(n_in, n_out, act, rng))
+        self.hidden = tuple(hidden)
+        self.n_features = n_features
+
+    # ------------------------------------------------------------------
+    @property
+    def n_params(self) -> int:
+        """Trainable parameter count (the paper's '#weights' column)."""
+        return sum(layer.n_params for layer in self.layers)
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Algorithm 1: returns predictions of shape (n,)."""
+        a = np.atleast_2d(x)
+        for layer in self.layers:
+            a = layer.forward(a, train=train)
+        return a[:, 0]
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Backpropagate dL/dy_hat of shape (n,) through all layers."""
+        grad = np.atleast_2d(grad_out).reshape(-1, 1)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def predict(self, x: np.ndarray, batch_size: int = 65536) -> np.ndarray:
+        """Inference in batches (the runtime search evaluates millions)."""
+        x = np.atleast_2d(x)
+        if len(x) <= batch_size:
+            return self.forward(x)
+        out = np.empty(len(x))
+        for lo in range(0, len(x), batch_size):
+            hi = min(len(x), lo + batch_size)
+            out[lo:hi] = self.forward(x[lo:hi])
+        return out
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[np.ndarray]:
+        for layer in self.layers:
+            yield layer.w
+            yield layer.b
+
+    def gradients(self) -> Iterator[np.ndarray]:
+        for layer in self.layers:
+            yield layer.grad_w
+            yield layer.grad_b
+
+    def get_weights(self) -> list[np.ndarray]:
+        return [p.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        current = list(self.parameters())
+        if len(weights) != len(current):
+            raise ValueError("weight list length mismatch")
+        for dst, src in zip(current, weights):
+            if dst.shape != src.shape:
+                raise ValueError(f"shape mismatch {dst.shape} vs {src.shape}")
+            dst[...] = src
+
+    def describe(self) -> str:
+        arch = ", ".join(str(h) for h in self.hidden)
+        return f"MLP[{arch}] ({self.n_params} weights)"

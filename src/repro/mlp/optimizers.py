@@ -1,0 +1,85 @@
+"""First-order optimizers for MLP training.
+
+The paper trains with stochastic gradient descent (§5.1); Adam is provided
+as the practical default since it converges in far fewer epochs on this
+problem, and momentum-SGD sits between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+class Optimizer:
+    """Base class: update parameters in place from matching gradients."""
+
+    def step(
+        self, params: Iterable[np.ndarray], grads: Iterable[np.ndarray]
+    ) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain or momentum SGD (the paper's choice)."""
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params, grads) -> None:
+        params = list(params)
+        grads = list(grads)
+        if self.momentum == 0.0:
+            for p, g in zip(params, grads):
+                p -= self.lr * g
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction — the practical default here."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params, grads) -> None:
+        params = list(params)
+        grads = list(grads)
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

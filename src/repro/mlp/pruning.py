@@ -1,0 +1,101 @@
+"""Magnitude pruning for the regression MLP (paper §5.2).
+
+"Research on neural networks inference tends to show that it is preferrable
+to train larger networks even if it means pruning or binarizing them
+afterwards" — the paper cites Hubara et al. to argue that deeper/wider
+models need not raise runtime-inference latency.  This module implements
+the standard realization of that idea: global magnitude pruning with
+optional fine-tuning, plus the latency accounting that motivates it
+(effective multiply-accumulate count of the sparse model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mlp.network import MLP
+from repro.mlp.optimizers import Adam
+from repro.mlp.training import History, train
+
+
+@dataclass
+class PruneReport:
+    """Outcome of one pruning pass."""
+
+    sparsity: float            # fraction of weights set to zero
+    kept_weights: int
+    total_weights: int
+    dense_macs: int            # multiply-accumulates per inference row
+    sparse_macs: int
+
+    @property
+    def mac_reduction(self) -> float:
+        return 1.0 - self.sparse_macs / self.dense_macs
+
+
+def weight_masks(model: MLP, sparsity: float) -> list[np.ndarray]:
+    """Global magnitude masks: the smallest ``sparsity`` fraction of all
+    connection weights (biases are never pruned) is zeroed."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    all_mags = np.concatenate(
+        [np.abs(layer.w).ravel() for layer in model.layers]
+    )
+    if sparsity == 0.0:
+        threshold = -np.inf
+    else:
+        threshold = np.quantile(all_mags, sparsity)
+    return [np.abs(layer.w) > threshold for layer in model.layers]
+
+
+def apply_masks(model: MLP, masks: list[np.ndarray]) -> None:
+    for layer, mask in zip(model.layers, masks):
+        layer.w *= mask
+
+
+def prune(
+    model: MLP,
+    sparsity: float,
+    *,
+    x_finetune: np.ndarray | None = None,
+    y_finetune: np.ndarray | None = None,
+    finetune_epochs: int = 10,
+    seed: int = 0,
+) -> PruneReport:
+    """Prune in place; optionally fine-tune with the masks held fixed.
+
+    Fine-tuning uses masked gradient steps: pruned connections stay zero,
+    surviving ones recover the function (the classic prune-retrain loop).
+    """
+    masks = weight_masks(model, sparsity)
+    apply_masks(model, masks)
+
+    if x_finetune is not None and y_finetune is not None:
+        opt = Adam(lr=5e-4)
+        for _ in range(finetune_epochs):
+            train(
+                model, x_finetune, y_finetune,
+                epochs=1, optimizer=opt, seed=seed, shuffle=True,
+            )
+            apply_masks(model, masks)  # re-zero anything the step revived
+
+    kept = int(sum(m.sum() for m in masks))
+    total = int(sum(m.size for m in masks))
+    dense_macs = sum(layer.w.size for layer in model.layers)
+    sparse_macs = kept
+    return PruneReport(
+        sparsity=1.0 - kept / total,
+        kept_weights=kept,
+        total_weights=total,
+        dense_macs=dense_macs,
+        sparse_macs=sparse_macs,
+    )
+
+
+def sparsity_of(model: MLP) -> float:
+    """Current fraction of exactly-zero connection weights."""
+    zeros = sum(int((layer.w == 0).sum()) for layer in model.layers)
+    total = sum(layer.w.size for layer in model.layers)
+    return zeros / total

@@ -1,0 +1,93 @@
+"""Persistence for trained regressors.
+
+A tuned ISAAC deployment ships the trained model, not the training data
+(§6: predictions are "cached on the filesystem, or even used as a kernel
+generation backend").  This module serializes a
+:class:`~repro.mlp.crossval.FitResult` — network weights, architecture,
+activation, both scalers and the held-out MSE — to a single ``.npz`` file
+and restores it bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.mlp.crossval import FitResult
+from repro.mlp.network import MLP
+from repro.mlp.scaler import StandardScaler, TargetScaler
+from repro.mlp.training import History
+
+FORMAT_VERSION = 1
+
+
+def save_fit(fit: FitResult, path: str | Path) -> None:
+    """Write a trained regressor to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "n_features": fit.model.n_features,
+        "hidden": list(fit.model.hidden),
+        "activation": fit.model.layers[0].activation.name,
+        "val_mse": fit.val_mse,
+        "y_mean": fit.y_scaler.mean_,
+        "y_scale": fit.y_scaler.scale_,
+        "train_mse": fit.history.train_mse,
+        "val_mse_curve": fit.history.val_mse,
+        "best_epoch": fit.history.best_epoch,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "x_mean": fit.x_scaler.mean_,
+        "x_scale": fit.x_scaler.scale_,
+    }
+    for i, layer in enumerate(fit.model.layers):
+        arrays[f"w{i}"] = layer.w
+        arrays[f"b{i}"] = layer.b
+    np.savez(path, meta=json.dumps(meta), **arrays)
+
+
+def load_fit(path: str | Path) -> FitResult:
+    """Restore a regressor saved by :func:`save_fit`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported format version {meta.get('format_version')!r} "
+                f"in {path}"
+            )
+        model = MLP(
+            meta["n_features"],
+            tuple(meta["hidden"]),
+            activation=meta["activation"],
+            seed=0,
+        )
+        weights = []
+        for i in range(len(model.layers)):
+            weights.append(data[f"w{i}"])
+            weights.append(data[f"b{i}"])
+        model.set_weights(weights)
+
+        xs = StandardScaler()
+        xs.mean_ = data["x_mean"]
+        xs.scale_ = data["x_scale"]
+        ys = TargetScaler()
+        ys.mean_ = float(meta["y_mean"])
+        ys.scale_ = float(meta["y_scale"])
+        ys._fitted = True
+
+        history = History(
+            train_mse=list(meta["train_mse"]),
+            val_mse=list(meta["val_mse_curve"]),
+            best_epoch=int(meta["best_epoch"]),
+        )
+    return FitResult(
+        model=model,
+        x_scaler=xs,
+        y_scaler=ys,
+        history=history,
+        val_mse=float(meta["val_mse"]),
+    )

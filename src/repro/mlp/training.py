@@ -1,0 +1,98 @@
+"""Minibatch training loop with validation tracking and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mlp.losses import mse, mse_grad
+from repro.mlp.network import MLP
+from repro.mlp.optimizers import Adam, Optimizer
+
+
+@dataclass
+class History:
+    """Per-epoch loss curves produced by :func:`train`."""
+
+    train_mse: list[float] = field(default_factory=list)
+    val_mse: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+    @property
+    def best_val_mse(self) -> float:
+        if not self.val_mse:
+            raise ValueError("no validation data was tracked")
+        return min(self.val_mse)
+
+    @property
+    def final_train_mse(self) -> float:
+        return self.train_mse[-1]
+
+
+def train(
+    model: MLP,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    epochs: int = 50,
+    batch_size: int = 256,
+    optimizer: Optimizer | None = None,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    patience: int = 0,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> History:
+    """Train ``model`` to minimize MSE.
+
+    ``patience > 0`` enables early stopping on validation MSE and restores
+    the best weights afterwards.  The data must already be transformed
+    (log features / standardization) — the trainer is policy-free.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if len(x) != len(y):
+        raise ValueError(f"{len(x)} samples vs {len(y)} targets")
+    if len(x) == 0:
+        raise ValueError("empty training set")
+
+    opt = optimizer if optimizer is not None else Adam()
+    rng = np.random.default_rng(seed)
+    history = History()
+    track_val = x_val is not None and y_val is not None
+    best_val = np.inf
+    best_weights = None
+    stale = 0
+
+    for epoch in range(epochs):
+        order = rng.permutation(len(x)) if shuffle else np.arange(len(x))
+        epoch_loss = 0.0
+        n_batches = 0
+        for lo in range(0, len(x), batch_size):
+            idx = order[lo : lo + batch_size]
+            xb, yb = x[idx], y[idx]
+            pred = model.forward(xb, train=True)
+            epoch_loss += mse(pred, yb)
+            n_batches += 1
+            model.backward(mse_grad(pred, yb))
+            opt.step(model.parameters(), model.gradients())
+        history.train_mse.append(epoch_loss / n_batches)
+
+        if track_val:
+            val = mse(model.predict(x_val), np.asarray(y_val).ravel())
+            history.val_mse.append(val)
+            if val < best_val - 1e-9:
+                best_val = val
+                history.best_epoch = epoch
+                stale = 0
+                if patience > 0:
+                    best_weights = model.get_weights()
+            else:
+                stale += 1
+                if patience > 0 and stale >= patience:
+                    break
+
+    if best_weights is not None:
+        model.set_weights(best_weights)
+    return history

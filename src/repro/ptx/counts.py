@@ -1,0 +1,117 @@
+"""Instruction-count summaries produced by the kernel generators.
+
+The simulator never inspects individual instructions — like the analytical
+models the paper builds on (§5.2, eqs. (2)–(3)), it needs *how many*
+arithmetic and memory instructions a kernel executes, per block, plus the
+global traffic they imply.  The code generators compute these counts exactly
+from the tiling parameters; :mod:`repro.ptx.module` can additionally render
+a textual kernel for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class BlockCounts:
+    """Instructions executed by *one block* over its whole lifetime.
+
+    All counts are thread-instructions (a warp executing one instruction on
+    32 lanes contributes 32).  Memory-op counts are vectorized instructions:
+    one ``ld.global.v4.f32`` counts once, with its width reflected in the
+    byte fields.
+
+    * ``fma`` — multiply-accumulate instructions (packed fp16x2 counts one
+      instruction for two FLOPs; see ``flops_per_fma``).
+    * ``iop`` — integer/address/predicate ALU instructions.
+    * ``ldg`` / ``stg`` — global loads / plain global stores.
+    * ``atom`` — global atomic reductions (the KG > 1 epilogue).
+    * ``lds`` / ``sts`` — shared-memory loads / stores.
+    * ``bar`` — ``bar.sync`` barriers (block-wide, counted once each).
+    * ``ldg_bytes`` — global-load traffic *as issued* (after the coalescing
+      multiplier, before L2 filtering).
+    * ``ideal_ldg_bytes`` — compulsory bytes (perfectly coalesced).
+    * ``st_bytes`` — global store/atomic traffic.
+    * ``flops_per_fma`` — 2 normally, 4 when packed fp16x2 is in use.
+    * ``mlp`` — independent in-flight memory requests per thread in the main
+      loop (memory-level parallelism; feeds the latency-hiding model).
+    * ``ilp`` — independent arithmetic chains per thread (instruction-level
+      parallelism from the thread tile and the KS split).
+    """
+
+    fma: int
+    iop: int
+    ldg: int
+    stg: int
+    atom: int
+    lds: int
+    sts: int
+    bar: int
+    ldg_bytes: float
+    ideal_ldg_bytes: float
+    st_bytes: float
+    flops_per_fma: int = 2
+    mlp: float = 1.0
+    ilp: float = 1.0
+
+    @property
+    def flops(self) -> int:
+        """FLOPs this block performs (padded — includes predicated-off lanes)."""
+        return self.fma * self.flops_per_fma
+
+    @property
+    def arith(self) -> int:
+        return self.fma + self.iop
+
+    @property
+    def smem_ops(self) -> int:
+        return self.lds + self.sts
+
+    @property
+    def global_ops(self) -> int:
+        return self.ldg + self.stg + self.atom
+
+    def scaled(self, factor: float) -> "BlockCounts":
+        """Scale every extensive field (used for partial edge blocks)."""
+        return BlockCounts(
+            fma=int(self.fma * factor),
+            iop=int(self.iop * factor),
+            ldg=int(self.ldg * factor),
+            stg=int(self.stg * factor),
+            atom=int(self.atom * factor),
+            lds=int(self.lds * factor),
+            sts=int(self.sts * factor),
+            bar=max(1, int(self.bar * factor)),
+            ldg_bytes=self.ldg_bytes * factor,
+            ideal_ldg_bytes=self.ideal_ldg_bytes * factor,
+            st_bytes=self.st_bytes * factor,
+            flops_per_fma=self.flops_per_fma,
+            mlp=self.mlp,
+            ilp=self.ilp,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class KernelCounts:
+    """Counts for a full kernel launch: per-block counts plus grid totals."""
+
+    block: BlockCounts
+    grid_size: int
+    threads_per_block: int
+
+    @property
+    def total_flops(self) -> int:
+        return self.block.flops * self.grid_size
+
+    @property
+    def total_ldg_bytes(self) -> float:
+        return self.block.ldg_bytes * self.grid_size
+
+    @property
+    def total_ideal_ldg_bytes(self) -> float:
+        return self.block.ideal_ldg_bytes * self.grid_size
+
+    @property
+    def total_st_bytes(self) -> float:
+        return self.block.st_bytes * self.grid_size

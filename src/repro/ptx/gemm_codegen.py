@@ -1,0 +1,250 @@
+"""GEMM kernel generator: tiling parameters -> instruction counts + PTX text.
+
+This is the reproduction of the paper's §3.2 parameterization (Figure 3).
+Given a :class:`~repro.core.config.GemmConfig` and a problem shape, it
+computes the exact per-block instruction mix of the generated kernel —
+main-loop FMAs, cooperative staging loads/stores, shared-memory operand
+fetches, the KL shared-reduction and KG atomic epilogues, addressing
+arithmetic — together with the global traffic implied by the transposition
+layout (coalescing) and the chosen bounds-checking mode (§8.3).
+
+Bounds modes:
+
+* ``"predicated"`` — PTX-style guard predicates on edge accesses (~2%
+  overhead; the paper's choice).
+* ``"checked"``    — CUDA-C-style explicit bounds tests and branches
+  (the 15–20% overhead that motivated the move to PTX).
+* ``"padded"``     — no checks; the caller must round the problem up to
+  tile multiples, paying with extra FLOPs instead of extra instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import GemmConfig
+from repro.core.legality import gemm_resources
+from repro.core.types import DType, GemmShape, ceil_div, round_up
+from repro.gpu.device import DeviceSpec
+from repro.ptx.counts import BlockCounts, KernelCounts
+
+BOUNDS_MODES = ("predicated", "checked", "padded")
+
+#: DRAM transaction granularity: a 32-byte sector (Maxwell/Pascal L2 sectors).
+_SECTOR_BYTES = 32
+
+
+def _smem_vec(frag: int, dtype: DType) -> int:
+    """Widest shared-memory vector load usable for a fragment of ``frag`` elems."""
+    widest = max(1, 16 // dtype.size)
+    v = 1
+    while v * 2 <= min(frag, widest) and frag % (v * 2) == 0:
+        v *= 2
+    return v
+
+
+def coalescing_multiplier(
+    run_elems: int, dtype: DType, device: DeviceSpec
+) -> float:
+    """Traffic inflation for strided access with contiguous runs of ``run_elems``.
+
+    A warp whose accesses cover only ``run_elems * dtype.size`` contiguous
+    bytes per 32-byte sector wastes the remainder of each sector; DRAM-type
+    differences (GDDR5 vs HBM2 burst behaviour) cap the worst case via
+    ``device.coalesce_penalty``.
+    """
+    eff = min(1.0, run_elems * dtype.size / _SECTOR_BYTES)
+    return min(device.coalesce_penalty, 1.0 / max(eff, 1e-9))
+
+
+def uses_packed_fp16(
+    cfg: GemmConfig, shape: GemmShape, device: DeviceSpec
+) -> bool:
+    """Whether the generator can emit fp16x2 packed FMAs for this kernel.
+
+    Requires hardware support, half-precision data, vectorized loads (the
+    packed path consumes register pairs) and an even thread-tile column
+    count so accumulators pair up.
+    """
+    return (
+        device.fp16x2
+        and shape.dtype is DType.FP16
+        and cfg.vec >= 2
+        and cfg.ns % 2 == 0
+    )
+
+
+@dataclass(frozen=True)
+class GemmKernel:
+    """A generated GEMM kernel: config + shape + codegen decisions."""
+
+    cfg: GemmConfig
+    shape: GemmShape
+    device: DeviceSpec
+    bounds_mode: str = "predicated"
+    allow_fp16x2: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bounds_mode not in BOUNDS_MODES:
+            raise ValueError(f"unknown bounds mode {self.bounds_mode!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_shape(self) -> GemmShape:
+        """Shape the kernel actually runs: padded modes round M, N up."""
+        if self.bounds_mode != "padded":
+            return self.shape
+        s = self.shape
+        return GemmShape(
+            m=round_up(s.m, self.cfg.ml),
+            n=round_up(s.n, self.cfg.nl),
+            k=s.k,
+            dtype=s.dtype,
+            ta=s.ta,
+            tb=s.tb,
+        )
+
+    @property
+    def packed(self) -> bool:
+        return self.allow_fp16x2 and uses_packed_fp16(
+            self.cfg, self.shape, self.device
+        )
+
+    @property
+    def needs_transpose_a(self) -> bool:
+        """A must be scrambled while staged: its global-contiguous dimension
+        disagrees with the shared-memory operand layout (paper §7.3,
+        DeepBench backward)."""
+        return self.shape.ta
+
+    @property
+    def needs_transpose_b(self) -> bool:
+        return not self.shape.tb
+
+    # ------------------------------------------------------------------
+    def block_counts(self) -> BlockCounts:
+        cfg, shape, dt = self.cfg, self.effective_shape, self.shape.dtype
+        dsize = dt.size
+        threads = cfg.threads
+
+        kb = cfg.k_per_block(shape)              # K handled per block
+        iters = cfg.main_loop_iters(shape)       # per-slice main-loop trips
+
+        # -- main loop, per thread, per iteration --------------------------
+        fma_iter = cfg.ms * cfg.ns * cfg.u
+        flops_per_fma = 2
+        if self.packed:
+            fma_iter //= 2
+            flops_per_fma = 4
+
+        sva = _smem_vec(cfg.ms, dt)
+        svb = _smem_vec(cfg.ns, dt)
+        lds_iter = cfg.u * (cfg.ms // sva + cfg.ns // svb)
+
+        stage_elems = (cfg.ml + cfg.nl) * cfg.u           # per slice-iteration
+        ldg_iter = stage_elems * cfg.kl // (threads * cfg.vec)
+        if self.bounds_mode == "checked":
+            # CUDA-C bounds tests wrap each element access in a branch,
+            # which also defeats vectorized loads (§8.3): scalar accesses.
+            ldg_iter *= cfg.vec
+        sts_a = (cfg.ml * cfg.u * cfg.kl) // threads
+        sts_b = (cfg.nl * cfg.u * cfg.kl) // threads
+        sts_iter = sts_a // (1 if self.needs_transpose_a else cfg.vec) + (
+            sts_b // (1 if self.needs_transpose_b else cfg.vec)
+        )
+
+        iop_iter = 2 * ldg_iter + 4
+        if self.bounds_mode == "predicated":
+            iop_iter += max(1, int(0.15 * ldg_iter))
+        elif self.bounds_mode == "checked":
+            # Two index compares, a select, an address clamp and a branch
+            # per guarded scalar access.
+            iop_iter += 5 * ldg_iter + 4
+
+        bar_iter = 1 if cfg.db == 2 else 2
+
+        # -- per-thread totals over the main loop --------------------------
+        fma = fma_iter * iters
+        lds = lds_iter * iters
+        ldg = ldg_iter * iters
+        sts = sts_iter * iters
+        iop = iop_iter * iters + 40               # +prologue index setup
+        bar = bar_iter * iters
+
+        # -- KL shared-tree reduction epilogue ------------------------------
+        acc = cfg.ms * cfg.ns
+        if cfg.kl > 1:
+            sts += acc
+            lds += acc * (cfg.kl - 1) // cfg.kl
+            fma += acc * (cfg.kl - 1) // cfg.kl   # float adds share the pipe
+            bar += max(1, int(math.log2(cfg.kl)))
+
+        # -- output epilogue -------------------------------------------------
+        out_per_thread = max(1, acc // cfg.kl)
+        atom = stg = 0
+        if cfg.kg > 1:
+            atom = out_per_thread
+        else:
+            stg = max(1, out_per_thread // cfg.vec)
+        iop += 2 * (atom + stg)
+
+        # -- traffic ---------------------------------------------------------
+        run_a = cfg.u if not shape.ta else cfg.ml
+        run_b = cfg.nl if not shape.tb else cfg.u
+        ideal_a = cfg.ml * kb * dsize
+        ideal_b = cfg.nl * kb * dsize
+        mult_a = coalescing_multiplier(run_a, dt, self.device)
+        mult_b = coalescing_multiplier(run_b, dt, self.device)
+        if self.bounds_mode == "predicated":
+            # Guarded lanes on edge tiles still fetch their line.
+            pass
+        ldg_bytes = ideal_a * mult_a + ideal_b * mult_b
+        ideal_bytes = ideal_a + ideal_b
+        st_bytes = cfg.ml * cfg.nl * dsize * (2.0 if cfg.kg > 1 else 1.0)
+
+        mlp = max(1.0, float(ldg_iter)) * (1.5 if cfg.db == 2 else 1.0)
+        ilp = float(min(cfg.ms * cfg.ns * cfg.ks, 48))
+
+        return BlockCounts(
+            fma=fma * threads,
+            iop=iop * threads,
+            ldg=ldg * threads,
+            stg=stg * threads,
+            atom=atom * threads,
+            lds=lds * threads,
+            sts=sts * threads,
+            bar=bar,
+            ldg_bytes=ldg_bytes,
+            ideal_ldg_bytes=ideal_bytes,
+            st_bytes=st_bytes,
+            flops_per_fma=flops_per_fma,
+            mlp=mlp,
+            ilp=ilp,
+        )
+
+    def kernel_counts(self) -> KernelCounts:
+        shape = self.effective_shape
+        return KernelCounts(
+            block=self.block_counts(),
+            grid_size=self.cfg.grid_size(shape),
+            threads_per_block=self.cfg.threads,
+        )
+
+    # ------------------------------------------------------------------
+    def resources(self):
+        return gemm_resources(self.cfg, self.shape.dtype)
+
+    def name(self) -> str:
+        s, c = self.shape, self.cfg
+        return (
+            f"{s.dtype.short_name}gemm_{s.layout_code.lower()}"
+            f"_{c.ml}x{c.nl}x{c.u}_{c.ms}x{c.ns}"
+            f"_kl{c.kl}_kg{c.kg}_v{c.vec}"
+        )
+
+    def emit(self) -> str:
+        """Render the pseudo-PTX kernel text (for inspection and the verifier)."""
+        from repro.ptx.module import render_gemm_kernel
+
+        return render_gemm_kernel(self)

@@ -1,0 +1,105 @@
+"""A miniature PTX-like instruction set.
+
+Only the subset the GEMM/CONV templates need is modelled.  Instructions are
+plain records; :mod:`repro.ptx.module` renders them to text and
+:mod:`repro.ptx.verifier` re-parses that text to cross-check the resource
+accounting.  The paper's predication argument (§8.3) is first-class: every
+instruction may carry a guard predicate, which is how generated kernels do
+bounds checking without padding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.Enum):
+    """Execution pipe an opcode occupies (drives the timing model)."""
+
+    ALU = "alu"          # integer / address / predicate math
+    FMA = "fma"          # floating multiply-accumulate
+    LDST_GLOBAL = "ldg"  # global memory access
+    LDST_SHARED = "lds"  # shared memory access
+    ATOMIC = "atom"      # global atomic reduction
+    BARRIER = "bar"      # block synchronization
+    CONTROL = "ctl"      # branches, returns
+
+
+#: opcode -> (pipe, human description)
+OPCODES: dict[str, tuple[OpClass, str]] = {
+    "mov": (OpClass.ALU, "register move"),
+    "mov.u32": (OpClass.ALU, "register move (u32)"),
+    "add.s32": (OpClass.ALU, "integer add"),
+    "mad.lo.s32": (OpClass.ALU, "integer multiply-add"),
+    "shl.b32": (OpClass.ALU, "shift left"),
+    "and.b32": (OpClass.ALU, "bitwise and"),
+    "setp.lt.s32": (OpClass.ALU, "set predicate (less-than)"),
+    "setp.ge.s32": (OpClass.ALU, "set predicate (greater-equal)"),
+    "fma.rn.f16x2": (OpClass.FMA, "packed half2 FMA"),
+    "fma.rn.f16": (OpClass.FMA, "half FMA"),
+    "fma.rn.f32": (OpClass.FMA, "single FMA"),
+    "fma.rn.f64": (OpClass.FMA, "double FMA"),
+    "ld.global.nc": (OpClass.LDST_GLOBAL, "global load (non-coherent)"),
+    "st.global": (OpClass.LDST_GLOBAL, "global store"),
+    "red.global.add": (OpClass.ATOMIC, "global atomic reduction"),
+    "ld.shared": (OpClass.LDST_SHARED, "shared load"),
+    "st.shared": (OpClass.LDST_SHARED, "shared store"),
+    "bar.sync": (OpClass.BARRIER, "barrier"),
+    "bra": (OpClass.CONTROL, "branch"),
+    "ret": (OpClass.CONTROL, "return"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Instr:
+    """One (possibly predicated, possibly vectorized) instruction."""
+
+    opcode: str
+    dst: str = ""
+    srcs: tuple[str, ...] = ()
+    pred: str | None = None
+    vec: int = 1
+    repeat: int = 1       # static count this line stands for (unroll factor)
+
+    def __post_init__(self) -> None:
+        if self.opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+        if self.vec not in (1, 2, 4):
+            raise ValueError(f"illegal vector width {self.vec}")
+
+    @property
+    def op_class(self) -> OpClass:
+        return OPCODES[self.opcode][0]
+
+    def render(self) -> str:
+        guard = f"@{self.pred} " if self.pred else ""
+        op = self.opcode
+        if self.vec > 1 and self.op_class in (
+            OpClass.LDST_GLOBAL,
+            OpClass.LDST_SHARED,
+        ):
+            head, _, tail = op.partition(".")
+            op = f"{head}.{tail}.v{self.vec}" if tail else f"{op}.v{self.vec}"
+        operands = ", ".join(x for x in (self.dst, *self.srcs) if x)
+        line = f"{guard}{op} {operands};".rstrip()
+        if self.repeat > 1:
+            line += f"  // x{self.repeat}"
+        return line
+
+
+def classify(opcode: str) -> OpClass:
+    if opcode not in OPCODES:
+        raise ValueError(f"unknown opcode {opcode!r}")
+    return OPCODES[opcode][0]
+
+
+def fma_opcode(dtype_name: str, packed: bool) -> str:
+    """The FMA opcode for a dtype; packed selects the half2 dual-issue form."""
+    if dtype_name == "FP16":
+        return "fma.rn.f16x2" if packed else "fma.rn.f16"
+    if dtype_name == "FP32":
+        return "fma.rn.f32"
+    if dtype_name == "FP64":
+        return "fma.rn.f64"
+    raise ValueError(f"unknown dtype {dtype_name!r}")

@@ -1,0 +1,126 @@
+"""Static verifier for rendered pseudo-PTX kernels.
+
+Compilation failures on real hardware (the paper's X̂ \\ X distinction)
+surface as resource-limit violations at JIT time.  This verifier plays the
+driver's role for our rendered kernels: it re-parses the text and checks
+
+* every opcode is a known ISA member,
+* declared shared memory matches the legality model and the device limit,
+* declared registers stay within per-thread limits,
+* every loop label that is branched to exists,
+* barriers are present wherever shared memory is both written and read.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.gpu.device import DeviceSpec
+from repro.ptx.isa import OPCODES
+
+_SHARED_DECL = re.compile(r"\.shared\s+\.align\s+\d+\s+\.b8\s+\w+\[(\d+)\]")
+_REG_DECL = re.compile(r"\.reg\s+\.(\w+)\s+%\w+<(\d+)>")
+_LABEL = re.compile(r"^(\w+):")
+_BRANCH = re.compile(r"\bbra\s+(\w+)")
+_INSTR = re.compile(r"^\s*(?:@%?\w+\s+)?([a-z][\w.]*)\s")
+
+_REG_WIDTH_WORDS = {"f16": 1, "f32": 1, "b32": 1, "f64": 2, "pred": 0}
+
+
+@dataclass
+class VerifyResult:
+    ok: bool
+    errors: list[str] = field(default_factory=list)
+    smem_bytes: int = 0
+    reg_words: int = 0
+    opcode_histogram: dict[str, int] = field(default_factory=dict)
+
+
+def _strip_comment(line: str) -> str:
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def verify_ptx(text: str, device: DeviceSpec) -> VerifyResult:
+    """Check a rendered kernel against ISA and device limits."""
+    errors: list[str] = []
+    smem = 0
+    reg_words = 0
+    labels: set[str] = set()
+    branches: list[str] = []
+    histogram: dict[str, int] = {}
+    barrier_seen = False
+    shared_written = False
+    shared_read_before_barrier = False
+
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if m := _SHARED_DECL.search(line):
+            smem += int(m.group(1))
+            continue
+        if m := _REG_DECL.search(line):
+            ty, count = m.group(1), int(m.group(2))
+            reg_words += _REG_WIDTH_WORDS.get(ty, 1) * count
+            continue
+        if m := _LABEL.match(line):
+            labels.add(m.group(1))
+            continue
+        if line.startswith(".") or line in ("{", "}", ")") or line.startswith(
+            (".visible", ".param")
+        ) or line.endswith("(") :
+            continue
+        if m := _INSTR.match(line):
+            op = m.group(1)
+            base = _base_opcode(op)
+            if base is None:
+                errors.append(f"unknown opcode: {op!r}")
+            else:
+                histogram[base] = histogram.get(base, 0) + 1
+                if base == "bar.sync":
+                    barrier_seen = True
+                if base == "st.shared":
+                    shared_written = True
+                if base == "ld.shared" and shared_written and not barrier_seen:
+                    shared_read_before_barrier = True
+        if m := _BRANCH.search(line):
+            branches.append(m.group(1))
+
+    for target in branches:
+        if target not in labels:
+            errors.append(f"branch to undefined label {target!r}")
+    if smem > device.smem_per_block_kb * 1024:
+        errors.append(
+            f"shared memory {smem}B exceeds {device.smem_per_block_kb}KB limit"
+        )
+    if smem == 0:
+        errors.append("no shared memory declared (staging tile missing)")
+    if reg_words > device.max_regs_per_thread:
+        errors.append(
+            f"declared register words {reg_words} exceed "
+            f"{device.max_regs_per_thread}/thread"
+        )
+    if shared_written and not barrier_seen:
+        errors.append("shared memory written but no barrier present")
+
+    return VerifyResult(
+        ok=not errors,
+        errors=errors,
+        smem_bytes=smem,
+        reg_words=reg_words,
+        opcode_histogram=histogram,
+    )
+
+
+def _base_opcode(op: str) -> str | None:
+    """Map a rendered opcode (possibly with .vN suffix) to its ISA entry."""
+    if op in OPCODES:
+        return op
+    parts = op.split(".")
+    if parts and parts[-1].startswith("v") and parts[-1][1:].isdigit():
+        stripped = ".".join(parts[:-1])
+        if stripped in OPCODES:
+            return stripped
+    return None

@@ -1,0 +1,223 @@
+"""Training-data synthesis: benchmark random (shape, config) pairs (§4).
+
+The data-generation step produces pairs (x, y) where x concatenates input
+and tuning parameters and y is a performance measurement of the induced
+kernel on the target hardware — here, the simulated device with its
+deterministic measurement noise.  Shapes are drawn log-uniformly over the
+practically relevant ranges so the benchmark suites of §7 are squarely
+in-distribution; configs come from the fitted categorical generative model
+(rejection-sampled to legality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.legality import is_legal_conv, is_legal_gemm
+from repro.core.space import CONV_SPACE, GEMM_SPACE, ParamSpace
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import DeviceSpec
+from repro.gpu.noise import DEFAULT_SIGMA
+from repro.gpu.simulator import benchmark_conv, benchmark_gemm
+from repro.sampling.features import encode_conv, encode_gemm
+from repro.sampling.generative import CategoricalModel
+
+
+def _log_uniform_int(
+    rng: np.random.Generator, lo: int, hi: int, round_pow2_prob: float = 0.5
+) -> int:
+    """Log-uniform integer in [lo, hi]; sometimes snapped to a power of two.
+
+    Real workloads mix arbitrary extents (60000-sample ICA windows) with
+    power-of-two ones (LINPACK blocks), so the sampler covers both.
+    """
+    v = int(round(2 ** rng.uniform(np.log2(lo), np.log2(hi))))
+    v = max(lo, min(hi, v))
+    if rng.random() < round_pow2_prob:
+        v = 1 << max(0, int(round(np.log2(v))))
+        v = max(lo, min(hi, v))
+    return v
+
+
+# ----------------------------------------------------------------------
+# Shape samplers
+# ----------------------------------------------------------------------
+
+@dataclass
+class GemmShapeSampler:
+    """Random GEMM input parameters covering the paper's workload ranges."""
+
+    m_range: tuple[int, int] = (16, 4096)
+    n_range: tuple[int, int] = (16, 4096)
+    k_range: tuple[int, int] = (16, 65536)
+    dtypes: tuple[DType, ...] = (DType.FP32, DType.FP16, DType.FP64)
+
+    def __call__(self, rng: np.random.Generator) -> GemmShape:
+        return GemmShape(
+            m=_log_uniform_int(rng, *self.m_range),
+            n=_log_uniform_int(rng, *self.n_range),
+            k=_log_uniform_int(rng, *self.k_range),
+            dtype=self.dtypes[rng.integers(len(self.dtypes))],
+            ta=bool(rng.integers(2)),
+            tb=bool(rng.integers(2)),
+        )
+
+
+@dataclass
+class ConvShapeSampler:
+    """Random CONV input parameters spanning the DeepBench-style layers."""
+
+    n_range: tuple[int, int] = (1, 32)
+    c_range: tuple[int, int] = (1, 1024)
+    k_range: tuple[int, int] = (16, 2048)
+    pq_range: tuple[int, int] = (7, 256)
+    filter_sizes: tuple[int, ...] = (1, 3, 5, 7, 11, 20)
+    dtypes: tuple[DType, ...] = (DType.FP32, DType.FP16)
+
+    def __call__(self, rng: np.random.Generator) -> ConvShape:
+        r = int(self.filter_sizes[rng.integers(len(self.filter_sizes))])
+        s = int(self.filter_sizes[rng.integers(len(self.filter_sizes))])
+        p = _log_uniform_int(rng, *self.pq_range)
+        q = _log_uniform_int(rng, *self.pq_range)
+        return ConvShape.from_output(
+            n=_log_uniform_int(rng, *self.n_range),
+            p=p,
+            q=q,
+            k=_log_uniform_int(rng, *self.k_range),
+            c=_log_uniform_int(rng, *self.c_range),
+            r=r,
+            s=s,
+            dtype=self.dtypes[rng.integers(len(self.dtypes))],
+        )
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+
+@dataclass
+class Dataset:
+    """Raw (un-transformed) features and measured log-performance targets.
+
+    ``x`` holds *raw integer-valued* features; the log transform and
+    standardization are training-time choices (so the no-log ablation can
+    reuse the same data).  ``y`` is ``log2(measured TFLOPS)``.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    feature_names: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    def subset(self, n: int) -> "Dataset":
+        if n > len(self):
+            raise ValueError(f"requested {n} of {len(self)} samples")
+        return Dataset(self.x[:n], self.y[:n], self.feature_names)
+
+    def split(self, val_frac: float, rng: np.random.Generator):
+        idx = rng.permutation(len(self))
+        n_val = int(len(self) * val_frac)
+        val, train = idx[:n_val], idx[n_val:]
+        return (
+            Dataset(self.x[train], self.y[train], self.feature_names),
+            Dataset(self.x[val], self.y[val], self.feature_names),
+        )
+
+
+def fit_generative_models(
+    device: DeviceSpec,
+    *,
+    op: str = "gemm",
+    dtypes: Sequence[DType] = (DType.FP32, DType.FP16, DType.FP64),
+    rng: np.random.Generator | None = None,
+    target_accepted: int = 400,
+    alpha: float = 100.0,
+) -> dict[DType, CategoricalModel]:
+    """One categorical model per data-type (legality depends on the dtype)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    space = GEMM_SPACE if op == "gemm" else CONV_SPACE
+    out: dict[DType, CategoricalModel] = {}
+    for dt in dtypes:
+        accept = _make_accept(device, op, dt)
+        model = CategoricalModel(space, alpha=alpha)
+        model.fit(accept, rng, target_accepted=target_accepted)
+        out[dt] = model
+    return out
+
+
+def _make_accept(device: DeviceSpec, op: str, dtype: DType):
+    if op == "gemm":
+        return lambda pt: is_legal_gemm(GemmConfig.from_dict(pt), dtype, device)
+    return lambda pt: is_legal_conv(ConvConfig.from_dict(pt), dtype, device)
+
+
+def generate_gemm_dataset(
+    device: DeviceSpec,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    samplers: dict[DType, CategoricalModel] | None = None,
+    shape_sampler: Callable[[np.random.Generator], GemmShape] | None = None,
+    sigma: float = DEFAULT_SIGMA,
+    reps: int = 1,
+    dtypes: Sequence[DType] = (DType.FP32, DType.FP16, DType.FP64),
+) -> Dataset:
+    """Benchmark ``n`` random legal GEMM kernels on the simulated device."""
+    from repro.sampling.features import GEMM_FEATURES
+
+    shape_sampler = shape_sampler or GemmShapeSampler(dtypes=tuple(dtypes))
+    samplers = samplers or fit_generative_models(
+        device, op="gemm", dtypes=dtypes, rng=rng
+    )
+    xs = np.empty((n, len(GEMM_FEATURES)))
+    ys = np.empty(n)
+    for i in range(n):
+        shape = shape_sampler(rng)
+        accept = _make_accept(device, "gemm", shape.dtype)
+        point = samplers[shape.dtype].sample_legal(accept, rng)
+        cfg = GemmConfig.from_dict(point)
+        tflops = benchmark_gemm(
+            device, cfg, shape, reps=reps, sigma=sigma
+        )
+        xs[i] = encode_gemm(cfg, shape, log=False)
+        ys[i] = np.log2(max(tflops, 1e-6))
+    return Dataset(xs, ys, GEMM_FEATURES)
+
+
+def generate_conv_dataset(
+    device: DeviceSpec,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    samplers: dict[DType, CategoricalModel] | None = None,
+    shape_sampler: Callable[[np.random.Generator], ConvShape] | None = None,
+    sigma: float = DEFAULT_SIGMA,
+    reps: int = 1,
+    dtypes: Sequence[DType] = (DType.FP32, DType.FP16),
+) -> Dataset:
+    """Benchmark ``n`` random legal CONV kernels on the simulated device."""
+    from repro.sampling.features import CONV_FEATURES
+
+    shape_sampler = shape_sampler or ConvShapeSampler(dtypes=tuple(dtypes))
+    samplers = samplers or fit_generative_models(
+        device, op="conv", dtypes=dtypes, rng=rng
+    )
+    xs = np.empty((n, len(CONV_FEATURES)))
+    ys = np.empty(n)
+    for i in range(n):
+        shape = shape_sampler(rng)
+        accept = _make_accept(device, "conv", shape.dtype)
+        point = samplers[shape.dtype].sample_legal(accept, rng)
+        cfg = ConvConfig.from_dict(point)
+        tflops = benchmark_conv(
+            device, cfg, shape, reps=reps, sigma=sigma
+        )
+        xs[i] = encode_conv(cfg, shape, log=False)
+        ys[i] = np.log2(max(tflops, 1e-6))
+    return Dataset(xs, ys, CONV_FEATURES)

@@ -1,0 +1,143 @@
+"""Feature encoding for the regression model (§5.2).
+
+A sample x concatenates the tuning parameters with the input parameters —
+for GEMM that is 10 + 6 = 16 components, matching the paper's
+``X ⊂ N^16``.  The paper's key observation is that performance depends on
+*products, ratios and maxima* of these quantities, which an MLP models
+poorly on raw inputs; taking ``a_{-1} = log(x)`` turns products into sums
+and "greatly improved the performance of our system".  ``log=False``
+reproduces the paper's no-log ablation (Table 2, bracketed column).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import ConvShape, GemmShape
+
+GEMM_CONFIG_FEATURES = GemmConfig.param_names()          # 10
+GEMM_SHAPE_FEATURES = ("m", "n", "k", "dtype_bytes", "ta", "tb")  # 6
+GEMM_FEATURES = GEMM_CONFIG_FEATURES + GEMM_SHAPE_FEATURES
+
+CONV_CONFIG_FEATURES = ConvConfig.param_names()          # 14
+CONV_SHAPE_FEATURES = (
+    "n", "c", "h", "w", "k", "r", "s", "npq", "crs", "dtype_bytes",
+)  # 10 (npq / crs are the implicit-GEMM extents)
+CONV_FEATURES = CONV_CONFIG_FEATURES + CONV_SHAPE_FEATURES
+
+
+def _log_positive(x: np.ndarray) -> np.ndarray:
+    """log2 of positive features; 0/1 flags pass through unchanged."""
+    out = x.astype(np.float64, copy=True)
+    mask = out > 0
+    out[mask] = np.log2(out[mask])
+    return out
+
+
+# ----------------------------------------------------------------------
+# GEMM
+# ----------------------------------------------------------------------
+
+def gemm_config_matrix(
+    configs: Sequence[GemmConfig], log: bool = True
+) -> np.ndarray:
+    """(n_configs, 10) matrix of tuning-parameter features."""
+    raw = np.array(
+        [[getattr(c, p) for p in GEMM_CONFIG_FEATURES] for c in configs],
+        dtype=np.float64,
+    )
+    return _log_positive(raw) if log else raw
+
+
+def gemm_shape_vector(shape: GemmShape, log: bool = True) -> np.ndarray:
+    """(6,) vector of input-parameter features."""
+    raw = np.array(
+        [
+            shape.m,
+            shape.n,
+            shape.k,
+            shape.dtype.size,
+            float(shape.ta),
+            float(shape.tb),
+        ],
+        dtype=np.float64,
+    )
+    if not log:
+        return raw
+    out = raw.copy()
+    out[:4] = np.log2(out[:4])
+    return out
+
+
+def encode_gemm(
+    cfg: GemmConfig, shape: GemmShape, log: bool = True
+) -> np.ndarray:
+    """Full 16-component feature vector for one (config, shape) pair."""
+    return np.concatenate(
+        [gemm_config_matrix([cfg], log)[0], gemm_shape_vector(shape, log)]
+    )
+
+
+def gemm_design_matrix(
+    configs: Sequence[GemmConfig], shape: GemmShape, log: bool = True
+) -> np.ndarray:
+    """Feature matrix for many configs at one fixed shape.
+
+    This is the runtime-inference layout: input parameters are fixed by the
+    user, the model is evaluated over all candidate tuning vectors (§6).
+    """
+    cfg_part = gemm_config_matrix(configs, log)
+    shape_part = np.tile(gemm_shape_vector(shape, log), (len(configs), 1))
+    return np.hstack([cfg_part, shape_part])
+
+
+# ----------------------------------------------------------------------
+# CONV
+# ----------------------------------------------------------------------
+
+def conv_config_matrix(
+    configs: Sequence[ConvConfig], log: bool = True
+) -> np.ndarray:
+    raw = np.array(
+        [[getattr(c, p) for p in CONV_CONFIG_FEATURES] for c in configs],
+        dtype=np.float64,
+    )
+    return _log_positive(raw) if log else raw
+
+
+def conv_shape_vector(shape: ConvShape, log: bool = True) -> np.ndarray:
+    raw = np.array(
+        [
+            shape.n,
+            shape.c,
+            shape.h,
+            shape.w,
+            shape.k,
+            shape.r,
+            shape.s,
+            shape.npq,
+            shape.crs,
+            shape.dtype.size,
+        ],
+        dtype=np.float64,
+    )
+    return _log_positive(raw) if log else raw
+
+
+def encode_conv(
+    cfg: ConvConfig, shape: ConvShape, log: bool = True
+) -> np.ndarray:
+    return np.concatenate(
+        [conv_config_matrix([cfg], log)[0], conv_shape_vector(shape, log)]
+    )
+
+
+def conv_design_matrix(
+    configs: Sequence[ConvConfig], shape: ConvShape, log: bool = True
+) -> np.ndarray:
+    cfg_part = conv_config_matrix(configs, log)
+    shape_part = np.tile(conv_shape_vector(shape, log), (len(configs), 1))
+    return np.hstack([cfg_part, shape_part])

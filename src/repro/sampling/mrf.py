@@ -1,0 +1,158 @@
+"""Pairwise Markov-random-field generative model (paper §9 future work).
+
+The categorical model of §4.1 assumes the tuning parameters independent —
+but legality constraints are strongly *joint* (e.g. the thread count is a
+product of four parameters).  The paper's conclusion suggests "better
+generative modeling techniques (e.g., Markov random field)".
+
+This module implements that extension: a pairwise MRF over the parameter
+value-indices whose unary and pairwise potentials are fitted from the same
+accepted-sample stream the categorical model uses, sampled with Gibbs
+sweeps.  The pairwise terms let the model learn, e.g., that a large block
+tile co-occurs with a large thread tile — raising acceptance beyond the
+independence ceiling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.space import ParamSpace
+from repro.sampling.uniform import UniformSampler
+
+
+class PairwiseMRF:
+    """log p(x) ∝ Σ_i θ_i(x_i) + Σ_{i<j} θ_ij(x_i, x_j), fitted by counting.
+
+    Potentials are smoothed maximum-likelihood estimates from accepted
+    samples: ``θ_i = log(count_i + α)`` and
+    ``θ_ij = log((count_ij + α) / ((count_i + α)(count_j + α)))`` — the
+    pointwise-mutual-information parameterization, which reduces to the
+    independent model when parameters are uncorrelated in the data.
+    """
+
+    def __init__(self, space: ParamSpace, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self._space = space
+        self._alpha = alpha
+        self._names = space.names
+        self._values = {n: space.values(n) for n in self._names}
+        self._card = {n: len(v) for n, v in self._values.items()}
+        self._unary = {
+            n: np.zeros(self._card[n]) for n in self._names
+        }
+        self._pair: dict[tuple[str, str], np.ndarray] = {
+            (a, b): np.zeros((self._card[a], self._card[b]))
+            for a, b in itertools.combinations(self._names, 2)
+        }
+        self._n_obs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> ParamSpace:
+        return self._space
+
+    def observe(self, point: Mapping[str, int]) -> None:
+        idx = {
+            n: self._values[n].index(point[n]) for n in self._names
+        }
+        for n in self._names:
+            self._unary[n][idx[n]] += 1.0
+        for (a, b), table in self._pair.items():
+            table[idx[a], idx[b]] += 1.0
+        self._n_obs += 1
+
+    def fit(
+        self,
+        accept: Callable[[Mapping[str, int]], bool],
+        rng: np.random.Generator,
+        *,
+        target_accepted: int = 1000,
+        max_draws: int = 2_000_000,
+        batch: int = 4096,
+    ) -> int:
+        """Uniform warm-up identical to the categorical model's."""
+        uniform = UniformSampler(self._space, rng)
+        accepted = 0
+        draws = 0
+        while accepted < target_accepted and draws < max_draws:
+            for point in uniform.sample_batch(min(batch, max_draws - draws)):
+                draws += 1
+                if accept(point):
+                    accepted += 1
+                    self.observe(point)
+                    if accepted >= target_accepted:
+                        break
+        return accepted
+
+    # ------------------------------------------------------------------
+    def _log_unary(self, name: str) -> np.ndarray:
+        return np.log(self._unary[name] + self._alpha)
+
+    def _log_pair(self, a: str, b: str) -> np.ndarray:
+        """PMI-style pairwise potential θ_ab (0 under independence)."""
+        ca = self._unary[a] + self._alpha
+        cb = self._unary[b] + self._alpha
+        cab = self._pair[(a, b)] + self._alpha / (
+            self._card[a] * self._card[b]
+        )
+        total = max(self._n_obs, 1)
+        joint = cab / cab.sum()
+        marg = np.outer(ca / ca.sum(), cb / cb.sum())
+        return np.log(joint) - np.log(marg)
+
+    def conditional(
+        self, name: str, assignment: Mapping[str, int]
+    ) -> np.ndarray:
+        """p(x_name | rest) under the fitted potentials."""
+        logits = self._log_unary(name).copy()
+        for (a, b) in self._pair:
+            if a == name and b in assignment:
+                jb = self._values[b].index(assignment[b])
+                logits += self._log_pair(a, b)[:, jb]
+            elif b == name and a in assignment:
+                ja = self._values[a].index(assignment[a])
+                logits += self._log_pair(a, b)[ja, :]
+        logits -= logits.max()
+        p = np.exp(logits)
+        return p / p.sum()
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        *,
+        sweeps: int = 3,
+        init: Mapping[str, int] | None = None,
+    ) -> dict[str, int]:
+        """Gibbs sampling: start from the unary marginals, sweep the
+        conditionals a few times."""
+        point: dict[str, int] = {}
+        if init is not None:
+            point.update(init)
+        else:
+            for n in self._names:
+                p = self._unary[n] + self._alpha
+                p = p / p.sum()
+                point[n] = int(self._values[n][rng.choice(len(p), p=p)])
+        for _ in range(sweeps):
+            for n in self._names:
+                others = {k: v for k, v in point.items() if k != n}
+                p = self.conditional(n, others)
+                point[n] = int(self._values[n][rng.choice(len(p), p=p)])
+        return point
+
+    def sample_legal(
+        self,
+        accept: Callable[[Mapping[str, int]], bool],
+        rng: np.random.Generator,
+        max_tries: int = 1000,
+    ) -> dict[str, int]:
+        for _ in range(max_tries):
+            point = self.sample(rng)
+            if accept(point):
+                return point
+        raise RuntimeError("no legal sample — MRF acceptance collapsed?")

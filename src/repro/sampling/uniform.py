@@ -1,0 +1,60 @@
+"""Uniform sampling over X̂ — the naive baseline of paper Table 1."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.space import ParamSpace
+
+
+class UniformSampler:
+    """Draws each tuning parameter independently and uniformly."""
+
+    def __init__(self, space: ParamSpace, rng: np.random.Generator):
+        self._space = space
+        self._rng = rng
+        self._names = space.names
+        self._values = [space.values(n) for n in self._names]
+
+    @property
+    def space(self) -> ParamSpace:
+        return self._space
+
+    def sample(self) -> dict[str, int]:
+        return {
+            name: int(vals[self._rng.integers(len(vals))])
+            for name, vals in zip(self._names, self._values)
+        }
+
+    def sample_batch(self, n: int) -> list[dict[str, int]]:
+        """Vectorized batch draw (one RNG call per parameter)."""
+        cols = {
+            name: self._rng.integers(len(vals), size=n)
+            for name, vals in zip(self._names, self._values)
+        }
+        return [
+            {
+                name: int(self._space.values(name)[cols[name][i]])
+                for name in self._names
+            }
+            for i in range(n)
+        ]
+
+
+def acceptance_rate(
+    sampler,
+    accept: Callable[[Mapping[str, int]], bool],
+    n: int,
+) -> float:
+    """Fraction of ``n`` draws from ``sampler`` that ``accept`` admits.
+
+    Works for both :class:`UniformSampler` and the categorical generative
+    model; this is the quantity paper Table 1 reports.
+    """
+    hits = 0
+    for _ in range(n):
+        if accept(sampler.sample()):
+            hits += 1
+    return hits / n

@@ -1,0 +1,83 @@
+"""The CONV evaluation tasks of paper Table 5.
+
+Fourteen DeepBench layers spanning six applications — DeepSpeech, OCR,
+Face Recognition, Vision, Speaker ID and ResNET.  Shapes are given by
+their output extents (N, P, Q, K, C, R, S); the paper's NPQ / CRS columns
+are derived and cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.types import ConvShape, DType
+
+
+@dataclass(frozen=True)
+class ConvTask:
+    """One row of Table 5."""
+
+    group: str
+    label: str
+    shape: ConvShape
+
+    def with_dtype(self, dtype: DType) -> "ConvTask":
+        return replace(self, shape=replace(self.shape, dtype=dtype))
+
+
+def _t(group: str, label: str, n: int, p: int, q: int, k: int,
+       c: int, r: int, s: int) -> ConvTask:
+    return ConvTask(
+        group=group,
+        label=label,
+        shape=ConvShape.from_output(n=n, p=p, q=q, k=k, c=c, r=r, s=s),
+    )
+
+
+#: Table 5, in paper order (Conv1..Conv14).
+TABLE5_TASKS: tuple[ConvTask, ...] = (
+    _t("DeepSpeech", "Conv1", 16, 79, 341, 32, 1, 5, 20),
+    _t("DeepSpeech", "Conv2", 16, 38, 166, 32, 32, 5, 10),
+    _t("OCR", "Conv3", 16, 24, 240, 32, 16, 3, 3),
+    _t("OCR", "Conv4", 16, 12, 120, 64, 32, 3, 3),
+    _t("Face Recognition", "Conv5", 8, 54, 54, 64, 64, 3, 3),
+    _t("Face Recognition", "Conv6", 8, 27, 27, 128, 128, 3, 3),
+    _t("Face Recognition", "Conv7", 16, 14, 14, 48, 512, 5, 5),
+    _t("Face Recognition", "Conv8", 16, 7, 7, 128, 832, 5, 5),
+    _t("Vision", "Conv9", 8, 112, 112, 128, 64, 3, 3),
+    _t("Vision", "Conv10", 8, 56, 56, 256, 128, 3, 3),
+    _t("Speaker ID", "Conv11", 16, 128, 39, 174, 64, 5, 5),
+    _t("Speaker ID", "Conv12", 16, 256, 19, 87, 128, 5, 5),
+    _t("ResNET", "Conv13", 16, 7, 7, 512, 512, 3, 3),
+    _t("ResNET", "Conv14", 16, 7, 7, 2048, 1024, 1, 1),
+)
+
+#: The paper's published (NPQ, CRS) columns, for cross-checking the shapes.
+TABLE5_NPQ_CRS: dict[str, tuple[int, int]] = {
+    "Conv1": (431024, 100),
+    "Conv2": (100928, 1600),
+    "Conv3": (92160, 144),
+    "Conv4": (23040, 288),
+    "Conv5": (23328, 576),
+    "Conv6": (5832, 1152),
+    "Conv7": (3136, 12800),
+    "Conv8": (784, 20800),
+    "Conv9": (100352, 576),
+    "Conv10": (25088, 1152),
+    "Conv11": (79872, 1600),
+    "Conv12": (77824, 3200),
+    "Conv13": (784, 4608),
+    "Conv14": (784, 1024),
+}
+
+
+def task(label: str) -> ConvTask:
+    for t in TABLE5_TASKS:
+        if t.label == label:
+            return t
+    raise KeyError(f"unknown conv task {label!r}")
+
+
+def fp16_tasks() -> tuple[ConvTask, ...]:
+    """Table 5 re-typed for the HCONV experiment (Figure 11)."""
+    return tuple(t.with_dtype(DType.FP16) for t in TABLE5_TASKS)

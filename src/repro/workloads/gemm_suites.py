@@ -1,0 +1,83 @@
+"""The GEMM evaluation tasks of paper Table 4.
+
+Four application families: LINPACK square problems, DeepBench forward- and
+backward-propagation shapes, ICA covariance accumulations, and LAPACK
+blocked-SVD outer products.  Figure 6/7 use fp32 everywhere; Figure 8 uses
+fp16 for LINPACK + DeepBench and fp64 for ICA + blocked SVD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.types import DType, GemmShape
+
+
+@dataclass(frozen=True)
+class GemmTask:
+    """One row of Table 4."""
+
+    group: str
+    label: str
+    shape: GemmShape
+    description: str
+
+    def with_dtype(self, dtype: DType) -> "GemmTask":
+        return replace(self, shape=replace(self.shape, dtype=dtype))
+
+
+def _t(group: str, label: str, m: int, n: int, k: int,
+       ta: bool, tb: bool, description: str) -> GemmTask:
+    return GemmTask(
+        group=group,
+        label=label,
+        shape=GemmShape(m=m, n=n, k=k, dtype=DType.FP32, ta=ta, tb=tb),
+        description=description,
+    )
+
+
+#: Table 4, in paper order.  DeepBench uses M=K=2560 with batch-size N
+#: (forward NN; backward with A transposed, i.e. TN).
+TABLE4_TASKS: tuple[GemmTask, ...] = (
+    _t("LINPACK", "512", 512, 512, 512, False, True, "Square case"),
+    _t("LINPACK", "1024", 1024, 1024, 1024, False, True, "Square case"),
+    _t("LINPACK", "2048", 2048, 2048, 2048, False, True, "Square case"),
+    _t("DeepBench [F]", "16", 2560, 16, 2560, False, False, "Forward propagation"),
+    _t("DeepBench [F]", "32", 2560, 32, 2560, False, False, "Forward propagation"),
+    _t("DeepBench [F]", "64", 2560, 64, 2560, False, False, "Forward propagation"),
+    _t("DeepBench [F]", "128", 2560, 128, 2560, False, False, "Forward propagation"),
+    _t("DeepBench [B]", "16", 2560, 16, 2560, True, False, "Backward propagation"),
+    _t("DeepBench [B]", "32", 2560, 32, 2560, True, False, "Backward propagation"),
+    _t("DeepBench [B]", "64", 2560, 64, 2560, True, False, "Backward propagation"),
+    _t("DeepBench [B]", "128", 2560, 128, 2560, True, False, "Backward propagation"),
+    _t("ICA", "16", 16, 16, 60000, False, True, "16-channels"),
+    _t("ICA", "64", 64, 64, 60000, False, True, "64-channels"),
+    _t("ICA", "256", 256, 256, 60000, False, True, "256-channels"),
+    _t("Blocked SVD", "896", 896, 896, 32, False, True, "Iteration 100"),
+    _t("Blocked SVD", "2048", 2048, 2048, 32, False, True, "Iteration ~80"),
+    _t("Blocked SVD", "4096", 4096, 4096, 32, False, True, "Iteration 0"),
+)
+
+
+#: Figure 8's precision assignment: half for the compute-bound DL/HPL
+#: benchmarks, double for the scientific ones.
+FIG8_DTYPES: dict[str, DType] = {
+    "LINPACK": DType.FP16,
+    "DeepBench [F]": DType.FP16,
+    "DeepBench [B]": DType.FP16,
+    "ICA": DType.FP64,
+    "Blocked SVD": DType.FP64,
+}
+
+
+def tasks_by_group(group: str) -> tuple[GemmTask, ...]:
+    out = tuple(t for t in TABLE4_TASKS if t.group == group)
+    if not out:
+        known = sorted({t.group for t in TABLE4_TASKS})
+        raise KeyError(f"unknown group {group!r}; known: {known}")
+    return out
+
+
+def fig8_tasks() -> tuple[GemmTask, ...]:
+    """Table 4 tasks re-typed for the half/double precision experiment."""
+    return tuple(t.with_dtype(FIG8_DTYPES[t.group]) for t in TABLE4_TASKS)

@@ -1,0 +1,119 @@
+"""End-to-end network workloads: sequences of kernels with real mixes.
+
+The paper's motivation is applications, not isolated kernels: an RNN
+training step is a chain of skinny GEMMs, a CNN forward pass a chain of
+convolutions.  This module composes the Table 4/5 primitives into whole
+per-step workloads so the harness can compare *application-level* time —
+where a single mis-selected kernel (one slow layer) drags the whole step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.workloads.conv_suites import task as conv_task
+
+
+@dataclass(frozen=True)
+class NetworkStep:
+    """One application step: an ordered list of (label, shape) kernels."""
+
+    name: str
+    description: str
+    kernels: tuple[tuple[str, object], ...]
+
+    @property
+    def total_flops(self) -> int:
+        return sum(shape.flops for _, shape in self.kernels)
+
+
+def rnn_training_step(
+    hidden: int = 2560,
+    batch: int = 32,
+    timesteps: int = 4,
+    dtype: DType = DType.FP32,
+) -> NetworkStep:
+    """A vanilla-RNN training step, DeepBench-style.
+
+    Per timestep: input and recurrent projections forward (NN), plus the
+    two transposed-operand backward passes (TN) — the exact shapes of the
+    paper's DeepBench rows, repeated over the unrolled sequence.
+    """
+    kernels: list[tuple[str, GemmShape]] = []
+    for t in range(timesteps):
+        kernels.append(
+            (f"t{t}-fwd-x", GemmShape(hidden, batch, hidden, dtype, False, False))
+        )
+        kernels.append(
+            (f"t{t}-fwd-h", GemmShape(hidden, batch, hidden, dtype, False, False))
+        )
+        kernels.append(
+            (f"t{t}-bwd-dx", GemmShape(hidden, batch, hidden, dtype, True, False))
+        )
+        kernels.append(
+            (f"t{t}-bwd-dw", GemmShape(hidden, hidden, batch, dtype, False, True))
+        )
+    return NetworkStep(
+        name=f"rnn-h{hidden}-b{batch}-t{timesteps}",
+        description="vanilla RNN training step (DeepBench GEMM shapes)",
+        kernels=tuple(kernels),
+    )
+
+
+def ica_pipeline_step(
+    channels: int = 64, window: int = 60000, iters: int = 3,
+    dtype: DType = DType.FP32,
+) -> NetworkStep:
+    """One FastICA iteration: covariance + unmixing updates.
+
+    Dominated by the deep-reduction covariance GEMM the paper's ICA rows
+    model, plus small square updates.
+    """
+    kernels: list[tuple[str, GemmShape]] = []
+    for i in range(iters):
+        kernels.append(
+            (
+                f"it{i}-cov",
+                GemmShape(channels, channels, window, dtype, False, True),
+            )
+        )
+        kernels.append(
+            (
+                f"it{i}-update",
+                GemmShape(channels, channels, channels, dtype, False, False),
+            )
+        )
+    return NetworkStep(
+        name=f"ica-c{channels}-w{window}",
+        description="FastICA iterations (deep-reduction covariances)",
+        kernels=tuple(kernels),
+    )
+
+
+def face_recognition_forward(dtype: DType = DType.FP32) -> NetworkStep:
+    """The Table 5 face-recognition column as one forward pass."""
+    labels = ("Conv5", "Conv6", "Conv7", "Conv8")
+    kernels = tuple(
+        (label, conv_task(label).with_dtype(dtype).shape) for label in labels
+    )
+    return NetworkStep(
+        name="face-recognition-fwd",
+        description="face-recognition forward pass (Table 5 Conv5-Conv8)",
+        kernels=kernels,
+    )
+
+
+def blocked_svd_sweep(dtype: DType = DType.FP32) -> NetworkStep:
+    """Householder bidiagonalization outer products across iterations."""
+    sizes = (4096, 3456, 2048, 896)
+    kernels = tuple(
+        (f"iter-{n}", GemmShape(n, n, 32, dtype, False, True))
+        for n in sizes
+    )
+    return NetworkStep(
+        name="blocked-svd-sweep",
+        description="blocked SVD outer products (LAPACK, block size 32)",
+        kernels=kernels,
+    )

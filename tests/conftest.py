@@ -1,0 +1,114 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (the enumerated legal-config cache, a small trained
+tuner) are session-scoped so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.space import ParamSpace
+from repro.core.tuner import Isaac
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(params=[GTX_980_TI, TESLA_P100], ids=["maxwell", "pascal"])
+def device(request):
+    return request.param
+
+
+@pytest.fixture
+def maxwell():
+    return GTX_980_TI
+
+
+@pytest.fixture
+def pascal():
+    return TESLA_P100
+
+
+# ----------------------------------------------------------------------
+# Canonical configs / shapes
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def good_gemm_cfg() -> GemmConfig:
+    """A known-good 64x64 kernel legal on both devices for all dtypes."""
+    return GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=2, db=2)
+
+
+@pytest.fixture
+def split_gemm_cfg() -> GemmConfig:
+    """A reduction-splitting kernel exercising KS, KL and KG at once."""
+    return GemmConfig(ms=2, ns=4, ml=32, nl=32, u=8, ks=2, kl=4, kg=8,
+                      vec=1, db=2)
+
+
+@pytest.fixture
+def good_conv_cfg() -> ConvConfig:
+    return ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2,
+                      u=8, vec=2, db=2)
+
+
+@pytest.fixture
+def square_shape() -> GemmShape:
+    return GemmShape(512, 512, 512, DType.FP32, False, True)
+
+
+@pytest.fixture
+def skinny_shape() -> GemmShape:
+    return GemmShape(2560, 16, 2560, DType.FP32, False, False)
+
+
+@pytest.fixture
+def deep_shape() -> GemmShape:
+    return GemmShape(32, 32, 60000, DType.FP32, False, True)
+
+
+@pytest.fixture
+def small_conv_shape() -> ConvShape:
+    return ConvShape.from_output(n=2, p=6, q=6, k=16, c=8, r=3, s=3)
+
+
+#: A deliberately tiny GEMM space so search tests enumerate in milliseconds.
+TINY_GEMM_SPACE = ParamSpace(
+    name="gemm-tiny",
+    params=(
+        ("ms", (2, 4, 8)),
+        ("ns", (4, 8)),
+        ("ml", (32, 64)),
+        ("nl", (16, 32, 64)),
+        ("u", (8, 16)),
+        ("ks", (1,)),
+        ("kl", (1, 2)),
+        ("kg", (1, 4, 16)),
+        ("vec", (1, 2, 4)),
+        ("db", (1, 2)),
+    ),
+)
+
+
+@pytest.fixture
+def tiny_space() -> ParamSpace:
+    return TINY_GEMM_SPACE
+
+
+# ----------------------------------------------------------------------
+# A small trained tuner shared by inference / harness tests
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def trained_gemm_tuner() -> Isaac:
+    """A P100 fp32 tuner trained at a tiny budget (shared session-wide)."""
+    tuner = Isaac(TESLA_P100, op="gemm", dtypes=(DType.FP32,))
+    tuner.tune(n_samples=2_500, seed=7, epochs=25, generative_target=200)
+    return tuner

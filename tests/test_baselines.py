@@ -1,0 +1,128 @@
+"""Tests for the cuBLAS-like and cuDNN-like baseline libraries."""
+
+import pytest
+
+from repro.baselines.cublas import CuBLASLike
+from repro.baselines.cudnn import CuDNNLike
+from repro.core.legality import is_legal_conv, is_legal_gemm
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+
+
+class TestCuBLASKernelSet:
+    def test_all_variants_legal_per_dtype(self, device):
+        lib = CuBLASLike(device)
+        for dtype in DType:
+            for kernel in lib.kernels(dtype):
+                assert is_legal_gemm(kernel.cfg, dtype, device), kernel.name
+
+    def test_fp64_variants_narrow_vectors(self, pascal):
+        lib = CuBLASLike(pascal)
+        for kernel in lib.kernels(DType.FP64):
+            assert kernel.cfg.vec * 8 <= 16
+
+    def test_n_tiling_only_64_and_128(self, maxwell):
+        """§8.1: cuBLAS only provides 64- and 128-way tiling along N."""
+        lib = CuBLASLike(maxwell)
+        for kernel in lib.kernels(DType.FP32):
+            assert kernel.cfg.nl in (64, 128)
+
+    def test_no_kl_splitting_anywhere(self, maxwell):
+        """§7.3: cuBLAS has no within-SM reduction splitting."""
+        lib = CuBLASLike(maxwell)
+        for kernel in lib.kernels(DType.FP32):
+            assert kernel.cfg.kl == 1
+
+    def test_limited_fp16x2_support(self, pascal):
+        """§7.3.2: only a limited set of kernels implements fp16x2."""
+        lib = CuBLASLike(pascal)
+        kernels = lib.kernels(DType.FP16)
+        packed = [k for k in kernels if k.fp16x2]
+        assert 0 < len(packed) < len(kernels)
+
+
+class TestCuBLASHeuristics:
+    def test_square_gets_big_tile(self, maxwell):
+        lib = CuBLASLike(maxwell)
+        k = lib.select(GemmShape(2048, 2048, 2048, DType.FP32, False, True))
+        assert k.name == "sgemm_128x128"
+
+    def test_skinny_n_gets_64_tile_without_split(self, maxwell):
+        """The documented DeepBench blind spot."""
+        lib = CuBLASLike(maxwell)
+        for n in (16, 32, 64):
+            k = lib.select(GemmShape(2560, n, 2560, DType.FP32, False, False))
+            assert k.cfg.kg == 1
+            assert k.cfg.nl == 64
+
+    def test_small_ica_gets_split_kernel(self, maxwell):
+        lib = CuBLASLike(maxwell)
+        k = lib.select(GemmShape(32, 32, 60000, DType.FP32, False, True))
+        assert k.cfg.kg > 1
+
+    def test_large_ica_misses_split(self, maxwell):
+        """The documented ICA pathology: 256 channels fall through to a
+        non-split kernel (paper: order-of-magnitude slowdowns)."""
+        lib = CuBLASLike(maxwell)
+        k = lib.select(GemmShape(256, 256, 60000, DType.FP32, False, True))
+        assert k.cfg.kg == 1
+
+    def test_ica_heuristic_disaster_vs_best(self, maxwell):
+        lib = CuBLASLike(maxwell)
+        shape = GemmShape(256, 256, 60000, DType.FP32, False, True)
+        heur = lib.tflops(shape, "heuristic")
+        best = lib.tflops(shape, "best")
+        assert best > 2 * heur
+
+    def test_best_mode_at_least_heuristic(self, device):
+        lib = CuBLASLike(device)
+        for shape in (
+            GemmShape(2048, 2048, 2048, DType.FP32, False, True),
+            GemmShape(2560, 32, 2560, DType.FP32, False, False),
+            GemmShape(64, 64, 60000, DType.FP32, False, True),
+        ):
+            # Same reps -> same deterministic noise per kernel, so best
+            # must dominate.
+            assert lib.tflops(shape, "best") >= lib.tflops(shape, "heuristic")
+
+    def test_unknown_mode_rejected(self, maxwell, square_shape):
+        with pytest.raises(ValueError):
+            CuBLASLike(maxwell).tflops(square_shape, "oracle")
+
+
+class TestCuDNN:
+    def test_kernel_set_legal(self, device):
+        lib = CuDNNLike(device)
+        for dtype in (DType.FP32, DType.FP16):
+            for kernel in lib.kernels(dtype):
+                assert is_legal_conv(kernel.cfg, dtype, device), kernel.name
+
+    def test_no_deep_reduction_splitting(self, maxwell):
+        """cuDNN's only split kernel is the shallow 4-way variant."""
+        lib = CuDNNLike(maxwell)
+        assert max(k.cfg.cg for k in lib.kernels(DType.FP32)) <= 4
+        assert all(k.cfg.cl == 1 for k in lib.kernels(DType.FP32))
+
+    def test_select_big_npq(self, maxwell):
+        lib = CuDNNLike(maxwell)
+        shape = ConvShape.from_output(n=16, p=79, q=341, k=32, c=1, r=5, s=20)
+        assert lib.select(shape).name == "conv_npq128_k64"
+
+    def test_select_deep_reduction_gets_shallow_split_only(self, maxwell):
+        lib = CuDNNLike(maxwell)
+        shape = ConvShape.from_output(n=16, p=7, q=7, k=128, c=832, r=5, s=5)
+        assert lib.select(shape).cfg.cg <= 4
+
+    def test_same_rules_on_both_archs(self):
+        """The Maxwell-tuned heuristics are applied verbatim on Pascal."""
+        shape = ConvShape.from_output(n=8, p=54, q=54, k=64, c=64, r=3, s=3)
+        assert (
+            CuDNNLike(GTX_980_TI).select(shape).name
+            == CuDNNLike(TESLA_P100).select(shape).name
+        )
+
+    def test_tflops_positive(self, device):
+        lib = CuDNNLike(device)
+        shape = ConvShape.from_output(n=8, p=28, q=28, k=64, c=64, r=3, s=3)
+        assert lib.tflops(shape, "heuristic") > 0
+        assert lib.tflops(shape, "best") >= lib.tflops(shape, "heuristic")

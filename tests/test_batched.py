@@ -1,0 +1,79 @@
+"""Tests for batched GEMM launches."""
+
+import pytest
+
+from repro.core.batched import (
+    BatchedGemmShape,
+    benchmark_batched_gemm,
+    simulate_batched_gemm,
+    simulate_looped_gemm,
+)
+from repro.core.config import GemmConfig
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.gpu.simulator import IllegalKernelError, simulate_gemm
+
+CFG = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=4, db=2)
+SMALL = GemmShape(128, 128, 256, DType.FP32, False, True)
+
+
+class TestShape:
+    def test_flops_scale_with_batch(self):
+        b = BatchedGemmShape(batch=12, base=SMALL)
+        assert b.flops == 12 * SMALL.flops
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            BatchedGemmShape(batch=0, base=SMALL)
+
+    def test_describe(self):
+        assert "batched[4]" in BatchedGemmShape(4, SMALL).describe()
+
+
+class TestBatchedSimulation:
+    def test_grid_scales_with_batch(self):
+        b = BatchedGemmShape(batch=16, base=SMALL)
+        stats = simulate_batched_gemm(GTX_980_TI, CFG, b)
+        single = simulate_gemm(GTX_980_TI, CFG, SMALL)
+        assert stats.grid_size == 16 * single.grid_size
+
+    def test_batching_beats_looping_for_small_elements(self):
+        """The whole point of gemmStridedBatched: one small GEMM leaves the
+        machine nearly idle, so batching amortizes both launch overhead and
+        partial waves."""
+        b = BatchedGemmShape(batch=64, base=SMALL)
+        batched = simulate_batched_gemm(GTX_980_TI, CFG, b).time_ms
+        looped = simulate_looped_gemm(GTX_980_TI, CFG, b)
+        assert batched < 0.5 * looped
+
+    def test_large_batch_time_roughly_linear(self):
+        b1 = BatchedGemmShape(batch=256, base=SMALL)
+        b2 = BatchedGemmShape(batch=512, base=SMALL)
+        t1 = simulate_batched_gemm(TESLA_P100, CFG, b1).time_ms
+        t2 = simulate_batched_gemm(TESLA_P100, CFG, b2).time_ms
+        assert t2 / t1 == pytest.approx(2.0, rel=0.25)
+
+    def test_throughput_bounded_by_peak(self):
+        b = BatchedGemmShape(batch=128, base=SMALL)
+        stats = simulate_batched_gemm(TESLA_P100, CFG, b)
+        assert 0 < stats.tflops <= TESLA_P100.peak_tflops(DType.FP32)
+
+    def test_dram_traffic_scales_with_batch(self):
+        b1 = BatchedGemmShape(batch=8, base=SMALL)
+        b2 = BatchedGemmShape(batch=16, base=SMALL)
+        t1 = simulate_batched_gemm(GTX_980_TI, CFG, b1).traffic.dram_bytes
+        t2 = simulate_batched_gemm(GTX_980_TI, CFG, b2).traffic.dram_bytes
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    def test_illegal_config_raises(self):
+        bad = GemmConfig(ms=1, ns=1, ml=256, nl=256, u=8)
+        with pytest.raises(IllegalKernelError):
+            simulate_batched_gemm(
+                GTX_980_TI, bad, BatchedGemmShape(4, SMALL)
+            )
+
+    def test_benchmark_deterministic(self):
+        b = BatchedGemmShape(batch=32, base=SMALL)
+        assert benchmark_batched_gemm(
+            GTX_980_TI, CFG, b
+        ) == benchmark_batched_gemm(GTX_980_TI, CFG, b)

@@ -1,0 +1,127 @@
+"""Cross-module invariants: static codegen accounting vs dynamic execution.
+
+The code generator *predicts* how much work a kernel does; the functional
+executor *performs* it.  For exactly-tiling problems the two must agree —
+on staged operand volumes, on multiply-accumulate counts, and on the
+reduction-merge structure.  These tests bind the two halves of the kernel
+generator together.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GemmConfig
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import GTX_980_TI
+from repro.kernels.gemm_ref import execute_gemm, make_operands
+from repro.kernels.tiling import ExecutionTrace
+from repro.ptx.gemm_codegen import GemmKernel
+
+
+def _divisible_case(cfg: GemmConfig, bm: int, bn: int, bk: int) -> GemmShape:
+    """A shape that tiles exactly: bm x bn blocks, K = bk * kg * kl * u."""
+    return GemmShape(
+        m=cfg.ml * bm,
+        n=cfg.nl * bn,
+        k=cfg.u * cfg.kl * cfg.kg * bk,
+        dtype=DType.FP32,
+    )
+
+
+CASES = [
+    (GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4), 2, 3, 4),
+    (GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, kl=2), 2, 2, 3),
+    (GemmConfig(ms=2, ns=4, ml=16, nl=16, u=4, kg=4), 1, 2, 2),
+    (GemmConfig(ms=4, ns=2, ml=16, nl=16, u=8, ks=2, kl=2, kg=2), 2, 1, 1),
+]
+
+
+class TestStagedVolumes:
+    @pytest.mark.parametrize("cfg,bm,bn,bk", CASES,
+                             ids=lambda c: str(c)[:24])
+    def test_staged_elements_match_ideal_bytes(self, cfg, bm, bn, bk):
+        """Executor-staged elements == codegen's compulsory load volume."""
+        shape = _divisible_case(cfg, bm, bn, bk)
+        a, b = make_operands(shape, seed=1)
+        trace = ExecutionTrace()
+        execute_gemm(cfg, shape, a, b, trace=trace)
+
+        kernel = GemmKernel(cfg=cfg, shape=shape, device=GTX_980_TI)
+        counts = kernel.kernel_counts()
+        dsize = shape.dtype.size
+        total_ideal_bytes = counts.block.ideal_ldg_bytes * counts.grid_size
+        staged_bytes = (trace.staged_a_elems + trace.staged_b_elems) * dsize
+        assert staged_bytes == pytest.approx(total_ideal_bytes, rel=1e-12)
+
+    @pytest.mark.parametrize("cfg,bm,bn,bk", CASES,
+                             ids=lambda c: str(c)[:24])
+    def test_macs_match_padded_flops(self, cfg, bm, bn, bk):
+        """Executor MACs x 2 == codegen padded FLOPs on divisible shapes."""
+        shape = _divisible_case(cfg, bm, bn, bk)
+        a, b = make_operands(shape, seed=2)
+        trace = ExecutionTrace()
+        execute_gemm(cfg, shape, a, b, trace=trace)
+        assert 2 * trace.macs == cfg.padded_flops(shape) == shape.flops
+
+    @pytest.mark.parametrize("cfg,bm,bn,bk", CASES,
+                             ids=lambda c: str(c)[:24])
+    def test_blocks_match_grid(self, cfg, bm, bn, bk):
+        shape = _divisible_case(cfg, bm, bn, bk)
+        a, b = make_operands(shape, seed=3)
+        trace = ExecutionTrace()
+        execute_gemm(cfg, shape, a, b, trace=trace)
+        assert trace.blocks_executed == cfg.grid_size(shape)
+
+    def test_edge_shapes_stage_less_than_ideal(self):
+        """Clipped edge tiles stage fewer elements than the full-tile
+        accounting — the volume predication saves vs padding."""
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        shape = GemmShape(17, 17, 20)  # heavy edge waste
+        a, b = make_operands(shape, seed=4)
+        trace = ExecutionTrace()
+        execute_gemm(cfg, shape, a, b, trace=trace)
+
+        kernel = GemmKernel(cfg=cfg, shape=shape, device=GTX_980_TI)
+        counts = kernel.kernel_counts()
+        dsize = shape.dtype.size
+        total_ideal = counts.block.ideal_ldg_bytes * counts.grid_size
+        staged = (trace.staged_a_elems + trace.staged_b_elems) * dsize
+        assert staged < total_ideal
+
+
+@st.composite
+def divisible_cases(draw):
+    ms = draw(st.sampled_from([2, 4]))
+    ns = draw(st.sampled_from([2, 4]))
+    cfg = GemmConfig(
+        ms=ms,
+        ns=ns,
+        ml=ms * draw(st.sampled_from([2, 4])),
+        nl=ns * draw(st.sampled_from([2, 4])),
+        u=draw(st.sampled_from([2, 4])),
+        kl=draw(st.sampled_from([1, 2])),
+        kg=draw(st.sampled_from([1, 2, 4])),
+    )
+    return cfg, _divisible_case(
+        cfg,
+        draw(st.integers(1, 3)),
+        draw(st.integers(1, 3)),
+        draw(st.integers(1, 3)),
+    )
+
+
+class TestPropertyBased:
+    @given(case=divisible_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_volume_identity(self, case):
+        cfg, shape = case
+        a, b = make_operands(shape, seed=6)
+        trace = ExecutionTrace()
+        execute_gemm(cfg, shape, a, b, trace=trace)
+        assert 2 * trace.macs == shape.flops
+        kernel = GemmKernel(cfg=cfg, shape=shape, device=GTX_980_TI)
+        counts = kernel.kernel_counts()
+        staged = (trace.staged_a_elems + trace.staged_b_elems) * 4
+        assert staged == pytest.approx(
+            counts.block.ideal_ldg_bytes * counts.grid_size, rel=1e-12
+        )

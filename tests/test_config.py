@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import ConvShape, GemmShape
+
+
+class TestGemmConfig:
+    def test_threads(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        assert cfg.threads == (64 // 8) * (64 // 8) == 64
+
+    def test_threads_scale_with_kl(self):
+        base = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        split = base.with_(kl=4)
+        assert split.threads == 4 * base.threads
+
+    def test_warps(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        assert cfg.warps == 2
+
+    def test_grid_exact_tiling(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        shape = GemmShape(256, 128, 512)
+        assert cfg.grid(shape) == (4, 2, 1)
+
+    def test_grid_rounds_up_and_kg(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, kg=4)
+        shape = GemmShape(100, 65, 512)
+        assert cfg.grid(shape) == (2, 2, 4)
+        assert cfg.grid_size(shape) == 16
+
+    def test_padded_flops_exact_when_divisible(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        shape = GemmShape(128, 128, 64)
+        assert cfg.padded_flops(shape) == shape.flops
+
+    def test_padded_flops_exceed_useful_on_edges(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        shape = GemmShape(65, 16, 64)
+        assert cfg.padded_flops(shape) > shape.flops
+        # 2 tiles x 64 wide vs 65 rows; 1 tile x 64 vs 16 cols
+        assert cfg.padded_flops(shape) == 2 * (2 * 64) * 64 * 64
+
+    def test_k_per_block_and_iters(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, kl=2, kg=4)
+        shape = GemmShape(64, 64, 4096)
+        assert cfg.k_per_block(shape) == 1024
+        assert cfg.main_loop_iters(shape) == 1024 // (2 * 8)
+
+    def test_dict_round_trip(self):
+        cfg = GemmConfig(ms=2, ns=4, ml=32, nl=64, u=16, ks=2, kl=2, kg=8,
+                         vec=2, db=1)
+        assert GemmConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_param_names_order_matches_fields(self):
+        assert GemmConfig.param_names() == (
+            "ms", "ns", "ml", "nl", "u", "ks", "kl", "kg", "vec", "db"
+        )
+
+    def test_with_(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        assert cfg.with_(kg=16).kg == 16
+        assert cfg.kg == 1  # original untouched
+
+    def test_short_is_compact(self):
+        s = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8).short()
+        assert "64x64" in s and s.startswith("gemm<")
+
+
+class TestConvConfig:
+    def _cfg(self, **kw) -> ConvConfig:
+        base = dict(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2, u=8)
+        base.update(kw)
+        return ConvConfig(**base)
+
+    def test_threads(self):
+        cfg = self._cfg()
+        assert cfg.threads == (32 // 4) * (4 // 2) * (4 // 2) * (2 // 1)
+
+    def test_block_and_thread_products(self):
+        cfg = self._cfg()
+        assert cfg.block_m == 2 * 4 * 4
+        assert cfg.block_n == 32
+        assert cfg.thread_m == 1 * 2 * 2
+        assert cfg.thread_n == 4
+
+    def test_grid(self):
+        cfg = self._cfg(cg=2)
+        shape = ConvShape.from_output(n=4, p=8, q=8, k=64, c=16, r=3, s=3)
+        gk, gp, gq, gn, gc = cfg.grid(shape)
+        assert (gk, gp, gq, gn, gc) == (2, 2, 2, 2, 2)
+
+    def test_padded_flops_at_least_useful(self):
+        cfg = self._cfg()
+        shape = ConvShape.from_output(n=3, p=5, q=9, k=48, c=16, r=3, s=3)
+        assert cfg.padded_flops(shape) >= shape.flops
+
+    def test_as_gemm_config_preserves_products(self):
+        cfg = self._cfg(cs=2, cl=2, cg=4, vec=2, db=2)
+        g = cfg.as_gemm_config()
+        assert g.ml == cfg.block_m and g.nl == cfg.block_n
+        assert g.ms == cfg.thread_m and g.ns == cfg.thread_n
+        assert (g.ks, g.kl, g.kg) == (cfg.cs, cfg.cl, cfg.cg)
+        assert g.threads == cfg.threads
+
+    def test_dict_round_trip(self):
+        cfg = self._cfg(cs=2, cl=2, cg=4, vec=2, db=2)
+        assert ConvConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_main_loop_iters(self):
+        cfg = self._cfg(cl=2, cg=2)
+        shape = ConvShape.from_output(n=4, p=8, q=8, k=64, c=64, r=3, s=3)
+        # crs = 576 -> per block 288, per slice 144, u=8 -> 18 iterations
+        assert cfg.main_loop_iters(shape) == 18

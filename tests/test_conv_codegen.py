@@ -1,0 +1,90 @@
+"""Tests for the CONV (implicit-GEMM) kernel generator."""
+
+import pytest
+
+from repro.core.config import ConvConfig
+from repro.core.types import ConvShape, DType
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.ptx.conv_codegen import ConvKernel, uses_packed_fp16
+
+
+@pytest.fixture
+def shape() -> ConvShape:
+    return ConvShape.from_output(n=8, p=16, q=16, k=64, c=64, r=3, s=3)
+
+
+def _kernel(cfg, shape, device=GTX_980_TI, **kw) -> ConvKernel:
+    return ConvKernel(cfg=cfg, shape=shape, device=device, **kw)
+
+
+class TestConvCounts:
+    def test_fma_volume_reflects_padded_tiles(self, good_conv_cfg, shape):
+        counts = _kernel(good_conv_cfg, shape).kernel_counts()
+        total = counts.block.fma * counts.grid_size
+        assert total >= shape.flops // 2  # FLOPs = 2 * MACs
+        assert total * 2 >= shape.flops
+
+    def test_indirection_lookups_add_smem_traffic(self, shape):
+        """The conv kernel does strictly more shared-memory work than the
+        equivalent GEMM tile because of the indirection table."""
+        from repro.ptx.gemm_codegen import GemmKernel
+
+        conv_cfg = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4,
+                              nb=2, u=8, vec=2, db=2)
+        conv = _kernel(conv_cfg, shape).block_counts()
+        g = GemmKernel(
+            cfg=conv_cfg.as_gemm_config(),
+            shape=shape.implicit_gemm(),
+            device=GTX_980_TI,
+        ).block_counts()
+        assert conv.lds > g.lds
+        assert conv.iop > g.iop
+
+    def test_cg_split_uses_atomics(self, shape):
+        cfg = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2,
+                         u=8, cg=4, vec=2, db=2)
+        block = _kernel(cfg, shape).block_counts()
+        assert block.atom > 0
+        assert block.st_bytes == pytest.approx(
+            2.0 * cfg.block_m * cfg.block_n * 4
+        )
+
+    def test_grid_size_covers_output(self, good_conv_cfg, shape):
+        counts = _kernel(good_conv_cfg, shape).kernel_counts()
+        gk, gp, gq, gn, gc = good_conv_cfg.grid(shape)
+        assert counts.grid_size == gk * gp * gq * gn * gc
+
+    def test_bounds_mode_validation(self, good_conv_cfg, shape):
+        with pytest.raises(ValueError):
+            _kernel(good_conv_cfg, shape, bounds_mode="nope")
+
+
+class TestConvPackedFp16:
+    def test_requires_pascal_and_even_kt(self):
+        shape16 = ConvShape.from_output(
+            n=8, p=16, q=16, k=64, c=64, r=3, s=3, dtype=DType.FP16
+        )
+        even = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2,
+                          u=8, vec=2, db=2)
+        odd = even.with_(kt=1, kb=8)
+        assert uses_packed_fp16(even, shape16, TESLA_P100)
+        assert not uses_packed_fp16(odd, shape16, TESLA_P100)
+        assert not uses_packed_fp16(even, shape16, GTX_980_TI)
+
+    def test_packed_halves_fma(self):
+        shape16 = ConvShape.from_output(
+            n=8, p=16, q=16, k=64, c=64, r=3, s=3, dtype=DType.FP16
+        )
+        cfg = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2,
+                         u=8, vec=2, db=2)
+        packed = _kernel(cfg, shape16, TESLA_P100).block_counts()
+        plain = _kernel(cfg, shape16, TESLA_P100,
+                        allow_fp16x2=False).block_counts()
+        assert packed.fma * 2 == plain.fma
+        assert packed.flops == plain.flops
+
+
+class TestConvNaming:
+    def test_name(self, good_conv_cfg, shape):
+        name = _kernel(good_conv_cfg, shape).name()
+        assert name.startswith("sconv_")

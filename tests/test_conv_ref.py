@@ -1,0 +1,180 @@
+"""Functional-correctness tests of the convolution executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ConvConfig
+from repro.core.types import ConvShape, DType
+from repro.kernels.conv_ref import conv_reference, execute_conv, make_tensors
+from repro.kernels.im2col import (
+    build_indirection_table,
+    filters_as_matrix,
+    im2col,
+    output_from_gemm,
+    row_coords,
+)
+from repro.kernels.tiling import ExecutionTrace
+
+
+SMALL = ConvShape.from_output(n=2, p=6, q=6, k=16, c=8, r=3, s=3)
+
+
+def _direct(i_t, f_t, shape):
+    """Brute-force loop evaluation of paper eq. (1) — the oracle's oracle."""
+    out = np.zeros((shape.k, shape.p, shape.q, shape.n))
+    for k in range(shape.k):
+        for p in range(shape.p):
+            for q in range(shape.q):
+                for n in range(shape.n):
+                    acc = 0.0
+                    for c in range(shape.c):
+                        for r in range(shape.r):
+                            for s in range(shape.s):
+                                acc += float(i_t[c, p + r, q + s, n]) * float(
+                                    f_t[c, r, s, k]
+                                )
+                    out[k, p, q, n] = acc
+    return out
+
+
+class TestConvReference:
+    def test_matches_bruteforce(self):
+        shape = ConvShape.from_output(n=2, p=3, q=4, k=3, c=2, r=2, s=3)
+        i_t, f_t = make_tensors(shape, seed=0)
+        got = conv_reference(i_t, f_t, shape)
+        want = _direct(i_t, f_t, shape)
+        np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-6)
+
+    def test_with_padding_and_stride(self):
+        shape = ConvShape(n=2, c=3, h=9, w=9, k=4, r=3, s=3,
+                          pad_h=1, pad_w=1, stride_h=2, stride_w=2)
+        i_t, f_t = make_tensors(shape, seed=1)
+        got = conv_reference(i_t, f_t, shape)
+        assert got.shape == (4, shape.p, shape.q, 2)
+        # Spot check one entry against explicit padded arithmetic.
+        padded = np.zeros((3, 11, 11, 2), dtype=i_t.dtype)
+        padded[:, 1:10, 1:10, :] = i_t
+        acc = sum(
+            float(padded[c, 0 + r, 0 + s, 0]) * float(f_t[c, r, s, 0])
+            for c in range(3) for r in range(3) for s in range(3)
+        )
+        assert got[0, 0, 0, 0] == pytest.approx(acc, rel=1e-5)
+
+
+class TestIm2col:
+    def test_indirection_table_layout(self):
+        table = build_indirection_table(SMALL)
+        assert len(table) == SMALL.crs
+        # c-major, then r, then s — matching F's memory order.
+        assert table.c[0] == 0 and table.r[0] == 0 and table.s[0] == 0
+        assert table.s[1] == 1
+        idx = 1 * (3 * 3) + 2 * 3 + 1  # c=1, r=2, s=1
+        assert (table.c[idx], table.r[idx], table.s[idx]) == (1, 2, 1)
+
+    def test_row_coords_layout(self):
+        n, p, q = row_coords(SMALL)
+        assert n[0] == 0 and p[0] == 0 and q[0] == 0
+        assert q[1] == 1
+        idx = 1 * (6 * 6) + 2 * 6 + 3  # n=1, p=2, q=3
+        assert (n[idx], p[idx], q[idx]) == (1, 2, 3)
+
+    def test_im2col_matmul_equals_reference(self):
+        i_t, f_t = make_tensors(SMALL, seed=2)
+        lhs = im2col(i_t, SMALL)
+        rhs = filters_as_matrix(f_t, SMALL)
+        assert lhs.shape == (SMALL.npq, SMALL.crs)
+        assert rhs.shape == (SMALL.crs, SMALL.k)
+        got = output_from_gemm(lhs @ rhs, SMALL)
+        want = conv_reference(i_t, f_t, SMALL)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
+
+    def test_im2col_rejects_wrong_layout(self):
+        i_t, f_t = make_tensors(SMALL)
+        with pytest.raises(ValueError, match="I has shape"):
+            im2col(np.transpose(i_t, (3, 0, 1, 2)), SMALL)
+        with pytest.raises(ValueError, match="F has shape"):
+            filters_as_matrix(np.transpose(f_t, (3, 0, 1, 2)), SMALL)
+
+    def test_im2col_with_padding(self):
+        shape = ConvShape(n=1, c=2, h=5, w=5, k=3, r=3, s=3,
+                          pad_h=1, pad_w=1)
+        i_t, f_t = make_tensors(shape, seed=4)
+        got = output_from_gemm(
+            im2col(i_t, shape) @ filters_as_matrix(f_t, shape), shape
+        )
+        want = conv_reference(i_t, f_t, shape)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
+
+
+class TestExecuteConv:
+    def test_tiled_matches_reference(self, good_conv_cfg):
+        shape = ConvShape.from_output(n=2, p=8, q=8, k=32, c=16, r=3, s=3)
+        i_t, f_t = make_tensors(shape, seed=3)
+        trace = ExecutionTrace()
+        got = execute_conv(good_conv_cfg, shape, i_t, f_t, trace=trace)
+        want = conv_reference(i_t, f_t, shape)
+        np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-6)
+        assert trace.macs == shape.npq * shape.k * shape.crs
+
+    @pytest.mark.parametrize("cs,cl,cg", [(1, 1, 4), (2, 2, 1), (1, 4, 2)])
+    def test_reduction_splits(self, cs, cl, cg):
+        cfg = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=8, pb=2, qb=2, nb=2,
+                         u=4, cs=cs, cl=cl, cg=cg)
+        i_t, f_t = make_tensors(SMALL, seed=5)
+        got = execute_conv(cfg, SMALL, i_t, f_t)
+        want = conv_reference(i_t, f_t, SMALL)
+        np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-6)
+
+    def test_fp16_tolerant(self):
+        shape = ConvShape.from_output(
+            n=2, p=4, q=4, k=8, c=8, r=3, s=3, dtype=DType.FP16
+        )
+        cfg = ConvConfig(kt=2, pt=2, qt=2, nt=1, kb=8, pb=2, qb=2, nb=2, u=4)
+        i_t, f_t = make_tensors(shape, seed=6)
+        got = execute_conv(cfg, shape, i_t, f_t)
+        want = conv_reference(i_t, f_t, shape)
+        assert got.dtype == np.float16
+        np.testing.assert_allclose(
+            got.astype(np.float64), want.astype(np.float64),
+            rtol=3e-2, atol=3e-1,
+        )
+
+
+@st.composite
+def conv_cases(draw):
+    kt = draw(st.sampled_from([1, 2, 4]))
+    pt = draw(st.sampled_from([1, 2]))
+    qt = draw(st.sampled_from([1, 2]))
+    nt = draw(st.sampled_from([1, 2]))
+    cfg = ConvConfig(
+        kt=kt, pt=pt, qt=qt, nt=nt,
+        kb=kt * draw(st.sampled_from([2, 4])),
+        pb=pt * draw(st.sampled_from([1, 2])),
+        qb=qt * draw(st.sampled_from([1, 2])),
+        nb=nt * draw(st.sampled_from([1, 2])),
+        u=draw(st.sampled_from([1, 2, 4, 8])),
+        cl=draw(st.sampled_from([1, 2])),
+        cg=draw(st.sampled_from([1, 2, 4])),
+    )
+    shape = ConvShape.from_output(
+        n=draw(st.integers(1, 4)),
+        p=draw(st.integers(1, 7)),
+        q=draw(st.integers(1, 7)),
+        k=draw(st.integers(1, 12)),
+        c=draw(st.integers(1, 8)),
+        r=draw(st.sampled_from([1, 2, 3])),
+        s=draw(st.sampled_from([1, 2, 3])),
+    )
+    return cfg, shape
+
+
+class TestConvPropertyBased:
+    @given(case=conv_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_any_decomposition_matches_reference(self, case):
+        cfg, shape = case
+        i_t, f_t = make_tensors(shape, seed=7)
+        got = execute_conv(cfg, shape, i_t, f_t)
+        want = conv_reference(i_t, f_t, shape)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)

@@ -1,0 +1,50 @@
+"""Unit tests for the instruction-count containers."""
+
+import pytest
+
+from repro.ptx.counts import BlockCounts, KernelCounts
+
+
+def _block(**kw) -> BlockCounts:
+    defaults = dict(
+        fma=1000, iop=100, ldg=50, stg=10, atom=0, lds=200, sts=40,
+        bar=8, ldg_bytes=4096.0, ideal_ldg_bytes=4096.0, st_bytes=512.0,
+    )
+    defaults.update(kw)
+    return BlockCounts(**defaults)
+
+
+class TestBlockCounts:
+    def test_flops_scale_with_packing(self):
+        assert _block().flops == 2000
+        assert _block(flops_per_fma=4).flops == 4000
+
+    def test_aggregates(self):
+        b = _block(atom=5)
+        assert b.arith == 1100
+        assert b.smem_ops == 240
+        assert b.global_ops == 65
+
+    def test_scaled_shrinks_extensive_fields(self):
+        b = _block()
+        half = b.scaled(0.5)
+        assert half.fma == 500
+        assert half.ldg_bytes == pytest.approx(2048.0)
+        assert half.flops_per_fma == b.flops_per_fma
+        assert half.mlp == b.mlp and half.ilp == b.ilp
+
+    def test_scaled_keeps_at_least_one_barrier(self):
+        assert _block(bar=2).scaled(0.01).bar >= 1
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _block().fma = 5
+
+
+class TestKernelCounts:
+    def test_totals_multiply_by_grid(self):
+        k = KernelCounts(block=_block(), grid_size=7, threads_per_block=64)
+        assert k.total_flops == 7 * 2000
+        assert k.total_ldg_bytes == pytest.approx(7 * 4096.0)
+        assert k.total_ideal_ldg_bytes == pytest.approx(7 * 4096.0)
+        assert k.total_st_bytes == pytest.approx(7 * 512.0)

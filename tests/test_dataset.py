@@ -1,0 +1,96 @@
+"""Tests for dataset synthesis (sampling.dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI
+from repro.sampling.dataset import (
+    ConvShapeSampler,
+    Dataset,
+    GemmShapeSampler,
+    fit_generative_models,
+    generate_conv_dataset,
+    generate_gemm_dataset,
+)
+from repro.sampling.features import CONV_FEATURES, GEMM_FEATURES
+
+
+class TestShapeSamplers:
+    def test_gemm_shapes_in_range(self, rng):
+        sampler = GemmShapeSampler()
+        for _ in range(100):
+            s = sampler(rng)
+            assert 16 <= s.m <= 4096
+            assert 16 <= s.n <= 4096
+            assert 16 <= s.k <= 65536
+
+    def test_gemm_dtype_restriction(self, rng):
+        sampler = GemmShapeSampler(dtypes=(DType.FP16,))
+        assert all(sampler(rng).dtype is DType.FP16 for _ in range(20))
+
+    def test_conv_shapes_valid(self, rng):
+        sampler = ConvShapeSampler()
+        for _ in range(100):
+            s = sampler(rng)
+            assert s.p >= 1 and s.q >= 1
+            assert s.h >= s.r and s.w >= s.s
+
+
+class TestDatasetContainer:
+    def _ds(self, n=10):
+        return Dataset(np.arange(n * 2.0).reshape(n, 2), np.arange(n * 1.0),
+                       ("a", "b"))
+
+    def test_len(self):
+        assert len(self._ds(7)) == 7
+
+    def test_subset(self):
+        sub = self._ds(10).subset(4)
+        assert len(sub) == 4
+        with pytest.raises(ValueError):
+            self._ds(3).subset(5)
+
+    def test_split_partitions(self, rng):
+        tr, va = self._ds(100).split(0.25, rng)
+        assert len(va) == 25 and len(tr) == 75
+        all_y = np.sort(np.concatenate([tr.y, va.y]))
+        np.testing.assert_array_equal(all_y, np.arange(100.0))
+
+
+class TestGeneration:
+    def test_gemm_dataset_well_formed(self, rng):
+        samplers = fit_generative_models(
+            GTX_980_TI, op="gemm", dtypes=(DType.FP32,), rng=rng,
+            target_accepted=100,
+        )
+        ds = generate_gemm_dataset(
+            GTX_980_TI, 60, rng, samplers=samplers, dtypes=(DType.FP32,)
+        )
+        assert ds.x.shape == (60, len(GEMM_FEATURES))
+        assert np.isfinite(ds.x).all() and np.isfinite(ds.y).all()
+        # Raw features: all positive integers or flags.
+        assert (ds.x >= 0).all()
+        # y is log2(TFLOPS): plausible range for the simulator.
+        assert (ds.y > -20).all() and (ds.y < 5).all()
+
+    def test_gemm_dataset_has_spread(self, rng):
+        samplers = fit_generative_models(
+            GTX_980_TI, op="gemm", dtypes=(DType.FP32,), rng=rng,
+            target_accepted=100,
+        )
+        ds = generate_gemm_dataset(
+            GTX_980_TI, 80, rng, samplers=samplers, dtypes=(DType.FP32,)
+        )
+        assert ds.y.std() > 0.3  # performance varies by orders of magnitude
+
+    def test_conv_dataset_well_formed(self, rng):
+        samplers = fit_generative_models(
+            GTX_980_TI, op="conv", dtypes=(DType.FP32,), rng=rng,
+            target_accepted=60,
+        )
+        ds = generate_conv_dataset(
+            GTX_980_TI, 30, rng, samplers=samplers, dtypes=(DType.FP32,)
+        )
+        assert ds.x.shape == (30, len(CONV_FEATURES))
+        assert np.isfinite(ds.y).all()

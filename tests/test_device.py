@@ -1,0 +1,98 @@
+"""Tests for the simulated device specifications (paper Table 3)."""
+
+import pytest
+
+from repro.core.types import DType
+from repro.gpu.device import (
+    GTX_980_TI,
+    TESLA_P100,
+    all_devices,
+    get_device,
+)
+
+
+class TestTable3Fidelity:
+    """The public columns of Table 3 must match the paper verbatim."""
+
+    def test_maxwell_row(self):
+        d = GTX_980_TI
+        assert d.cuda_cores == 2816
+        assert d.boost_mhz == 1075
+        assert d.mem_gb == 6
+        assert d.mem_type == "GDDR5"
+        assert d.mem_bw_gbs == 336.0
+        assert d.tdp_w == 250
+        assert d.market_segment == "Consumer"
+        assert d.chip == "GM200"
+
+    def test_pascal_row(self):
+        d = TESLA_P100
+        assert d.cuda_cores == 3584
+        assert d.boost_mhz == 1353
+        assert d.mem_gb == 16
+        assert d.mem_type == "HBM2"
+        assert d.mem_bw_gbs == 732.0
+        assert d.tdp_w == 250
+        assert d.market_segment == "Server"
+        assert d.chip == "GP100"
+
+    def test_peak_tflops_near_table3(self):
+        # Paper: 5.8 TFLOPS / 9.7 TFLOPS (boost-dependent; within 6%).
+        assert GTX_980_TI.peak_tflops(DType.FP32) == pytest.approx(5.8, rel=0.06)
+        assert TESLA_P100.peak_tflops(DType.FP32) == pytest.approx(9.7, rel=0.06)
+
+    def test_precision_ratios(self):
+        assert TESLA_P100.peak_tflops(DType.FP64) == pytest.approx(
+            TESLA_P100.peak_tflops(DType.FP32) / 2
+        )
+        assert TESLA_P100.peak_tflops(DType.FP16) == pytest.approx(
+            TESLA_P100.peak_tflops(DType.FP32) * 2
+        )
+        # GM200 has no fast fp16 and 1/32 fp64.
+        assert GTX_980_TI.peak_tflops(DType.FP16) == pytest.approx(
+            GTX_980_TI.peak_tflops(DType.FP32)
+        )
+        assert GTX_980_TI.peak_tflops(DType.FP64) == pytest.approx(
+            GTX_980_TI.peak_tflops(DType.FP32) / 32
+        )
+
+
+class TestFmaRate:
+    def test_packed_fp16_needs_hardware(self):
+        # Packed rate equals fp32 instruction rate (2 FLOPs each).
+        assert TESLA_P100.fma_rate(DType.FP16, packed=True) == (
+            TESLA_P100.fma_per_sm_per_cycle
+        )
+        # Maxwell ignores the packed request.
+        assert GTX_980_TI.fma_rate(DType.FP16, packed=True) == (
+            GTX_980_TI.fma_per_sm_per_cycle
+        )
+
+    def test_fp64_rate_scaled(self):
+        assert GTX_980_TI.fma_rate(DType.FP64, packed=False) == (
+            GTX_980_TI.fma_per_sm_per_cycle / 32
+        )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "alias", ["gtx980ti", "GTX 980 TI", "maxwell", "Maxwell"]
+    )
+    def test_maxwell_aliases(self, alias):
+        assert get_device(alias) is GTX_980_TI
+
+    @pytest.mark.parametrize("alias", ["p100", "pascal", "Tesla P100 (PCIE)"])
+    def test_pascal_aliases(self, alias):
+        assert get_device(alias) is TESLA_P100
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("volta")
+
+    def test_all_devices(self):
+        assert all_devices() == (GTX_980_TI, TESLA_P100)
+
+    def test_describe_rows_order(self):
+        names = [n for n, _ in GTX_980_TI.describe_rows()]
+        assert names[0] == "GPU" and names[-1] == "TDP"
+        assert len(names) == 10

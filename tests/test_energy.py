@@ -1,0 +1,68 @@
+"""Tests for the energy model (§4.1 'FLOPS, Joules, FLOPS/W')."""
+
+import pytest
+
+from repro.core.config import GemmConfig
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.gpu.energy import (
+    IDLE_FRAC,
+    estimate_energy,
+    gemm_energy,
+)
+from repro.gpu.simulator import simulate_gemm
+
+GOOD = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=4, db=2)
+
+
+class TestEnergyModel:
+    def test_power_bounded_by_tdp(self, device):
+        shape = GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        est = gemm_energy(device, GOOD, shape)
+        assert IDLE_FRAC * device.tdp_w <= est.avg_power_w <= device.tdp_w
+
+    def test_compute_bound_kernel_draws_near_tdp(self, maxwell):
+        shape = GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        est = gemm_energy(maxwell, GOOD, shape)
+        assert est.avg_power_w > 0.6 * maxwell.tdp_w
+
+    def test_starved_kernel_draws_little(self, maxwell):
+        cfg = GemmConfig(ms=4, ns=4, ml=32, nl=32, u=8, vec=1, db=1)
+        shape = GemmShape(32, 32, 60000, DType.FP32, False, True)
+        est = gemm_energy(maxwell, cfg, shape)
+        assert est.avg_power_w < 0.55 * maxwell.tdp_w
+
+    def test_energy_is_power_times_time(self, pascal):
+        shape = GemmShape(1024, 1024, 1024, DType.FP32, False, True)
+        stats = simulate_gemm(pascal, GOOD, shape)
+        est = estimate_energy(pascal, stats, shape.dtype)
+        assert est.energy_j == pytest.approx(
+            est.avg_power_w * stats.time_ms * 1e-3
+        )
+
+    def test_efficiency_metric(self, pascal):
+        shape = GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        est = gemm_energy(pascal, GOOD, shape)
+        # P100 fp32 practical efficiency: tens of GFLOPS/W.
+        assert 10 < est.gflops_per_watt < 60
+
+    def test_fp16_more_efficient_than_fp32_on_pascal(self, pascal):
+        s32 = GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        s16 = GemmShape(2048, 2048, 2048, DType.FP16, False, True)
+        e32 = gemm_energy(pascal, GOOD, s32)
+        e16 = gemm_energy(pascal, GOOD, s16)
+        assert e16.gflops_per_watt > 1.4 * e32.gflops_per_watt
+
+    def test_edp_positive(self, maxwell):
+        shape = GemmShape(512, 512, 512, DType.FP32, False, True)
+        est = gemm_energy(maxwell, GOOD, shape)
+        assert est.edp > 0
+
+    def test_wasteful_tile_costs_energy(self, maxwell, skinny_shape):
+        """Padding waste burns Joules: the wide tile spends more energy per
+        useful FLOP than the narrow one."""
+        wide = GemmConfig(ms=8, ns=8, ml=128, nl=64, u=8, vec=4, db=2)
+        narrow = GemmConfig(ms=2, ns=4, ml=64, nl=16, u=16, kg=4, vec=2, db=2)
+        e_wide = gemm_energy(maxwell, wide, skinny_shape)
+        e_narrow = gemm_energy(maxwell, narrow, skinny_shape)
+        assert e_narrow.gflops_per_watt > e_wide.gflops_per_watt

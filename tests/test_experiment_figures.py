@@ -1,0 +1,50 @@
+"""Plumbing tests for the figure-level experiment runners (micro budget).
+
+Full-budget versions with qualitative assertions live in benchmarks/;
+these reuse the session tuner to exercise the complete data flow of the
+GEMM figure runners, Table 6 and §8.1 in tens of seconds.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_fig7, run_sec81, run_table6
+from repro.workloads.gemm_suites import TABLE4_TASKS
+
+
+class TestFig7Runner:
+    def test_full_series(self, trained_gemm_tuner):
+        result = run_fig7(tuner=trained_gemm_tuner, reps=2)
+        assert result.exp_id == "fig7"
+        assert len(result.data) == len(TABLE4_TASKS)
+        for r in result.data:
+            assert r.isaac_tflops > 0
+            assert r.cublas_best_tflops > 0
+        assert "Figure 7" in result.text
+        assert "cuBLAS (Best Kernel)" in result.text
+
+
+class TestTable6Runner:
+    def test_choices_rendered(self, trained_gemm_tuner):
+        result = run_table6(tuner=trained_gemm_tuner)
+        assert len(result.data) == 10
+        # Every chosen config must be a legal point of the space.
+        from repro.core.legality import is_legal_gemm
+        from repro.core.types import DType
+
+        for (label, cfg), (_, shape) in zip(
+            result.data,
+            __import__(
+                "repro.harness.experiments", fromlist=["TABLE6_PROBLEMS"]
+            ).TABLE6_PROBLEMS,
+        ):
+            assert is_legal_gemm(cfg, DType.FP32, trained_gemm_tuner.device)
+        assert "KG" in result.text
+
+
+class TestSec81Runner:
+    def test_anatomy_pair(self, trained_gemm_tuner):
+        result = run_sec81(tuner=trained_gemm_tuner)
+        isaac, cublas = result.data
+        assert isaac.label == "ISAAC" and cublas.label == "cuBLAS"
+        assert isaac.stats.tflops > 0 and cublas.stats.tflops > 0
+        assert "Occupancy" in result.text

@@ -1,0 +1,50 @@
+"""Micro-budget smoke runs of the learned-component experiments.
+
+The full-budget versions live in benchmarks/; these verify the runners'
+plumbing (data flow, rendering, structured payloads) in seconds.
+"""
+
+import pytest
+
+from repro.gpu.device import GTX_980_TI
+from repro.harness.experiments import (
+    run_fig5,
+    run_table1,
+    run_table2,
+)
+
+
+class TestTable1Small:
+    def test_runs_and_renders(self):
+        result = run_table1(
+            n_eval=500, n_uniform_eval=5_000, target_accepted=60
+        )
+        assert result.exp_id == "table1"
+        assert "GEMM" in result.text and "CONV" in result.text
+        assert len(result.data) == 2
+        for row in result.data:
+            assert row[1].endswith("%") and row[2].endswith("%")
+
+
+class TestTable2Small:
+    def test_runs_with_two_archs(self, monkeypatch):
+        import repro.harness.experiments as ex
+
+        monkeypatch.setattr(ex, "TABLE2_ARCHS", ((64,), (32, 64, 32)))
+        monkeypatch.setattr(ex, "TABLE2_NOLOG_ARCHS", ((64,),))
+        result = run_table2(n_train=800, n_val=150, epochs=8)
+        assert len(result.data) == 2
+        arch, n_params, mse, nolog = result.data[0]
+        assert arch == (64,)
+        assert mse > 0 and nolog is not None
+        assert result.data[1][3] is None  # no-log only for selected archs
+
+
+class TestFig5Small:
+    def test_runs(self):
+        result = run_fig5(
+            sizes=(300, 800), n_val=150, epochs=8, hidden=(16,)
+        )
+        assert [n for n, _ in result.data] == [300, 800]
+        assert all(m > 0 for _, m in result.data)
+        assert "Figure 5" in result.text

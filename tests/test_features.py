@@ -1,0 +1,85 @@
+"""Tests for the feature encoding (§5.2 log transform)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.sampling.features import (
+    CONV_FEATURES,
+    GEMM_FEATURES,
+    conv_design_matrix,
+    encode_conv,
+    encode_gemm,
+    gemm_config_matrix,
+    gemm_design_matrix,
+    gemm_shape_vector,
+)
+
+
+CFG = GemmConfig(ms=8, ns=4, ml=64, nl=32, u=16, ks=2, kl=2, kg=4,
+                 vec=2, db=2)
+SHAPE = GemmShape(2560, 16, 2560, DType.FP16, True, False)
+
+
+class TestGemmFeatures:
+    def test_sixteen_features(self):
+        """§4: 10 tuning + 6 input parameters, X ⊂ N^16."""
+        assert len(GEMM_FEATURES) == 16
+        assert encode_gemm(CFG, SHAPE).shape == (16,)
+
+    def test_log_transform_is_log2(self):
+        v = encode_gemm(CFG, SHAPE, log=True)
+        assert v[0] == 3.0   # ms=8
+        assert v[GEMM_FEATURES.index("m")] == pytest.approx(np.log2(2560))
+
+    def test_flags_pass_through(self):
+        v = encode_gemm(CFG, SHAPE, log=True)
+        assert v[GEMM_FEATURES.index("ta")] == 1.0
+        assert v[GEMM_FEATURES.index("tb")] == 0.0
+
+    def test_raw_mode(self):
+        v = encode_gemm(CFG, SHAPE, log=False)
+        assert v[0] == 8.0
+        assert v[GEMM_FEATURES.index("k")] == 2560.0
+
+    def test_dtype_feature_is_size(self):
+        raw = gemm_shape_vector(SHAPE, log=False)
+        assert raw[3] == 2.0  # fp16 bytes
+
+    def test_config_matrix_rows(self):
+        cfgs = [CFG, CFG.with_(ms=2)]
+        mat = gemm_config_matrix(cfgs)
+        assert mat.shape == (2, 10)
+        assert mat[1, 0] == 1.0  # log2(2)
+
+    def test_design_matrix_tiles_shape(self):
+        cfgs = [CFG, CFG.with_(ms=2), CFG.with_(nl=64)]
+        design = gemm_design_matrix(cfgs, SHAPE)
+        assert design.shape == (3, 16)
+        # Shape columns identical across rows.
+        assert (design[:, 10:] == design[0, 10:]).all()
+
+    def test_encode_consistent_with_design(self):
+        design = gemm_design_matrix([CFG], SHAPE)
+        np.testing.assert_array_equal(design[0], encode_gemm(CFG, SHAPE))
+
+
+class TestConvFeatures:
+    CCFG = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2, u=8)
+    CSHAPE = ConvShape.from_output(n=16, p=7, q=7, k=128, c=832, r=5, s=5)
+
+    def test_feature_count(self):
+        assert len(CONV_FEATURES) == 24
+        assert encode_conv(self.CCFG, self.CSHAPE).shape == (24,)
+
+    def test_derived_implicit_gemm_extents_present(self):
+        v = encode_conv(self.CCFG, self.CSHAPE, log=False)
+        assert v[CONV_FEATURES.index("npq")] == 784.0
+        assert v[CONV_FEATURES.index("crs")] == 20800.0
+
+    def test_design_matrix(self):
+        cfgs = [self.CCFG, self.CCFG.with_(kb=64)]
+        design = conv_design_matrix(cfgs, self.CSHAPE)
+        assert design.shape == (2, 24)
+        assert (design[:, 14:] == design[0, 14:]).all()

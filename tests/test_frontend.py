@@ -1,0 +1,149 @@
+"""Tests for the DSL front-end (§9 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.frontend import (
+    Contraction,
+    FrontendError,
+    lower,
+    parse,
+)
+from repro.core.types import ConvShape, DType, GemmShape
+
+
+class TestParser:
+    def test_parse_gemm(self):
+        c = parse("C[m,n] = A[m,k] * B[k,n]")
+        assert c.out.name == "C" and c.out.indices == ("m", "n")
+        assert c.lhs.indices == ("m", "k")
+        assert c.rhs.indices == ("k", "n")
+        assert c.reduction_indices == ("k",)
+
+    def test_parse_conv(self):
+        c = parse("O[k,p,q,n] = I[c,p+r,q+s,n] * F[c,r,s,k]")
+        assert c.out.indices == ("k", "p", "q", "n")
+        assert "p+r" in c.lhs.indices
+
+    def test_whitespace_tolerant(self):
+        c = parse("  C [ m , n ]  =  A [ m , k ]  *  B [ k , n ] ")
+        assert c.reduction_indices == ("k",)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "C[m,n] = A[m,k] + B[k,n]",  # wrong operator
+            "C[m,n] = A[m,k]",           # missing operand
+            "C[] = A[m,k] * B[k,n]",     # empty index list
+            "garbage",
+        ],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(FrontendError):
+            parse(bad)
+
+
+class TestGemmLowering:
+    DIMS = {"m": 48, "n": 32, "k": 64}
+
+    @pytest.mark.parametrize(
+        "lhs,rhs,ta,tb",
+        [
+            ("A[m,k]", "B[k,n]", False, False),
+            ("A[k,m]", "B[k,n]", True, False),
+            ("A[m,k]", "B[n,k]", False, True),
+            ("A[k,m]", "B[n,k]", True, True),
+        ],
+    )
+    def test_layouts_recognized(self, lhs, rhs, ta, tb):
+        op = lower(f"C[m,n] = {lhs} * {rhs}", self.DIMS)
+        assert op.kind == "gemm"
+        shape: GemmShape = op.shape
+        assert (shape.m, shape.n, shape.k) == (48, 32, 64)
+        assert (shape.ta, shape.tb) == (ta, tb)
+
+    def test_execute_matches_numpy(self):
+        op = lower("C[m,n] = A[k,m] * B[k,n]", self.DIMS)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 48)).astype(np.float32)  # stored K x M
+        b = rng.standard_normal((64, 32)).astype(np.float32)
+        got = op.execute(a, b)
+        np.testing.assert_allclose(
+            got, (a.T @ b).astype(np.float32), rtol=1e-4, atol=1e-4
+        )
+
+    def test_execute_with_config_uses_tiled_path(self):
+        op = lower("C[m,n] = A[m,k] * B[k,n]", self.DIMS)
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, kg=2)
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((48, 64))
+        b = rng.standard_normal((64, 32))
+        np.testing.assert_allclose(
+            op.execute(a, b, cfg), a @ b, rtol=1e-8, atol=1e-8
+        )
+
+    def test_unbound_dimension_rejected(self):
+        with pytest.raises(FrontendError, match="not bound"):
+            lower("C[m,n] = A[m,k] * B[k,n]", {"m": 4, "n": 4})
+
+    def test_dtype_propagates(self):
+        op = lower(
+            "C[m,n] = A[m,k] * B[k,n]", self.DIMS, dtype=DType.FP16
+        )
+        assert op.shape.dtype is DType.FP16
+
+
+class TestConvLowering:
+    DIMS = {"k": 8, "p": 5, "q": 6, "n": 2, "c": 4, "r": 3, "s": 3}
+
+    def test_recognized(self):
+        op = lower(
+            "O[k,p,q,n] = I[c,p+r,q+s,n] * F[c,r,s,k]", self.DIMS
+        )
+        assert op.kind == "conv"
+        shape: ConvShape = op.shape
+        assert (shape.k, shape.p, shape.q, shape.n) == (8, 5, 6, 2)
+        assert (shape.c, shape.r, shape.s) == (4, 3, 3)
+
+    def test_execute_matches_reference(self):
+        op = lower(
+            "O[k,p,q,n] = I[c,p+r,q+s,n] * F[c,r,s,k]", self.DIMS
+        )
+        from repro.kernels.conv_ref import conv_reference, make_tensors
+
+        i_t, f_t = make_tensors(op.shape, seed=2)
+        np.testing.assert_allclose(
+            op.execute(i_t, f_t), conv_reference(i_t, f_t, op.shape),
+            rtol=1e-6, atol=1e-6,
+        )
+
+    def test_execute_with_config(self):
+        op = lower(
+            "O[k,p,q,n] = I[c,p+r,q+s,n] * F[c,r,s,k]", self.DIMS
+        )
+        from repro.kernels.conv_ref import conv_reference, make_tensors
+
+        cfg = ConvConfig(kt=2, pt=1, qt=2, nt=1, kb=4, pb=1, qb=2, nb=2,
+                         u=4, cg=2)
+        i_t, f_t = make_tensors(op.shape, seed=3)
+        np.testing.assert_allclose(
+            op.execute(i_t, f_t, cfg),
+            conv_reference(i_t, f_t, op.shape),
+            rtol=1e-6, atol=1e-6,
+        )
+
+    def test_mismatched_filter_indices_rejected(self):
+        with pytest.raises(FrontendError):
+            lower(
+                "O[k,p,q,n] = I[c,p+r,q+s,n] * F[r,c,s,k]", self.DIMS
+            )
+
+
+class TestUnrecognized:
+    def test_three_way_contraction_rejected(self):
+        with pytest.raises(FrontendError, match="unrecognized"):
+            lower(
+                "C[m] = A[m,k] * B[k,j]",
+                {"m": 4, "k": 4, "j": 4},
+            )

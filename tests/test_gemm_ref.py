@@ -1,0 +1,184 @@
+"""Functional-correctness tests of the tiled GEMM executor.
+
+These verify the hardware-independent half of the paper's kernel-generation
+claim: every legal parameterization — any tile sizes, any reduction splits,
+predicated edges — computes the same product as the reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GemmConfig
+from repro.core.types import DType, GemmShape
+from repro.kernels.gemm_ref import (
+    as_stored,
+    execute_gemm,
+    gemm_reference,
+    make_operands,
+)
+from repro.kernels.tiling import ExecutionTrace, tiled_matmul
+
+
+def _check(cfg: GemmConfig, shape: GemmShape, seed=0, tol=1e-8):
+    a, b = make_operands(shape, seed=seed)
+    trace = ExecutionTrace()
+    got = execute_gemm(cfg, shape, a, b, trace=trace)
+    want = gemm_reference(a, b)
+    np.testing.assert_allclose(
+        got.astype(np.float64), want.astype(np.float64), atol=tol, rtol=tol
+    )
+    return trace
+
+
+class TestExactTiling:
+    def test_plain_blocked(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        _check(cfg, GemmShape(64, 48, 32))
+
+    def test_edge_tiles_clipped(self):
+        """Predication analogue: M, N not multiples of the block tile."""
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        _check(cfg, GemmShape(37, 19, 23))
+
+    def test_k_not_multiple_of_u(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=8)
+        _check(cfg, GemmShape(16, 16, 13))
+
+    @pytest.mark.parametrize("ks", [1, 2, 4])
+    def test_ks_chains(self, ks):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, ks=ks)
+        _check(cfg, GemmShape(32, 32, 64))
+
+    @pytest.mark.parametrize("kl", [1, 2, 4, 8])
+    def test_kl_shared_reduction(self, kl):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, kl=kl)
+        trace = _check(cfg, GemmShape(32, 32, 96))
+        if kl > 1:
+            assert trace.block_reductions > 0
+
+    @pytest.mark.parametrize("kg", [1, 2, 4, 16])
+    def test_kg_global_accumulation(self, kg):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, kg=kg)
+        trace = _check(cfg, GemmShape(32, 32, 96))
+        if kg > 1:
+            assert trace.global_accumulations > 0
+
+    def test_all_splits_together(self):
+        cfg = GemmConfig(ms=2, ns=4, ml=16, nl=16, u=8, ks=2, kl=2, kg=4)
+        _check(cfg, GemmShape(50, 34, 1000))
+
+    def test_kg_exceeding_k_is_harmless(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, kg=16)
+        _check(cfg, GemmShape(16, 16, 8))
+
+
+class TestTrace:
+    def test_macs_equal_useful_volume(self):
+        """Clipped execution performs exactly M*N*K multiply-accumulates."""
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, kl=2, kg=2)
+        shape = GemmShape(37, 19, 100)
+        trace = _check(cfg, shape)
+        assert trace.macs == shape.m * shape.n * shape.k
+
+    def test_staged_elements_match_tile_walks(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        shape = GemmShape(32, 32, 64)
+        trace = _check(cfg, shape)
+        # Each of the 2x2 blocks stages its full row/col panel once.
+        assert trace.staged_a_elems == 4 * 16 * 64
+        assert trace.staged_b_elems == 4 * 16 * 64
+
+    def test_blocks_executed(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4, kg=2)
+        shape = GemmShape(32, 17, 64)
+        trace = _check(cfg, shape)
+        assert trace.blocks_executed == 2 * 2 * 2
+
+
+class TestDtypes:
+    def test_fp16_accumulates_in_fp32(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        shape = GemmShape(32, 32, 256, DType.FP16)
+        a, b = make_operands(shape, seed=2)
+        got = execute_gemm(cfg, shape, a, b)
+        want = gemm_reference(a, b)
+        assert got.dtype == np.float16
+        np.testing.assert_allclose(
+            got.astype(np.float64), want.astype(np.float64),
+            rtol=2e-2, atol=2e-1,
+        )
+
+    def test_fp64(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        shape = GemmShape(24, 24, 48, DType.FP64)
+        _check(cfg, shape, tol=1e-12)
+
+
+class TestStorageLayouts:
+    def test_as_stored_transposes_buffers(self):
+        shape = GemmShape(8, 12, 16, DType.FP32, True, True)
+        a, b = make_operands(shape)
+        sa, sb = as_stored(shape, a, b)
+        assert sa.shape == (16, 8) and sb.shape == (12, 16)
+        np.testing.assert_array_equal(sa.T, a)
+
+    def test_layout_does_not_change_math(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        for ta in (False, True):
+            for tb in (False, True):
+                _check(cfg, GemmShape(32, 32, 32, DType.FP32, ta, tb))
+
+
+class TestValidation:
+    def test_wrong_operand_shapes_rejected(self):
+        cfg = GemmConfig(ms=4, ns=4, ml=16, nl=16, u=4)
+        shape = GemmShape(16, 24, 32)
+        a, b = make_operands(shape)
+        with pytest.raises(ValueError, match="A has shape"):
+            execute_gemm(cfg, shape, a.T, b)
+        with pytest.raises(ValueError, match="B has shape"):
+            execute_gemm(cfg, shape, a, b.T)
+
+    def test_tiled_matmul_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            tiled_matmul(np.ones((4, 5)), np.ones((6, 4)), ml=4, nl=4, u=2)
+
+
+@st.composite
+def exec_cases(draw):
+    """Random (config, shape) pairs with modest sizes."""
+    ms = draw(st.sampled_from([1, 2, 4]))
+    ns = draw(st.sampled_from([1, 2, 4]))
+    ml = ms * draw(st.sampled_from([2, 4, 8]))
+    nl = ns * draw(st.sampled_from([2, 4, 8]))
+    u = draw(st.sampled_from([1, 2, 4, 8]))
+    ks = draw(st.sampled_from([s for s in (1, 2, 4) if s <= u and u % s == 0]))
+    cfg = GemmConfig(
+        ms=ms, ns=ns, ml=ml, nl=nl, u=u, ks=ks,
+        kl=draw(st.sampled_from([1, 2, 4])),
+        kg=draw(st.sampled_from([1, 2, 8])),
+    )
+    shape = GemmShape(
+        m=draw(st.integers(1, 70)),
+        n=draw(st.integers(1, 70)),
+        k=draw(st.integers(1, 120)),
+    )
+    return cfg, shape
+
+
+class TestPropertyBased:
+    @given(case=exec_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_any_decomposition_matches_reference(self, case):
+        cfg, shape = case
+        _check(cfg, shape, seed=5, tol=1e-7)
+
+    @given(case=exec_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_macs_invariant(self, case):
+        cfg, shape = case
+        a, b = make_operands(shape, seed=6)
+        trace = ExecutionTrace()
+        execute_gemm(cfg, shape, a, b, trace=trace)
+        assert trace.macs == shape.m * shape.n * shape.k

@@ -1,0 +1,143 @@
+"""Tests for the report renderer, analysis helpers and experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GemmConfig
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.harness.analysis import (
+    anatomy_table,
+    kernel_anatomy,
+    predication_overhead,
+)
+from repro.harness.experiments import (
+    TABLE2_ARCHS,
+    TABLE6_PROBLEMS,
+    run_sec83,
+    run_table3,
+)
+from repro.harness.gemm_eval import GemmResult, results_as_series, run_gemm_suite
+from repro.harness.report import (
+    render_bar_chart,
+    render_series,
+    render_table,
+    speedup_summary,
+)
+from repro.workloads.gemm_suites import TABLE4_TASKS
+
+
+class TestReport:
+    def test_render_table_aligns(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.0], ["bbbb", 22.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series_layout(self):
+        text = render_series(
+            "x", [1, 2], {"s1": [0.5, 1.5], "s2": [2.0, 3.0]}, unit="TF"
+        )
+        assert "s1 (TF)" in text and "s2 (TF)" in text
+        assert text.count("\n") == 3
+
+    def test_render_bar_chart_scales(self):
+        text = render_bar_chart(["a"], {"s": [10.0]}, width=10)
+        assert "#" * 10 in text
+
+    def test_speedup_summary_geomean(self):
+        text = speedup_summary(["t1", "t2"], [2.0, 8.0], [1.0, 2.0])
+        assert "geomean: 2.83x" in text
+
+
+class TestAnalysis:
+    CFG = GemmConfig(ms=4, ns=8, ml=64, nl=32, u=8, vec=4, db=2)
+    SHAPE = GemmShape(2560, 32, 2560, DType.FP32, False, False)
+
+    def test_kernel_anatomy_rows(self):
+        a = kernel_anatomy(TESLA_P100, self.SHAPE, self.CFG, "X")
+        names = [n for n, _ in a.rows()]
+        assert names == [
+            "TFLOPS", "ML", "NL", "KL", "U", "Shared Memory",
+            "Registers Count", "Occupancy", "L2 hit rate",
+        ]
+
+    def test_anatomy_table_side_by_side(self):
+        a = kernel_anatomy(TESLA_P100, self.SHAPE, self.CFG, "ISAAC")
+        b = kernel_anatomy(
+            TESLA_P100, self.SHAPE,
+            GemmConfig(ms=8, ns=8, ml=128, nl=64, u=8, vec=4, db=2),
+            "cuBLAS",
+        )
+        headers, rows = anatomy_table([a, b])
+        assert headers == ["", "ISAAC", "cuBLAS"]
+        assert all(len(r) == 3 for r in rows)
+
+    def test_predication_ordering(self):
+        """§8.3 must hold as an inequality chain: predicated ≈ free,
+        checked pays double-digit percent."""
+        res = predication_overhead(
+            GTX_980_TI, GemmShape(1000, 1000, 1000, DType.FP32, False, True),
+            self.CFG,
+        )
+        assert res.predicated_overhead < 0.05
+        assert res.checked_overhead > 0.08
+        assert res.predicated_overhead < res.checked_overhead
+
+
+class TestExperimentRunners:
+    def test_table3_text(self):
+        result = run_table3()
+        assert "GTX 980 TI" in result.text
+        assert "Tesla P100" in result.text
+        assert "HBM2" in result.text
+
+    def test_sec83_runs(self):
+        result = run_sec83()
+        assert "predication" in result.text.lower()
+        assert len(result.data) == 3
+
+    def test_table2_arch_list_matches_paper(self):
+        assert TABLE2_ARCHS[0] == (64,)
+        assert TABLE2_ARCHS[-1] == (64, 128, 192, 256, 192, 128, 64)
+        assert len(TABLE2_ARCHS) == 7
+
+    def test_table6_problem_list(self):
+        labels = [l for l, _ in TABLE6_PROBLEMS]
+        assert len(labels) == 10
+        assert labels[0] == "LINPACK (512)"
+        # DeepBench-B rows are TN layout.
+        shape = dict(TABLE6_PROBLEMS)["DeepBench-B (16)"]
+        assert shape.ta and not shape.tb
+
+
+class TestGemmEvalHarness:
+    def test_run_suite_on_subset(self, trained_gemm_tuner):
+        tasks = [t for t in TABLE4_TASKS if t.label in ("512", "16")][:3]
+        results = run_gemm_suite(trained_gemm_tuner, tasks, k=40, reps=2)
+        assert len(results) == len(tasks)
+        for r in results:
+            assert r.isaac_tflops > 0
+            assert r.cublas_heuristic_tflops > 0
+            assert r.cublas_best_tflops >= r.cublas_heuristic_tflops * 0.95
+            assert r.speedup_vs_heuristic == pytest.approx(
+                r.isaac_tflops / r.cublas_heuristic_tflops
+            )
+
+    def test_series_layout(self, trained_gemm_tuner):
+        tasks = [t for t in TABLE4_TASKS if t.label == "512"]
+        results = run_gemm_suite(trained_gemm_tuner, tasks, k=30, reps=2)
+        labels, series = results_as_series(results)
+        assert labels == ["LINPACK 512"]
+        assert set(series) == {
+            "ISAAC", "cuBLAS (Heuristics)", "cuBLAS (Best Kernel)"
+        }
+
+    def test_untuned_tuner_rejected(self):
+        from repro.core.tuner import Isaac
+
+        with pytest.raises(RuntimeError):
+            run_gemm_suite(Isaac(TESLA_P100), TABLE4_TASKS[:1])

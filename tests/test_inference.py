@@ -1,0 +1,186 @@
+"""Tests for exhaustive search, top-k re-ranking and CONV candidates."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.legality import is_legal_conv, is_legal_gemm
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.gpu.simulator import benchmark_gemm
+from repro.inference.conv_search import (
+    conv_candidates,
+    conv_config_from_gemm,
+    factorize_tile,
+)
+from repro.inference.search import ExhaustiveSearch, legal_configs
+from repro.inference.topk import best_after_rerank, rerank
+from repro.mlp.crossval import fit_regressor
+from repro.sampling.dataset import generate_gemm_dataset
+from tests.conftest import TINY_GEMM_SPACE
+
+
+class TestLegalConfigs:
+    def test_tiny_space_enumeration(self, tiny_space):
+        configs, matrix = legal_configs(
+            GTX_980_TI, DType.FP32, "gemm", tiny_space
+        )
+        assert len(configs) > 10
+        assert matrix.shape == (len(configs), 10)
+        assert all(
+            is_legal_gemm(c, DType.FP32, GTX_980_TI) for c in configs[:50]
+        )
+
+    def test_cache_returns_same_object(self, tiny_space):
+        a = legal_configs(GTX_980_TI, DType.FP32, "gemm", tiny_space)
+        b = legal_configs(GTX_980_TI, DType.FP32, "gemm", tiny_space)
+        assert a[0] is b[0]
+
+    def test_conv_requires_per_shape_path(self):
+        with pytest.raises(ValueError, match="CONV"):
+            legal_configs(GTX_980_TI, DType.FP32, "conv")
+
+
+@pytest.fixture(scope="module")
+def tiny_fit():
+    """A quick regressor trained on the tiny space for search tests."""
+    rng = np.random.default_rng(3)
+    from repro.sampling.dataset import fit_generative_models
+
+    samplers = fit_generative_models(
+        TESLA_P100, op="gemm", dtypes=(DType.FP32,), rng=rng,
+        target_accepted=200,
+    )
+    ds = generate_gemm_dataset(
+        TESLA_P100, 5000, rng, samplers=samplers, dtypes=(DType.FP32,)
+    )
+    tr_x, tr_y = ds.x[:4500], ds.y[:4500]
+    va_x, va_y = ds.x[4500:], ds.y[4500:]
+    return fit_regressor(
+        tr_x, tr_y, va_x, va_y, hidden=(32, 64, 32), epochs=40
+    )
+
+
+class TestExhaustiveSearch:
+    def test_top_k_sorted_and_sized(self, tiny_fit, tiny_space):
+        search = ExhaustiveSearch(
+            tiny_fit, TESLA_P100, "gemm", space=tiny_space
+        )
+        shape = GemmShape(1024, 1024, 1024, DType.FP32, False, True)
+        top = search.top_k(shape, k=20)
+        assert len(top) == 20
+        preds = [t.predicted_tflops for t in top]
+        assert preds == sorted(preds, reverse=True)
+        assert all(p > 0 for p in preds)
+
+    def test_model_ranking_beats_random(self, tiny_fit, tiny_space, rng):
+        """The model's top pick should outperform the median random legal
+        config by a wide margin — the whole point of the system."""
+        search = ExhaustiveSearch(
+            tiny_fit, TESLA_P100, "gemm", space=tiny_space
+        )
+        shape = GemmShape(2560, 16, 2560, DType.FP32, False, False)
+        top = search.top_k(shape, k=10)
+        best_measured = max(
+            benchmark_gemm(TESLA_P100, t.config, shape) for t in top
+        )
+        configs, _ = legal_configs(TESLA_P100, DType.FP32, "gemm", tiny_space)
+        sample = [configs[i] for i in rng.integers(len(configs), size=30)]
+        random_measured = np.median(
+            [benchmark_gemm(TESLA_P100, c, shape) for c in sample]
+        )
+        assert best_measured > random_measured
+
+    def test_rejects_unknown_op(self, tiny_fit):
+        with pytest.raises(ValueError):
+            ExhaustiveSearch(tiny_fit, TESLA_P100, "sort")
+
+
+class TestRerank:
+    def test_rerank_orders_by_measured(self, tiny_fit, tiny_space):
+        search = ExhaustiveSearch(
+            tiny_fit, TESLA_P100, "gemm", space=tiny_space
+        )
+        shape = GemmShape(512, 512, 4096, DType.FP32, False, True)
+        ranked = rerank(TESLA_P100, shape, search.top_k(shape, 10))
+        measured = [r.measured_tflops for r in ranked]
+        assert measured == sorted(measured, reverse=True)
+
+    def test_best_is_first(self, tiny_fit, tiny_space):
+        search = ExhaustiveSearch(
+            tiny_fit, TESLA_P100, "gemm", space=tiny_space
+        )
+        shape = GemmShape(512, 512, 4096, DType.FP32, False, True)
+        cands = search.top_k(shape, 10)
+        best = best_after_rerank(TESLA_P100, shape, cands)
+        assert best.measured_tflops == max(
+            r.measured_tflops for r in rerank(TESLA_P100, shape, cands)
+        )
+
+    def test_rerank_beats_model_argmax_on_average(self, tiny_fit, tiny_space):
+        """§6: re-evaluating the top-k on the device smooths model noise."""
+        search = ExhaustiveSearch(
+            tiny_fit, TESLA_P100, "gemm", space=tiny_space
+        )
+        reordered = 0
+        shapes = [
+            GemmShape(512, 512, 512, DType.FP32, False, True),
+            GemmShape(2560, 16, 2560, DType.FP32, False, False),
+            GemmShape(64, 64, 30000, DType.FP32, False, True),
+            GemmShape(1024, 256, 1024, DType.FP32, True, False),
+        ]
+        for shape in shapes:
+            cands = search.top_k(shape, 15)
+            argmax_measured = benchmark_gemm(
+                TESLA_P100, cands[0].config, shape, reps=3
+            )
+            ranked = rerank(TESLA_P100, shape, cands, reps=3)
+            # The device winner is never worse than the model's argmax...
+            assert ranked[0].measured_tflops >= argmax_measured * 0.999
+            # ...and measured order disagrees with predicted order somewhere
+            # (the disagreement is exactly what re-ranking corrects).
+            predicted_order = [id(c.config) for c in cands]
+            measured_order = [id(r.config) for r in ranked]
+            if predicted_order != measured_order:
+                reordered += 1
+        assert reordered >= 1
+
+
+class TestConvFactorization:
+    SHAPE = ConvShape.from_output(n=4, p=14, q=14, k=64, c=128, r=3, s=3)
+
+    def test_factorize_products_preserved(self):
+        out = factorize_tile(64, 8, self.SHAPE)
+        assert out is not None
+        nb, pb, qb, nt, pt, qt = out
+        assert nb * pb * qb == 64
+        assert nt * pt * qt == 8
+        assert nt <= nb and pt <= pb and qt <= qb
+
+    def test_batch_first(self):
+        nb, *_ = factorize_tile(64, 4, self.SHAPE)
+        assert nb == 4  # covers the whole batch before spatial dims
+
+    def test_small_batch_not_overpadded(self):
+        shape = ConvShape.from_output(n=1, p=32, q=32, k=64, c=64, r=3, s=3)
+        nb, pb, qb, *_ = factorize_tile(128, 8, shape)
+        assert nb == 1
+
+    def test_conv_config_from_gemm_legal_tiles(self):
+        g = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=2, db=2)
+        cfg = conv_config_from_gemm(g, self.SHAPE)
+        assert cfg is not None
+        assert cfg.block_m == 64 and cfg.block_n == 64
+        assert cfg.threads == g.threads
+
+    def test_conv_candidates_all_legal(self):
+        cands = conv_candidates(GTX_980_TI, self.SHAPE, max_candidates=500)
+        assert len(cands) > 50
+        assert all(
+            is_legal_conv(c, DType.FP32, GTX_980_TI) for c in cands[:100]
+        )
+
+    def test_conv_candidates_unique(self):
+        cands = conv_candidates(GTX_980_TI, self.SHAPE, max_candidates=300)
+        keys = {tuple(c.as_dict().values()) for c in cands}
+        assert len(keys) == len(cands)

@@ -1,0 +1,94 @@
+"""Tests for the Volkov-style latency-hiding pipe model."""
+
+import pytest
+
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.gpu.latency import pipe_times
+from repro.ptx.counts import BlockCounts
+
+
+def _counts(**kw) -> BlockCounts:
+    defaults = dict(
+        fma=100_000,
+        iop=5_000,
+        ldg=2_000,
+        stg=500,
+        atom=0,
+        lds=10_000,
+        sts=2_000,
+        bar=100,
+        ldg_bytes=1e6,
+        ideal_ldg_bytes=1e6,
+        st_bytes=1e4,
+        flops_per_fma=2,
+        mlp=4.0,
+        ilp=16.0,
+    )
+    defaults.update(kw)
+    return BlockCounts(**defaults)
+
+
+class TestPipeTimes:
+    def test_compute_heavy_kernel_is_alu_bound(self):
+        pipes = pipe_times(GTX_980_TI, _counts(), 4, 32, DType.FP32)
+        assert pipes.limiter == "alu"
+        assert pipes.cycles > 0
+
+    def test_smem_heavy_kernel_is_ldst_bound(self):
+        pipes = pipe_times(
+            GTX_980_TI, _counts(fma=1_000, lds=200_000), 4, 32, DType.FP32
+        )
+        assert pipes.limiter == "ldst"
+
+    def test_more_warps_hide_latency(self):
+        """With little parallelism, adding warps reduces cycles; at full
+        throughput adding warps changes nothing."""
+        starved = pipe_times(
+            GTX_980_TI, _counts(ilp=1.0), 1, 2, DType.FP32
+        )
+        hidden = pipe_times(
+            GTX_980_TI, _counts(ilp=1.0), 8, 32, DType.FP32
+        )
+        per_block_starved = starved.cycles / 1
+        per_block_hidden = hidden.cycles / 8
+        assert per_block_hidden < per_block_starved
+
+    def test_ilp_substitutes_for_occupancy(self):
+        """The paper's §3.2 trade-off: few warps need high per-thread ILP."""
+        low_ilp = pipe_times(GTX_980_TI, _counts(ilp=1.0), 1, 4, DType.FP32)
+        high_ilp = pipe_times(GTX_980_TI, _counts(ilp=32.0), 1, 4, DType.FP32)
+        assert high_ilp.cycles < low_ilp.cycles
+
+    def test_fp64_slower_on_consumer_card(self):
+        fp32 = pipe_times(GTX_980_TI, _counts(), 4, 32, DType.FP32)
+        fp64 = pipe_times(GTX_980_TI, _counts(), 4, 32, DType.FP64)
+        assert fp64.alu_cycles > 10 * fp32.alu_cycles
+
+    def test_packed_fp16_runs_at_fp32_instruction_rate(self):
+        packed = pipe_times(
+            TESLA_P100, _counts(flops_per_fma=4), 4, 32, DType.FP16
+        )
+        fp32 = pipe_times(TESLA_P100, _counts(), 4, 32, DType.FP32)
+        assert packed.alu_cycles == pytest.approx(fp32.alu_cycles, rel=0.01)
+
+    def test_atomics_cost_more_than_stores(self):
+        plain = pipe_times(
+            GTX_980_TI, _counts(stg=5_000, atom=0), 4, 32, DType.FP32
+        )
+        atomic = pipe_times(
+            GTX_980_TI, _counts(stg=0, atom=5_000), 4, 32, DType.FP32
+        )
+        assert atomic.ldst_cycles > plain.ldst_cycles
+
+    def test_barrier_cost_scales_with_count(self):
+        few = pipe_times(GTX_980_TI, _counts(bar=10), 4, 32, DType.FP32)
+        many = pipe_times(GTX_980_TI, _counts(bar=1000), 4, 32, DType.FP32)
+        assert many.barrier_cycles > few.barrier_cycles
+
+    def test_cycles_are_max_of_pipes_plus_barriers(self):
+        pipes = pipe_times(GTX_980_TI, _counts(), 4, 32, DType.FP32)
+        assert pipes.cycles == pytest.approx(
+            max(pipes.alu_cycles, pipes.ldst_cycles, pipes.issue_cycles)
+            + pipes.barrier_cycles
+        )

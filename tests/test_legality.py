@@ -1,0 +1,162 @@
+"""Unit and property tests for repro.core.legality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.legality import (
+    conv_resources,
+    conv_violations,
+    gemm_resources,
+    gemm_violations,
+    is_legal_conv,
+    is_legal_gemm,
+)
+from repro.core.space import CONV_SPACE, GEMM_SPACE
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+
+
+def gemm_configs() -> st.SearchStrategy[GemmConfig]:
+    """Random points of X̂ (not necessarily legal)."""
+    draws = {
+        name: st.sampled_from(vals) for name, vals in GEMM_SPACE.params
+    }
+    return st.builds(GemmConfig, **draws)
+
+
+def conv_configs() -> st.SearchStrategy[ConvConfig]:
+    draws = {
+        name: st.sampled_from(vals) for name, vals in CONV_SPACE.params
+    }
+    return st.builds(ConvConfig, **draws)
+
+
+KNOWN_GOOD = [
+    GemmConfig(ms=8, ns=8, ml=128, nl=128, u=8, vec=4, db=2),
+    GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=4, db=2),
+    GemmConfig(ms=2, ns=4, ml=64, nl=16, u=16, kg=4, vec=2, db=2),
+    GemmConfig(ms=2, ns=4, ml=32, nl=32, u=8, kl=4, kg=32, vec=1, db=2),
+]
+
+
+class TestGemmLegality:
+    @pytest.mark.parametrize("cfg", KNOWN_GOOD, ids=lambda c: c.short())
+    def test_known_good_configs_legal(self, cfg, device):
+        assert gemm_violations(cfg, DType.FP32, device) == []
+
+    def test_indivisible_tile_rejected(self, maxwell):
+        cfg = GemmConfig(ms=16, ns=8, ml=8, nl=64, u=8)
+        assert any("ML" in v for v in gemm_violations(cfg, DType.FP32, maxwell))
+
+    def test_too_many_threads_rejected(self, maxwell):
+        cfg = GemmConfig(ms=1, ns=1, ml=64, nl=64, u=8)
+        vs = gemm_violations(cfg, DType.FP32, maxwell)
+        assert any("exceeds" in v for v in vs)
+
+    def test_single_warp_rejected(self, maxwell):
+        cfg = GemmConfig(ms=16, ns=16, ml=64, nl=64, u=16, vec=4)
+        vs = gemm_violations(cfg, DType.FP32, maxwell)
+        assert any("below two warps" in v for v in vs)
+
+    def test_vec_exceeding_128bit_rejected_for_fp64(self, maxwell):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=4, db=2)
+        assert is_legal_gemm(cfg, DType.FP32, maxwell)
+        vs = gemm_violations(cfg, DType.FP64, maxwell)
+        assert any("128-bit" in v for v in vs)
+
+    def test_smem_overflow_rejected(self, maxwell):
+        cfg = GemmConfig(ms=16, ns=16, ml=256, nl=256, u=16, vec=4, db=2)
+        vs = gemm_violations(cfg, DType.FP32, maxwell)
+        assert any("shared memory" in v for v in vs)
+
+    def test_ks_must_divide_u(self, maxwell):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=2, ks=4)
+        vs = gemm_violations(cfg, DType.FP32, maxwell)
+        assert any("KS" in v for v in vs)
+
+    def test_tiny_thread_tile_rejected(self, maxwell):
+        cfg = GemmConfig(ms=1, ns=2, ml=16, nl=64, u=8)
+        vs = gemm_violations(cfg, DType.FP32, maxwell)
+        assert any("ILP" in v for v in vs)
+
+    @given(cfg=gemm_configs())
+    @settings(max_examples=300, deadline=None)
+    def test_is_legal_iff_no_violations(self, cfg):
+        for device in (GTX_980_TI, TESLA_P100):
+            assert is_legal_gemm(cfg, DType.FP32, device) == (
+                gemm_violations(cfg, DType.FP32, device) == []
+            )
+
+    @given(cfg=gemm_configs())
+    @settings(max_examples=200, deadline=None)
+    def test_legal_configs_fit_on_device(self, cfg):
+        """Legality must imply the occupancy calculator finds a slot."""
+        from repro.gpu.occupancy import occupancy_for
+
+        for device in (GTX_980_TI, TESLA_P100):
+            if is_legal_gemm(cfg, DType.FP32, device):
+                res = gemm_resources(cfg, DType.FP32)
+                assert occupancy_for(device, res).blocks_per_sm >= 1
+
+
+class TestGemmResources:
+    def test_accumulators_dominate_registers(self):
+        small = gemm_resources(
+            GemmConfig(ms=2, ns=2, ml=32, nl=32, u=8), DType.FP32
+        )
+        big = gemm_resources(
+            GemmConfig(ms=16, ns=16, ml=64, nl=64, u=8), DType.FP32
+        )
+        assert big.regs_per_thread - small.regs_per_thread >= 250
+
+    def test_fp64_doubles_accumulator_registers(self):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        r32 = gemm_resources(cfg, DType.FP32)
+        r64 = gemm_resources(cfg, DType.FP64)
+        assert r64.regs_per_thread > r32.regs_per_thread
+
+    def test_smem_scales_with_kl(self):
+        base = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8)
+        r1 = gemm_resources(base, DType.FP32)
+        r2 = gemm_resources(base.with_(kl=2), DType.FP32)
+        assert r2.smem_bytes > 2 * r1.smem_bytes * 0.9
+
+    def test_double_buffering_doubles_staging(self):
+        cfg1 = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, db=1)
+        cfg2 = cfg1.with_(db=2)
+        assert gemm_resources(cfg2, DType.FP32).smem_bytes == (
+            2 * gemm_resources(cfg1, DType.FP32).smem_bytes
+        )
+
+    def test_warps_round_up(self):
+        res = gemm_resources(GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8),
+                             DType.FP32)
+        assert res.warps == 2
+
+
+class TestConvLegality:
+    def test_known_good_legal(self, good_conv_cfg, device):
+        assert conv_violations(good_conv_cfg, DType.FP32, device) == []
+
+    def test_indivisible_block_rejected(self, maxwell):
+        cfg = ConvConfig(kt=4, pt=4, qt=2, nt=1, kb=32, pb=2, qb=4, nb=2, u=8)
+        vs = conv_violations(cfg, DType.FP32, maxwell)
+        assert any("PB" in v for v in vs)
+
+    def test_table_smem_accounted(self):
+        cfg = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2,
+                         u=8, cl=2)
+        res = conv_resources(cfg, DType.FP32)
+        # staging (db=1): (block_m + block_n) * u * cl * 4 bytes
+        staging = (32 + 32) * 8 * 2 * 4
+        reduction = 32 * 32 * 4
+        table = 4 * 8 * 2
+        assert res.smem_bytes == staging + reduction + table
+
+    @given(cfg=conv_configs())
+    @settings(max_examples=200, deadline=None)
+    def test_is_legal_iff_no_violations(self, cfg):
+        assert is_legal_conv(cfg, DType.FP32, GTX_980_TI) == (
+            conv_violations(cfg, DType.FP32, GTX_980_TI) == []
+        )

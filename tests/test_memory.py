@@ -1,0 +1,83 @@
+"""Tests for the L2 reuse / DRAM traffic model."""
+
+import pytest
+
+from repro.gpu.device import GTX_980_TI
+from repro.gpu.memory import estimate_traffic, l2_hit_rate
+
+
+def _hit(**kw) -> float:
+    defaults = dict(
+        device=GTX_980_TI,
+        grid_m=32,
+        grid_n=32,
+        concurrent_blocks=176,
+        a_bytes_frac=0.5,
+        staged_bytes_per_block=8192,
+        staged_depth=8,
+    )
+    defaults.update(kw)
+    return l2_hit_rate(**defaults)
+
+
+class TestL2HitRate:
+    def test_single_block_has_no_reuse(self):
+        assert _hit(concurrent_blocks=1) == 0.0
+        assert _hit(grid_m=1, grid_n=1) == 0.0
+
+    def test_in_unit_interval(self):
+        for cb in (1, 4, 64, 4096):
+            for gm in (1, 8, 128):
+                h = _hit(concurrent_blocks=cb, grid_m=gm)
+                assert 0.0 <= h <= 0.98
+
+    def test_more_concurrency_more_reuse(self):
+        assert _hit(concurrent_blocks=176) > _hit(concurrent_blocks=4)
+
+    def test_deeper_staging_improves_quality(self):
+        # §8.1: larger U -> better cache-hit rate.
+        assert _hit(staged_depth=16) > _hit(staged_depth=2)
+
+    def test_oversized_working_set_degrades(self):
+        big = _hit(staged_bytes_per_block=256 * 1024)
+        small = _hit(staged_bytes_per_block=4 * 1024)
+        assert big < small
+
+
+class TestTrafficEstimate:
+    def _traffic(self, **kw):
+        defaults = dict(
+            device=GTX_980_TI,
+            ldg_bytes_per_block=1_000_000.0,
+            ideal_ldg_bytes_per_block=800_000.0,
+            st_bytes_per_block=16_384.0,
+            grid_m=16,
+            grid_n=16,
+            kg=1,
+            concurrent_blocks=176,
+            a_bytes_frac=0.5,
+            staged_bytes_per_block=8192,
+            staged_depth=8,
+        )
+        defaults.update(kw)
+        return estimate_traffic(**defaults)
+
+    def test_loads_filtered_by_hits(self):
+        t = self._traffic()
+        blocks = 16 * 16
+        assert t.dram_load_bytes < 1_000_000.0 * blocks
+        assert t.dram_load_bytes >= 800_000.0 * 16  # compulsory floor
+
+    def test_stores_stream_through(self):
+        t = self._traffic()
+        assert t.dram_store_bytes == 16_384.0 * 256
+
+    def test_kg_blocks_share_nothing(self):
+        """KG slices work on disjoint K ranges: per-slice concurrency drops."""
+        t1 = self._traffic(kg=1)
+        t8 = self._traffic(kg=8)
+        assert t8.l2_hit_rate <= t1.l2_hit_rate
+
+    def test_total_is_sum(self):
+        t = self._traffic()
+        assert t.dram_bytes == t.dram_load_bytes + t.dram_store_bytes

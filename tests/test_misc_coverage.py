@@ -1,0 +1,90 @@
+"""Cross-cutting coverage: wave accounting, sampler internals, examples."""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import GemmConfig
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import GTX_980_TI
+from repro.gpu.simulator import simulate_gemm
+from repro.sampling.dataset import _log_uniform_int
+
+
+class TestWaveAccounting:
+    CFG = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=4, db=2)
+
+    def test_tiny_grid_is_single_partial_wave(self):
+        stats = simulate_gemm(
+            GTX_980_TI, self.CFG, GemmShape(64, 64, 4096, DType.FP32)
+        )
+        assert stats.grid_size == 1
+        assert stats.waves < 1.0
+
+    def test_wave_count_scales_with_grid(self):
+        small = simulate_gemm(
+            GTX_980_TI, self.CFG, GemmShape(512, 512, 256, DType.FP32)
+        )
+        large = simulate_gemm(
+            GTX_980_TI, self.CFG, GemmShape(2048, 2048, 256, DType.FP32)
+        )
+        assert large.waves == pytest.approx(16 * small.waves, rel=1e-6)
+
+    def test_launch_overhead_floors_tiny_kernels(self):
+        stats = simulate_gemm(
+            GTX_980_TI, self.CFG, GemmShape(64, 64, 16, DType.FP32)
+        )
+        assert stats.time_ms >= GTX_980_TI.kernel_launch_us * 1e-3
+
+
+class TestLogUniformInt:
+    def test_bounds_respected(self, rng):
+        for _ in range(300):
+            v = _log_uniform_int(rng, 16, 4096)
+            assert 16 <= v <= 4096
+
+    def test_log_uniformity_spreads_octaves(self, rng):
+        """Each octave should receive a non-trivial share of samples."""
+        lows = sum(
+            1 for _ in range(2000) if _log_uniform_int(rng, 16, 4096) < 256
+        )
+        assert 400 < lows < 1600
+
+    def test_pow2_snapping(self, rng):
+        vals = [
+            _log_uniform_int(rng, 16, 4096, round_pow2_prob=1.0)
+            for _ in range(100)
+        ]
+        assert all(v & (v - 1) == 0 for v in vals)
+
+
+class TestSearchConsistency:
+    def test_top1_is_argmax_of_predictions(self, trained_gemm_tuner):
+        shape = GemmShape(1024, 512, 2048, DType.FP32, False, True)
+        search = trained_gemm_tuner._require_tuned()
+        preds = search.predictions(shape)
+        configs, _ = search.candidates(shape)
+        top = search.top_k(shape, k=1)[0]
+        assert top.config == configs[int(np.argmax(preds))]
+
+
+class TestExamplesWellFormed:
+    """Every example must at least import and expose main()."""
+
+    EXAMPLES = sorted(
+        (Path(__file__).parent.parent / "examples").glob("*.py")
+    )
+
+    def test_examples_exist(self):
+        assert len(self.EXAMPLES) >= 5
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=lambda p: p.stem
+    )
+    def test_importable_with_main(self, path):
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(getattr(module, "main", None)), path.name

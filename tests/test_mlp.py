@@ -1,0 +1,218 @@
+"""Tests for the from-scratch MLP: layers, gradients, training dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.mlp.layers import ACTIVATIONS, Dense
+from repro.mlp.losses import mae, mse, mse_grad
+from repro.mlp.network import MLP
+from repro.mlp.optimizers import Adam, SGD
+from repro.mlp.scaler import StandardScaler, TargetScaler
+from repro.mlp.training import train
+
+
+class TestActivations:
+    def test_relu(self):
+        act = ACTIVATIONS["relu"]
+        z = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(act.fn(z), [0.0, 0.0, 3.0])
+        np.testing.assert_array_equal(act.grad(z, act.fn(z)), [0.0, 0.0, 1.0])
+
+    def test_tanh_grad(self):
+        act = ACTIVATIONS["tanh"]
+        z = np.array([0.5])
+        a = act.fn(z)
+        assert act.grad(z, a)[0] == pytest.approx(1 - np.tanh(0.5) ** 2)
+
+    def test_unknown_activation_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="unknown activation"):
+            Dense(4, 4, "swish", rng)
+
+
+class TestGradients:
+    """Backprop must match numerical differentiation — the canonical check."""
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh"])
+    def test_numerical_gradcheck(self, activation):
+        rng = np.random.default_rng(42)
+        net = MLP(5, (7, 3), activation=activation, seed=1)
+        x = rng.standard_normal((12, 5))
+        y = rng.standard_normal(12)
+
+        pred = net.forward(x, train=True)
+        net.backward(mse_grad(pred, y))
+        analytic = [g.copy() for g in net.gradients()]
+
+        eps = 1e-6
+        for p_idx, param in enumerate(net.parameters()):
+            flat = param.ravel()
+            for probe in range(0, flat.size, max(1, flat.size // 5)):
+                orig = flat[probe]
+                flat[probe] = orig + eps
+                lp = mse(net.forward(x), y)
+                flat[probe] = orig - eps
+                lm = mse(net.forward(x), y)
+                flat[probe] = orig
+                numeric = (lp - lm) / (2 * eps)
+                assert analytic[p_idx].ravel()[probe] == pytest.approx(
+                    numeric, rel=1e-4, abs=1e-6
+                )
+
+    def test_backward_before_forward_raises(self):
+        net = MLP(3, (4,), seed=0)
+        with pytest.raises(RuntimeError, match="backward called before"):
+            net.backward(np.zeros(2))
+
+
+class TestMLP:
+    def test_param_count(self):
+        net = MLP(16, (32, 64, 32), seed=0)
+        expected = (16 * 32 + 32) + (32 * 64 + 64) + (64 * 32 + 32) + (32 + 1)
+        assert net.n_params == expected
+
+    def test_paper_table2_param_counts(self):
+        """Table 2's '#weights' column orders of magnitude must hold for
+        our 16-feature input."""
+        assert 1_000 <= MLP(16, (64,)).n_params <= 2_000
+        assert 8_000 <= MLP(16, (512,)).n_params <= 12_000
+        assert 3_000 <= MLP(16, (32, 64, 32)).n_params <= 6_000
+        assert 150_000 <= MLP(
+            16, (64, 128, 192, 256, 192, 128, 64)
+        ).n_params <= 190_000
+
+    def test_forward_shapes(self):
+        net = MLP(4, (8,), seed=0)
+        assert net.forward(np.zeros((7, 4))).shape == (7,)
+        assert net.forward(np.zeros(4)).shape == (1,)
+
+    def test_predict_batched_matches_forward(self):
+        net = MLP(4, (8, 8), seed=0)
+        x = np.random.default_rng(0).standard_normal((1000, 4))
+        np.testing.assert_allclose(
+            net.predict(x, batch_size=128), net.forward(x), rtol=1e-12
+        )
+
+    def test_weights_round_trip(self):
+        a = MLP(4, (8,), seed=0)
+        b = MLP(4, (8,), seed=99)
+        b.set_weights(a.get_weights())
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_set_weights_shape_mismatch(self):
+        a = MLP(4, (8,), seed=0)
+        b = MLP(4, (9,), seed=0)
+        with pytest.raises(ValueError):
+            a.set_weights(b.get_weights())
+
+    def test_describe(self):
+        assert "32, 64, 32" in MLP(16, (32, 64, 32)).describe()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MLP(0, (8,))
+        with pytest.raises(ValueError):
+            MLP(4, (8, -1))
+
+
+class TestLosses:
+    def test_mse(self):
+        assert mse(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == 2.0
+
+    def test_mse_grad_direction(self):
+        g = mse_grad(np.array([2.0]), np.array([1.0]))
+        assert g[0] > 0
+
+    def test_mae(self):
+        assert mae(np.array([1.0, -1.0]), np.zeros(2)) == 1.0
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, opt, steps=200):
+        """Minimize ||p||^2 from a fixed start; return final norm."""
+        p = np.array([3.0, -2.0])
+        for _ in range(steps):
+            opt.step([p], [2 * p])
+        return np.linalg.norm(p)
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(SGD(lr=0.1)) < 1e-6
+
+    def test_momentum_converges(self):
+        assert self._quadratic_descent(SGD(lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(Adam(lr=0.1), steps=400) < 1e-3
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1)
+
+
+class TestScalers:
+    def test_standard_scaler_round_trip(self, rng):
+        x = rng.standard_normal((100, 5)) * 7 + 3
+        s = StandardScaler().fit(x)
+        z = s.transform(x)
+        assert abs(z.mean()) < 1e-10
+        np.testing.assert_allclose(s.inverse_transform(z), x, rtol=1e-10)
+
+    def test_constant_column_safe(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit(x).transform(x)
+        assert np.isfinite(z).all()
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            TargetScaler().transform(np.ones(2))
+
+    def test_target_scaler(self, rng):
+        y = rng.standard_normal(200) * 4 + 10
+        s = TargetScaler().fit(y)
+        z = s.transform(y)
+        assert abs(z.mean()) < 1e-10 and abs(z.std() - 1) < 1e-10
+        np.testing.assert_allclose(s.inverse_transform(z), y, rtol=1e-10)
+
+
+class TestTraining:
+    def test_learns_linear_function(self, rng):
+        x = rng.standard_normal((2000, 4))
+        y = x @ np.array([1.0, -2.0, 0.5, 3.0])
+        net = MLP(4, (32, 32), seed=0)
+        hist = train(net, x, y, epochs=60, batch_size=64, seed=0)
+        assert hist.final_train_mse < 0.01
+        assert hist.train_mse[-1] < hist.train_mse[0] / 50
+
+    def test_early_stopping_restores_best(self, rng):
+        x = rng.standard_normal((500, 4))
+        y = x.sum(axis=1)
+        xv = rng.standard_normal((100, 4))
+        yv = xv.sum(axis=1)
+        net = MLP(4, (16,), seed=0)
+        hist = train(
+            net, x, y, epochs=100, x_val=xv, y_val=yv, patience=5, seed=0
+        )
+        assert hist.best_epoch >= 0
+        final = mse(net.predict(xv), yv)
+        assert final == pytest.approx(hist.best_val_mse, rel=1e-6)
+
+    def test_rejects_mismatched_data(self):
+        net = MLP(4, (8,), seed=0)
+        with pytest.raises(ValueError):
+            train(net, np.zeros((10, 4)), np.zeros(9))
+        with pytest.raises(ValueError):
+            train(net, np.zeros((0, 4)), np.zeros(0))
+
+    def test_history_without_val_raises_on_best(self, rng):
+        x = rng.standard_normal((64, 4))
+        net = MLP(4, (8,), seed=0)
+        hist = train(net, x, x.sum(axis=1), epochs=2, seed=0)
+        with pytest.raises(ValueError):
+            _ = hist.best_val_mse

@@ -1,0 +1,86 @@
+"""Tests for the pairwise-MRF generative model (§9 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GemmConfig
+from repro.core.legality import is_legal_gemm
+from repro.core.space import GEMM_SPACE, ParamSpace, table1_space
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI
+from repro.sampling.generative import CategoricalModel
+from repro.sampling.mrf import PairwiseMRF
+
+
+def _accept(point) -> bool:
+    return is_legal_gemm(GemmConfig.from_dict(point), DType.FP32, GTX_980_TI)
+
+
+TOY = ParamSpace("toy", (("a", (1, 2)), ("b", (1, 2))))
+
+
+class TestPotentials:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            PairwiseMRF(TOY, alpha=0)
+
+    def test_conditional_learns_correlation(self, rng):
+        """Feed a perfectly correlated stream: a == b.  The conditional of
+        b given a must concentrate on the matching value."""
+        mrf = PairwiseMRF(TOY, alpha=0.1)
+        for _ in range(200):
+            mrf.observe({"a": 1, "b": 1})
+            mrf.observe({"a": 2, "b": 2})
+        p_b_given_a1 = mrf.conditional("b", {"a": 1})
+        assert p_b_given_a1[0] > 0.9
+        p_b_given_a2 = mrf.conditional("b", {"a": 2})
+        assert p_b_given_a2[1] > 0.9
+
+    def test_independent_data_gives_flat_pairwise(self, rng):
+        mrf = PairwiseMRF(TOY, alpha=1.0)
+        for _ in range(400):
+            mrf.observe({"a": int(rng.choice((1, 2))),
+                         "b": int(rng.choice((1, 2)))})
+        p1 = mrf.conditional("b", {"a": 1})
+        p2 = mrf.conditional("b", {"a": 2})
+        np.testing.assert_allclose(p1, p2, atol=0.15)
+
+    def test_conditionals_are_distributions(self, rng):
+        mrf = PairwiseMRF(GEMM_SPACE)
+        mrf.fit(_accept, rng, target_accepted=150)
+        for name in GEMM_SPACE.names:
+            p = mrf.conditional(name, {})
+            assert p.shape == (len(GEMM_SPACE.values(name)),)
+            assert p.sum() == pytest.approx(1.0)
+            assert (p >= 0).all()
+
+
+class TestSampling:
+    def test_samples_lie_in_space(self, rng):
+        mrf = PairwiseMRF(GEMM_SPACE)
+        mrf.fit(_accept, rng, target_accepted=100)
+        for _ in range(20):
+            assert GEMM_SPACE.contains(mrf.sample(rng))
+
+    def test_sample_legal(self, rng):
+        mrf = PairwiseMRF(GEMM_SPACE)
+        mrf.fit(_accept, rng, target_accepted=150)
+        point = mrf.sample_legal(_accept, rng)
+        assert _accept(point)
+
+    def test_mrf_beats_categorical_acceptance(self, rng):
+        """The extension's raison d'être: joint modeling must raise
+        acceptance above the independence model in the harsh Table-1
+        space, where constraints couple parameters strongly."""
+        space = table1_space(GEMM_SPACE)
+        cat = CategoricalModel(space)
+        cat.fit(_accept, rng, target_accepted=400)
+        mrf = PairwiseMRF(space)
+        mrf.fit(_accept, rng, target_accepted=400)
+
+        n = 1500
+        cat_rate = sum(_accept(cat.sample(rng)) for _ in range(n)) / n
+        mrf_rate = sum(
+            _accept(mrf.sample(rng, sweeps=2)) for _ in range(n)
+        ) / n
+        assert mrf_rate > cat_rate

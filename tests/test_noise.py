@@ -1,0 +1,58 @@
+"""Tests for the deterministic measurement-noise model."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.noise import averaged_noise_factor, noise_factor
+
+
+class TestNoiseFactor:
+    def test_deterministic(self):
+        assert noise_factor("k", 3) == noise_factor("k", 3)
+
+    def test_distinct_reps_differ(self):
+        assert noise_factor("k", 0) != noise_factor("k", 1)
+
+    def test_distinct_keys_differ(self):
+        assert noise_factor("a") != noise_factor("b")
+
+    def test_zero_sigma_is_exact(self):
+        assert noise_factor("k", 0, sigma=0.0) == 1.0
+
+    def test_mean_near_one(self):
+        xs = [noise_factor(f"key{i}", 0, sigma=0.05) for i in range(4000)]
+        assert statistics.mean(xs) == pytest.approx(1.0, abs=0.01)
+
+    def test_log_std_matches_sigma(self):
+        sigma = 0.1
+        xs = [
+            math.log(noise_factor(f"key{i}", 0, sigma=sigma))
+            for i in range(4000)
+        ]
+        assert statistics.stdev(xs) == pytest.approx(sigma, rel=0.1)
+
+    @given(st.text(max_size=30), st.integers(0, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_always_positive_and_finite(self, key, rep):
+        f = noise_factor(key, rep)
+        assert f > 0 and math.isfinite(f)
+
+
+class TestAveraging:
+    def test_averaging_reduces_spread(self):
+        """The §6 re-ranking rationale: repetitions shrink noise ~1/sqrt(n)."""
+        single = [
+            abs(math.log(averaged_noise_factor(f"x{i}", 1, sigma=0.1)))
+            for i in range(800)
+        ]
+        averaged = [
+            abs(math.log(averaged_noise_factor(f"x{i}", 16, sigma=0.1)))
+            for i in range(800)
+        ]
+        assert statistics.mean(averaged) < statistics.mean(single) / 2
+
+    def test_reps_one_equals_single(self):
+        assert averaged_noise_factor("k", 1) == noise_factor("k", 0)

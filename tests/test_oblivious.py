@@ -1,0 +1,49 @@
+"""Tests for the input-oblivious auto-tuner baseline."""
+
+import pytest
+
+from repro.baselines.oblivious import ObliviousTuner
+from repro.core.legality import is_legal_gemm
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import TESLA_P100
+
+
+@pytest.fixture(scope="module")
+def oblivious():
+    tuner = ObliviousTuner(TESLA_P100, sample_size=256, seed=4)
+    tuner.tune(DType.FP32)
+    return tuner
+
+
+class TestObliviousTuner:
+    def test_frozen_kernel_is_legal(self, oblivious):
+        cfg = oblivious.config_for(GemmShape(512, 512, 512))
+        assert is_legal_gemm(cfg, DType.FP32, TESLA_P100)
+
+    def test_same_kernel_for_every_shape(self, oblivious):
+        a = oblivious.config_for(GemmShape(2048, 2048, 2048))
+        b = oblivious.config_for(GemmShape(2560, 16, 2560))
+        c = oblivious.config_for(GemmShape(32, 32, 60000))
+        assert a == b == c
+
+    def test_good_on_reference_like_shapes(self, oblivious):
+        t = oblivious.tflops(
+            GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        )
+        assert t > 0.6 * TESLA_P100.peak_tflops(DType.FP32)
+
+    def test_poor_off_reference(self, oblivious):
+        """The paper's thesis: a square-tuned kernel collapses on deep-K
+        covariance shapes."""
+        square = oblivious.tflops(
+            GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        )
+        deep = oblivious.tflops(
+            GemmShape(32, 32, 60000, DType.FP32, False, True)
+        )
+        assert deep < square / 4
+
+    def test_lazy_tune_on_new_dtype(self):
+        tuner = ObliviousTuner(TESLA_P100, sample_size=128, seed=1)
+        cfg = tuner.config_for(GemmShape(256, 256, 256, DType.FP64))
+        assert is_legal_gemm(cfg, DType.FP64, TESLA_P100)

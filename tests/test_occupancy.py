@@ -1,0 +1,77 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.legality import ResourceUsage
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.gpu.occupancy import occupancy_for
+
+
+def _res(threads=256, regs=64, smem=8192) -> ResourceUsage:
+    return ResourceUsage(threads=threads, regs_per_thread=regs,
+                         smem_bytes=smem)
+
+
+class TestOccupancy:
+    def test_light_kernel_hits_max_threads(self):
+        occ = occupancy_for(GTX_980_TI, _res(threads=256, regs=32, smem=1024))
+        assert occ.blocks_per_sm == 8
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.limiter == "threads"
+
+    def test_register_pressure_limits(self):
+        occ = occupancy_for(GTX_980_TI, _res(threads=256, regs=128, smem=1024))
+        # 128 regs * 32 lanes = 4096/warp, 8 warps -> 32768/block -> 2 blocks
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 2
+        assert occ.occupancy == pytest.approx(0.25)
+
+    def test_smem_pressure_limits(self):
+        occ = occupancy_for(
+            TESLA_P100, _res(threads=64, regs=32, smem=20 * 1024)
+        )
+        assert occ.limiter == "shared memory"
+        assert occ.blocks_per_sm == 3  # 64KB / 20KB
+
+    def test_block_cap(self):
+        occ = occupancy_for(GTX_980_TI, _res(threads=32, regs=16, smem=256))
+        assert occ.blocks_per_sm == 32
+        assert occ.limiter == "blocks"
+
+    def test_oversized_kernel_does_not_fit(self):
+        occ = occupancy_for(
+            GTX_980_TI, _res(threads=1024, regs=255, smem=1024)
+        )
+        # 255 regs x 32 = 8160 -> rounded 8192/warp x 32 warps = 256k > 64k
+        assert occ.blocks_per_sm == 0
+        assert not occ.active
+        assert occ.limiter == "does not fit"
+
+    def test_warps_count(self):
+        occ = occupancy_for(GTX_980_TI, _res(threads=128, regs=40, smem=4096))
+        assert occ.warps_per_sm == occ.blocks_per_sm * 4
+
+    @given(
+        threads=st.integers(32, 1024).map(lambda t: (t // 32) * 32),
+        regs=st.integers(16, 255),
+        smem=st.integers(256, 48 * 1024),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_resources(self, threads, regs, smem):
+        """Using strictly more of any resource can never raise occupancy."""
+        base = occupancy_for(GTX_980_TI, _res(threads, regs, smem))
+        more_regs = occupancy_for(GTX_980_TI, _res(threads, min(255, regs + 32), smem))
+        more_smem = occupancy_for(GTX_980_TI, _res(threads, regs, smem + 8192))
+        assert more_regs.blocks_per_sm <= base.blocks_per_sm
+        assert more_smem.blocks_per_sm <= base.blocks_per_sm
+
+    @given(
+        threads=st.integers(32, 512).map(lambda t: (t // 32) * 32),
+        regs=st.integers(16, 128),
+        smem=st.integers(256, 32 * 1024),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_in_unit_interval(self, threads, regs, smem):
+        occ = occupancy_for(TESLA_P100, _res(threads, regs, smem))
+        assert 0.0 <= occ.occupancy <= 1.0

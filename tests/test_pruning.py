@@ -1,0 +1,81 @@
+"""Tests for MLP magnitude pruning (§5.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.mlp.losses import mse
+from repro.mlp.network import MLP
+from repro.mlp.pruning import (
+    apply_masks,
+    prune,
+    sparsity_of,
+    weight_masks,
+)
+from repro.mlp.training import train
+
+
+@pytest.fixture
+def trained_net(rng):
+    x = rng.standard_normal((3000, 6))
+    y = x @ np.array([1.0, -2.0, 0.5, 3.0, 0.0, 0.25]) + np.sin(x[:, 0])
+    net = MLP(6, (32, 32), seed=0)
+    train(net, x, y, epochs=40, seed=0)
+    return net, x, y
+
+
+class TestMasks:
+    def test_sparsity_validation(self):
+        net = MLP(4, (8,), seed=0)
+        with pytest.raises(ValueError):
+            weight_masks(net, 1.0)
+        with pytest.raises(ValueError):
+            weight_masks(net, -0.1)
+
+    def test_mask_fraction(self):
+        net = MLP(8, (16, 16), seed=0)
+        masks = weight_masks(net, 0.5)
+        kept = sum(int(m.sum()) for m in masks)
+        total = sum(m.size for m in masks)
+        assert kept / total == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_sparsity_keeps_everything(self):
+        net = MLP(8, (16,), seed=0)
+        masks = weight_masks(net, 0.0)
+        assert all(m.all() for m in masks)
+
+    def test_global_threshold_prunes_smallest(self):
+        net = MLP(4, (8,), seed=0)
+        net.layers[0].w[0, 0] = 100.0   # must survive
+        net.layers[0].w[1, 1] = 1e-9    # must die
+        masks = weight_masks(net, 0.3)
+        assert masks[0][0, 0]
+        assert not masks[0][1, 1]
+
+
+class TestPrune:
+    def test_report_accounting(self, trained_net):
+        net, x, y = trained_net
+        report = prune(net, 0.6)
+        assert report.sparsity == pytest.approx(0.6, abs=0.02)
+        assert report.kept_weights + 0 < report.total_weights
+        assert report.mac_reduction == pytest.approx(0.6, abs=0.05)
+        assert sparsity_of(net) == pytest.approx(report.sparsity, abs=1e-6)
+
+    def test_moderate_pruning_preserves_accuracy(self, trained_net):
+        net, x, y = trained_net
+        before = mse(net.predict(x), y)
+        prune(net, 0.5, x_finetune=x, y_finetune=y, finetune_epochs=8)
+        after = mse(net.predict(x), y)
+        assert after < max(2.5 * before, before + 0.05)
+
+    def test_finetune_respects_masks(self, trained_net):
+        net, x, y = trained_net
+        prune(net, 0.7, x_finetune=x, y_finetune=y, finetune_epochs=5)
+        assert sparsity_of(net) == pytest.approx(0.7, abs=0.02)
+
+    def test_extreme_pruning_degrades(self, trained_net):
+        net, x, y = trained_net
+        before = mse(net.predict(x), y)
+        prune(net, 0.98)
+        after = mse(net.predict(x), y)
+        assert after > before

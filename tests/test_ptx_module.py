@@ -1,0 +1,182 @@
+"""Tests for pseudo-PTX rendering, the mini-ISA, and the verifier."""
+
+import pytest
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.ptx.conv_codegen import ConvKernel
+from repro.ptx.gemm_codegen import GemmKernel
+from repro.ptx.isa import Instr, OpClass, classify, fma_opcode
+from repro.ptx.verifier import verify_ptx
+
+
+class TestIsa:
+    def test_instr_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            Instr("mul24.lo")
+
+    def test_vector_render(self):
+        i = Instr("ld.global.nc", "%f0", ("[%r0]",), vec=4)
+        assert ".v4" in i.render()
+
+    def test_predicated_render(self):
+        i = Instr("st.global", "[%r0]", ("%f0",), pred="%p0")
+        assert i.render().startswith("@%p0 ")
+
+    def test_repeat_annotation(self):
+        i = Instr("fma.rn.f32", "%f0", ("%a", "%b", "%f0"), repeat=64)
+        assert "x64" in i.render()
+
+    def test_classify(self):
+        assert classify("fma.rn.f32") is OpClass.FMA
+        assert classify("bar.sync") is OpClass.BARRIER
+        with pytest.raises(ValueError):
+            classify("frob")
+
+    @pytest.mark.parametrize(
+        "dtype,packed,expected",
+        [
+            ("FP16", True, "fma.rn.f16x2"),
+            ("FP16", False, "fma.rn.f16"),
+            ("FP32", False, "fma.rn.f32"),
+            ("FP64", False, "fma.rn.f64"),
+        ],
+    )
+    def test_fma_opcode(self, dtype, packed, expected):
+        assert fma_opcode(dtype, packed) == expected
+
+
+def _gemm_kernels():
+    shapes = [
+        GemmShape(512, 512, 512, DType.FP32, False, True),
+        GemmShape(2560, 16, 2560, DType.FP32, False, False),
+        GemmShape(100, 60, 333, DType.FP64, True, False),
+        GemmShape(1024, 1024, 1024, DType.FP16, False, True),
+    ]
+    cfgs = [
+        GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=2, db=2),
+        GemmConfig(ms=2, ns=4, ml=64, nl=16, u=16, kg=4, vec=2, db=2),
+        GemmConfig(ms=2, ns=4, ml=32, nl=32, u=8, kl=4, kg=8, vec=1, db=2),
+    ]
+    for shape in shapes:
+        for cfg in cfgs:
+            for device in (GTX_980_TI, TESLA_P100):
+                yield GemmKernel(cfg=cfg, shape=shape, device=device)
+
+
+class TestGemmRendering:
+    def test_all_rendered_kernels_verify(self):
+        count = 0
+        for kernel in _gemm_kernels():
+            result = verify_ptx(kernel.emit(), kernel.device)
+            assert result.ok, (kernel.name(), result.errors)
+            count += 1
+        assert count == 24
+
+    def test_kg_kernel_uses_atomics(self):
+        kernel = GemmKernel(
+            cfg=GemmConfig(ms=4, ns=4, ml=32, nl=32, u=8, kg=8, db=2),
+            shape=GemmShape(32, 32, 60000, DType.FP32, False, True),
+            device=GTX_980_TI,
+        )
+        text = kernel.emit()
+        assert "red.global.add" in text
+        assert "st.global" not in text.replace("red.global", "")
+
+    def test_predicated_kernel_guards_loads(self):
+        kernel = GemmKernel(
+            cfg=GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=2, db=2),
+            shape=GemmShape(100, 100, 100, DType.FP32),
+            device=GTX_980_TI,
+            bounds_mode="predicated",
+        )
+        assert "@%p0 " in kernel.emit()
+
+    def test_fp16_packed_opcode_appears_on_pascal(self):
+        kernel = GemmKernel(
+            cfg=GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=2, db=2),
+            shape=GemmShape(512, 512, 512, DType.FP16, False, True),
+            device=TESLA_P100,
+        )
+        assert "fma.rn.f16x2" in kernel.emit()
+
+    def test_target_directive_matches_arch(self):
+        for device, target in ((GTX_980_TI, "sm_52"), (TESLA_P100, "sm_60")):
+            kernel = GemmKernel(
+                cfg=GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=2, db=2),
+                shape=GemmShape(64, 64, 64, DType.FP32),
+                device=device,
+            )
+            assert f".target {target}" in kernel.emit()
+
+
+class TestConvRendering:
+    def test_conv_kernel_verifies(self, good_conv_cfg):
+        shape = ConvShape.from_output(n=8, p=16, q=16, k=64, c=64, r=3, s=3)
+        for device in (GTX_980_TI, TESLA_P100):
+            kernel = ConvKernel(cfg=good_conv_cfg, shape=shape, device=device)
+            result = verify_ptx(kernel.emit(), device)
+            assert result.ok, result.errors
+
+    def test_conv_text_mentions_indirection_table(self, good_conv_cfg):
+        shape = ConvShape.from_output(n=8, p=16, q=16, k=64, c=64, r=3, s=3)
+        text = ConvKernel(
+            cfg=good_conv_cfg, shape=shape, device=GTX_980_TI
+        ).emit()
+        assert "indirection" in text
+
+
+class TestVerifier:
+    def test_flags_unknown_opcode(self):
+        text = """
+.shared .align 16 .b8 smem[1024];
+frobnicate %r0, %r1;
+st.shared [smem], %f0;
+bar.sync 0;
+"""
+        result = verify_ptx(text, GTX_980_TI)
+        assert not result.ok
+        assert any("unknown opcode" in e for e in result.errors)
+
+    def test_flags_missing_barrier(self):
+        text = """
+.shared .align 16 .b8 smem[1024];
+st.shared [smem], %f0;
+ld.shared %f1, [smem];
+ret;
+"""
+        result = verify_ptx(text, GTX_980_TI)
+        assert any("barrier" in e for e in result.errors)
+
+    def test_flags_undefined_branch_target(self):
+        text = """
+.shared .align 16 .b8 smem[64];
+bar.sync 0;
+bra NOWHERE;
+"""
+        result = verify_ptx(text, GTX_980_TI)
+        assert any("undefined label" in e for e in result.errors)
+
+    def test_flags_smem_overflow(self):
+        text = f"""
+.shared .align 16 .b8 smem[{49 * 1024 + 1}];
+bar.sync 0;
+"""
+        result = verify_ptx(text, GTX_980_TI)
+        assert any("exceeds" in e for e in result.errors)
+
+    def test_flags_missing_smem(self):
+        result = verify_ptx("ret;", GTX_980_TI)
+        assert any("no shared memory" in e for e in result.errors)
+
+    def test_histogram_counts_base_opcodes(self):
+        text = """
+.shared .align 16 .b8 smem[256];
+ld.global.nc.v4 %f0, [%r0];
+ld.global.nc %f1, [%r1];
+st.shared [smem], %f0;
+bar.sync 0;
+"""
+        result = verify_ptx(text, GTX_980_TI)
+        assert result.opcode_histogram["ld.global.nc"] == 2

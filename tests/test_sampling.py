@@ -1,0 +1,116 @@
+"""Tests for uniform / categorical samplers and the acceptance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GemmConfig
+from repro.core.legality import is_legal_gemm
+from repro.core.space import GEMM_SPACE, ParamSpace, table1_space
+from repro.core.types import DType
+from repro.gpu.device import GTX_980_TI
+from repro.sampling.generative import PAPER_ALPHA, CategoricalModel
+from repro.sampling.uniform import UniformSampler, acceptance_rate
+
+
+def _accept(point) -> bool:
+    return is_legal_gemm(GemmConfig.from_dict(point), DType.FP32, GTX_980_TI)
+
+
+class TestUniformSampler:
+    def test_samples_lie_in_space(self, rng):
+        sampler = UniformSampler(GEMM_SPACE, rng)
+        for _ in range(200):
+            assert GEMM_SPACE.contains(sampler.sample())
+
+    def test_batch_matches_space(self, rng):
+        sampler = UniformSampler(GEMM_SPACE, rng)
+        batch = sampler.sample_batch(500)
+        assert len(batch) == 500
+        assert all(GEMM_SPACE.contains(p) for p in batch)
+
+    def test_roughly_uniform_marginals(self, rng):
+        space = ParamSpace("t", (("a", (1, 2, 4, 8)),))
+        sampler = UniformSampler(space, rng)
+        counts = {v: 0 for v in (1, 2, 4, 8)}
+        for _ in range(4000):
+            counts[sampler.sample()["a"]] += 1
+        for v, c in counts.items():
+            assert 800 < c < 1200
+
+
+class TestCategoricalModel:
+    def test_prior_is_uniform_before_fit(self):
+        model = CategoricalModel(GEMM_SPACE)
+        p = model.probabilities("ms")
+        np.testing.assert_allclose(p, np.full(len(p), 1 / len(p)))
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ValueError, match="alpha"):
+            CategoricalModel(GEMM_SPACE, alpha=0)
+
+    def test_paper_alpha_constant(self):
+        assert PAPER_ALPHA == 100.0
+        assert CategoricalModel(GEMM_SPACE).alpha == 100.0
+
+    def test_observe_shifts_mass(self):
+        model = CategoricalModel(GEMM_SPACE, alpha=1.0)
+        point = {n: v[0] for n, v in GEMM_SPACE.params}
+        point["ms"] = 8
+        for _ in range(50):
+            model.observe(point)
+        p = model.probabilities("ms")
+        idx = GEMM_SPACE.values("ms").index(8)
+        assert p[idx] > 0.8
+
+    def test_no_probability_is_ever_zero(self, rng):
+        """The Dirichlet prior guarantees full support (§4.1)."""
+        model = CategoricalModel(GEMM_SPACE)
+        model.fit(_accept, rng, target_accepted=100)
+        for name in GEMM_SPACE.names:
+            assert (model.probabilities(name) > 0).all()
+
+    def test_fit_improves_acceptance(self, rng):
+        """The core Table 1 claim: the fitted model accepts far more often
+        than uniform sampling."""
+        space = table1_space(GEMM_SPACE)
+        uniform = UniformSampler(space, rng)
+        u_rate = acceptance_rate(uniform, _accept, 5000)
+
+        model = CategoricalModel(space)
+        model.fit(_accept, rng, target_accepted=400)
+
+        class Adapter:
+            def sample(self):
+                return model.sample(rng)
+
+        c_rate = acceptance_rate(Adapter(), _accept, 3000)
+        assert c_rate > 5 * max(u_rate, 1e-4)
+
+    def test_sample_legal_returns_legal(self, rng):
+        model = CategoricalModel(GEMM_SPACE)
+        model.fit(_accept, rng, target_accepted=200)
+        for _ in range(20):
+            point = model.sample_legal(_accept, rng)
+            assert _accept(point)
+
+    def test_sample_legal_raises_when_impossible(self, rng):
+        model = CategoricalModel(GEMM_SPACE)
+        with pytest.raises(RuntimeError, match="no legal sample"):
+            model.sample_legal(lambda p: False, rng, max_tries=20)
+
+    def test_log_prob_finite_and_ordered(self, rng):
+        model = CategoricalModel(GEMM_SPACE, alpha=1.0)
+        frequent = {n: v[0] for n, v in GEMM_SPACE.params}
+        for _ in range(100):
+            model.observe(frequent)
+        rare = dict(frequent)
+        rare["ms"] = 16
+        assert model.log_prob(frequent) > model.log_prob(rare)
+        assert np.isfinite(model.log_prob(rare))
+
+    def test_fit_stats_recorded(self, rng):
+        model = CategoricalModel(GEMM_SPACE)
+        stats = model.fit(_accept, rng, target_accepted=50)
+        assert stats.accepted == 50
+        assert stats.uniform_draws >= 50
+        assert 0 < stats.uniform_acceptance <= 1

@@ -1,0 +1,102 @@
+"""Tests for the alternative discrete optimizers (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import TESLA_P100
+from repro.inference.optimizers import (
+    SEARCH_METHODS,
+    SearchBudget,
+    exhaustive,
+    genetic_algorithm,
+    simulated_annealing,
+)
+from repro.inference.search import ExhaustiveSearch
+from tests.conftest import TINY_GEMM_SPACE
+
+SHAPE = GemmShape(2560, 16, 2560, DType.FP32, False, False)
+
+
+@pytest.fixture(scope="module")
+def search():
+    """A quick regressor over the tiny space for optimizer tests."""
+    from repro.mlp.crossval import fit_regressor
+    from repro.sampling.dataset import (
+        fit_generative_models,
+        generate_gemm_dataset,
+    )
+
+    rng = np.random.default_rng(5)
+    samplers = fit_generative_models(
+        TESLA_P100, op="gemm", dtypes=(DType.FP32,), rng=rng,
+        target_accepted=150,
+    )
+    ds = generate_gemm_dataset(
+        TESLA_P100, 2500, rng, samplers=samplers, dtypes=(DType.FP32,)
+    )
+    fit = fit_regressor(
+        ds.x[:2200], ds.y[:2200], ds.x[2200:], ds.y[2200:],
+        hidden=(32, 32), epochs=30,
+    )
+    return ExhaustiveSearch(fit, TESLA_P100, "gemm", space=TINY_GEMM_SPACE)
+
+
+class TestSimulatedAnnealing:
+    def test_returns_sorted_predictions(self, search):
+        out = simulated_annealing(search, SHAPE, k=10, iters=800)
+        preds = [p.predicted_tflops for p in out]
+        assert preds == sorted(preds, reverse=True)
+        assert 1 <= len(out) <= 10
+
+    def test_deterministic_under_seed(self, search):
+        a = simulated_annealing(search, SHAPE, k=5, iters=500, seed=3)
+        b = simulated_annealing(search, SHAPE, k=5, iters=500, seed=3)
+        assert [p.config for p in a] == [p.config for p in b]
+
+    def test_respects_budget(self, search):
+        budget = SearchBudget(max_evaluations=100)
+        out = simulated_annealing(
+            search, SHAPE, k=5, iters=10_000, budget=budget
+        )
+        assert len(out) <= 5
+
+    def test_finds_near_exhaustive_optimum(self, search):
+        best_exh = exhaustive(search, SHAPE, k=1)[0].predicted_tflops
+        best_sa = simulated_annealing(
+            search, SHAPE, k=1, iters=3_000, seed=1
+        )[0].predicted_tflops
+        # Within 25% of the global model optimum on the tiny space.
+        assert best_sa > 0.75 * best_exh
+
+
+class TestGeneticAlgorithm:
+    def test_returns_sorted_predictions(self, search):
+        out = genetic_algorithm(
+            search, SHAPE, k=10, population=64, generations=10
+        )
+        preds = [p.predicted_tflops for p in out]
+        assert preds == sorted(preds, reverse=True)
+
+    def test_deterministic_under_seed(self, search):
+        a = genetic_algorithm(search, SHAPE, k=5, generations=8, seed=2)
+        b = genetic_algorithm(search, SHAPE, k=5, generations=8, seed=2)
+        assert [p.config for p in a] == [p.config for p in b]
+
+    def test_finds_near_exhaustive_optimum(self, search):
+        best_exh = exhaustive(search, SHAPE, k=1)[0].predicted_tflops
+        best_ga = genetic_algorithm(
+            search, SHAPE, k=1, population=96, generations=25, seed=1
+        )[0].predicted_tflops
+        assert best_ga > 0.75 * best_exh
+
+
+class TestRegistry:
+    def test_all_methods_registered(self):
+        assert set(SEARCH_METHODS) == {"exhaustive", "annealing", "genetic"}
+
+    def test_methods_share_interface(self, search):
+        for name, method in SEARCH_METHODS.items():
+            out = method(search, SHAPE, k=3)
+            assert len(out) >= 1, name
+            assert all(p.predicted_tflops > 0 for p in out)

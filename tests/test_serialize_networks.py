@@ -1,0 +1,129 @@
+"""Tests for model serialization, network workloads and app-level eval."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuner import Isaac
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import TESLA_P100
+from repro.harness.app_eval import run_network_step
+from repro.mlp.crossval import fit_regressor
+from repro.mlp.serialize import load_fit, save_fit
+from repro.workloads.networks import (
+    blocked_svd_sweep,
+    face_recognition_forward,
+    ica_pipeline_step,
+    rnn_training_step,
+)
+
+
+class TestSerialize:
+    @pytest.fixture
+    def small_fit(self, rng):
+        x = rng.standard_normal((600, 5)) + 3
+        y = x.sum(axis=1) + rng.standard_normal(600) * 0.1
+        return fit_regressor(
+            x[:500], y[:500], x[500:], y[500:], hidden=(8, 8), epochs=15
+        )
+
+    def test_round_trip_bit_exact(self, small_fit, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        save_fit(small_fit, path)
+        restored = load_fit(path)
+
+        x = rng.standard_normal((50, 5))
+        xt = small_fit.x_scaler.transform(x)
+        np.testing.assert_array_equal(
+            small_fit.model.predict(xt),
+            restored.model.predict(restored.x_scaler.transform(x)),
+        )
+        assert restored.val_mse == small_fit.val_mse
+        assert restored.history.best_epoch == small_fit.history.best_epoch
+        assert restored.y_scaler.inverse_transform(
+            np.array([0.0])
+        ) == pytest.approx(
+            small_fit.y_scaler.inverse_transform(np.array([0.0]))
+        )
+
+    def test_version_check(self, small_fit, tmp_path):
+        import json
+
+        path = tmp_path / "model.npz"
+        save_fit(small_fit, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+            meta = json.loads(str(data["meta"]))
+        meta["format_version"] = 99
+        np.savez(path, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_fit(path)
+
+
+class TestTunerPersistence:
+    def test_save_load_inference_identical(self, trained_gemm_tuner,
+                                           tmp_path):
+        path = tmp_path / "tuner.npz"
+        trained_gemm_tuner.save(path)
+        restored = Isaac.load(path)
+        assert restored.device.name == TESLA_P100.name
+        assert restored.op == "gemm"
+        assert restored.is_tuned
+
+        shape = GemmShape(2560, 16, 2560, DType.FP32, False, False)
+        a = trained_gemm_tuner.top_k(shape, k=5)
+        b = restored.top_k(shape, k=5)
+        assert [p.config for p in a] == [p.config for p in b]
+
+    def test_save_untrained_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            Isaac(TESLA_P100).save(tmp_path / "x.npz")
+
+
+class TestNetworkSteps:
+    def test_rnn_step_composition(self):
+        step = rnn_training_step(hidden=2560, batch=32, timesteps=2)
+        assert len(step.kernels) == 8
+        fwd = dict(step.kernels)["t0-fwd-x"]
+        assert (fwd.m, fwd.n, fwd.k) == (2560, 32, 2560)
+        bwd = dict(step.kernels)["t0-bwd-dx"]
+        assert bwd.ta  # backward transposes A
+        assert step.total_flops > 0
+
+    def test_ica_step(self):
+        step = ica_pipeline_step(channels=64, iters=2)
+        cov = dict(step.kernels)["it0-cov"]
+        assert cov.k == 60000
+
+    def test_face_recognition_uses_table5_shapes(self):
+        step = face_recognition_forward()
+        shapes = dict(step.kernels)
+        assert shapes["Conv8"].crs == 20800
+        assert all(isinstance(s, ConvShape) for s in shapes.values())
+
+    def test_svd_sweep(self):
+        step = blocked_svd_sweep()
+        assert all(s.k == 32 for _, s in step.kernels)
+
+
+class TestAppEval:
+    def test_rnn_step_end_to_end(self, trained_gemm_tuner):
+        step = rnn_training_step(hidden=1024, batch=16, timesteps=1)
+        result = run_network_step(trained_gemm_tuner, step, k=30, reps=2)
+        assert result.isaac_ms > 0 and result.baseline_ms > 0
+        assert len(result.per_kernel) == len(step.kernels)
+        # Skinny-batch RNN steps are ISAAC's home turf.
+        assert result.speedup > 1.0
+        assert result.isaac_tflops == pytest.approx(
+            step.total_flops / result.isaac_ms / 1e9
+        )
+
+    def test_shared_shapes_tuned_once(self, trained_gemm_tuner):
+        """Identical shapes in one step must get identical kernels."""
+        step = rnn_training_step(hidden=1024, batch=16, timesteps=2)
+        result = run_network_step(trained_gemm_tuner, step, k=20, reps=2)
+        times = {}
+        for label, isaac_ms, _ in result.per_kernel:
+            key = label.split("-", 1)[1]  # strip the timestep prefix
+            times.setdefault(key, set()).add(round(isaac_ms, 9))
+        for key, vals in times.items():
+            assert len(vals) == 1, key

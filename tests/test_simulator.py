@@ -1,0 +1,191 @@
+"""Tests for the simulated GPU — the paper's performance trade-offs must
+emerge from the model (these are the mechanisms §8 analyzes)."""
+
+import pytest
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.gpu.simulator import (
+    IllegalKernelError,
+    benchmark_conv,
+    benchmark_gemm,
+    simulate_conv,
+    simulate_gemm,
+)
+
+
+GOOD = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=4, db=2)
+
+
+class TestBasicSanity:
+    def test_throughput_below_peak(self, device):
+        for m in (64, 512, 2048):
+            shape = GemmShape(m, m, m, DType.FP32, False, True)
+            stats = simulate_gemm(device, GOOD, shape)
+            assert 0 < stats.tflops <= device.peak_tflops(DType.FP32)
+
+    def test_large_square_near_peak(self, device):
+        """LINPACK-style problems should reach >80% of peak (§7.3)."""
+        shape = GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        stats = simulate_gemm(device, GOOD, shape)
+        assert stats.tflops > 0.8 * device.peak_tflops(DType.FP32)
+
+    def test_time_grows_with_k(self, maxwell):
+        t = [
+            simulate_gemm(
+                maxwell, GOOD, GemmShape(512, 512, k, DType.FP32, False, True)
+            ).time_ms
+            for k in (256, 1024, 4096)
+        ]
+        assert t[0] < t[1] < t[2]
+
+    def test_illegal_config_raises(self, maxwell):
+        bad = GemmConfig(ms=1, ns=1, ml=256, nl=256, u=8)
+        with pytest.raises(IllegalKernelError):
+            simulate_gemm(maxwell, bad, GemmShape(512, 512, 512))
+
+    def test_legality_check_can_be_skipped_for_analysis(self, maxwell):
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=4, db=2, kg=64)
+        stats = simulate_gemm(
+            maxwell, cfg, GemmShape(64, 64, 65536), check_legality=False
+        )
+        assert stats.time_ms > 0
+
+    def test_stats_fields_consistent(self, maxwell, square_shape):
+        stats = simulate_gemm(maxwell, GOOD, square_shape)
+        assert stats.useful_flops == square_shape.flops
+        assert stats.padded_flops >= stats.useful_flops
+        assert 0 <= stats.padding_waste < 1
+        assert stats.grid_size == GOOD.grid_size(square_shape)
+        assert stats.dram_gbs <= maxwell.mem_bw_gbs * 1.01
+
+
+class TestWaveQuantization:
+    """§8.1: tiles wider than N waste threads on a non-existent output."""
+
+    def test_skinny_n_prefers_narrow_tiles(self, maxwell, skinny_shape):
+        wide = GemmConfig(ms=8, ns=8, ml=128, nl=64, u=8, vec=4, db=2)
+        narrow = GemmConfig(ms=2, ns=4, ml=64, nl=16, u=16, kg=4, vec=2, db=2)
+        t_wide = simulate_gemm(maxwell, wide, skinny_shape)
+        t_narrow = simulate_gemm(maxwell, narrow, skinny_shape)
+        assert t_narrow.tflops > 1.3 * t_wide.tflops
+        assert t_wide.padding_waste > 0.7  # 64-wide tile on N=16
+
+    def test_padding_waste_zero_when_divisible(self, maxwell):
+        stats = simulate_gemm(
+            maxwell, GOOD, GemmShape(256, 128, 256, DType.FP32)
+        )
+        assert stats.padding_waste == 0.0
+
+
+class TestReductionSplitting:
+    """§3.2 / §8.2: deep reductions need KL/KG to occupy the machine."""
+
+    def test_kg_split_wins_on_deep_k(self, maxwell, deep_shape):
+        no_split = GemmConfig(ms=4, ns=4, ml=32, nl=32, u=8, vec=1, db=1)
+        split = no_split.with_(kg=32, db=2)
+        t0 = simulate_gemm(maxwell, no_split, deep_shape)
+        t1 = simulate_gemm(maxwell, split, deep_shape)
+        assert t1.tflops > 5 * t0.tflops
+
+    def test_kg_split_loses_on_square(self, maxwell, square_shape):
+        """Atomics and extra store traffic must make KG a bad idea when
+        parallelism is already plentiful."""
+        split = GOOD.with_(kg=16, vec=4)
+        t0 = simulate_gemm(maxwell, GOOD, square_shape)
+        t1 = simulate_gemm(maxwell, split, square_shape)
+        assert t1.tflops < t0.tflops
+
+    def test_kl_split_speeds_up_single_block_grid(self, maxwell):
+        """A 32x32 deep-K problem launches one block; KL quadruples its
+        warps and hides the staging latency (§7.3 DeepBench-B analysis)."""
+        base = GemmConfig(ms=4, ns=4, ml=32, nl=32, u=8, vec=1, db=1)
+        split = base.with_(kl=4)
+        shape = GemmShape(32, 32, 60000, DType.FP32, False, True)
+        s0 = simulate_gemm(maxwell, base, shape)
+        s1 = simulate_gemm(maxwell, split, shape)
+        assert s0.grid_size == 1 and s1.grid_size == 1
+        assert s1.tflops > s0.tflops
+
+
+class TestPrecision:
+    def test_fp16_packed_beats_fp32_on_pascal(self, pascal):
+        shape32 = GemmShape(2048, 2048, 2048, DType.FP32, False, True)
+        shape16 = GemmShape(2048, 2048, 2048, DType.FP16, False, True)
+        t32 = simulate_gemm(pascal, GOOD, shape32).tflops
+        t16 = simulate_gemm(pascal, GOOD, shape16).tflops
+        assert t16 > 1.6 * t32
+
+    def test_fp16_unpacked_no_gain(self, pascal):
+        shape16 = GemmShape(2048, 2048, 2048, DType.FP16, False, True)
+        packed = simulate_gemm(pascal, GOOD, shape16).tflops
+        plain = simulate_gemm(
+            pascal, GOOD, shape16, allow_fp16x2=False
+        ).tflops
+        assert packed > 1.6 * plain
+
+    def test_fp64_much_slower_on_maxwell(self, maxwell):
+        # db=1: the double-buffered variant blows the register budget in
+        # double precision (two-word accumulators), as on real hardware.
+        cfg = GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8, vec=2, db=1)
+        s32 = simulate_gemm(
+            maxwell, cfg, GemmShape(1024, 1024, 1024, DType.FP32, False, True)
+        )
+        s64 = simulate_gemm(
+            maxwell, cfg, GemmShape(1024, 1024, 1024, DType.FP64, False, True)
+        )
+        assert s64.tflops < s32.tflops / 8
+
+
+class TestBenchmarkNoise:
+    def test_benchmark_is_deterministic(self, maxwell, square_shape):
+        a = benchmark_gemm(maxwell, GOOD, square_shape)
+        b = benchmark_gemm(maxwell, GOOD, square_shape)
+        assert a == b
+
+    def test_benchmark_near_model(self, maxwell, square_shape):
+        model = simulate_gemm(maxwell, GOOD, square_shape).tflops
+        measured = benchmark_gemm(maxwell, GOOD, square_shape)
+        assert measured == pytest.approx(model, rel=0.3)
+
+    def test_more_reps_tighter(self, maxwell, square_shape):
+        model = simulate_gemm(maxwell, GOOD, square_shape).tflops
+        errs_1 = []
+        errs_9 = []
+        for k in (128, 256, 512, 1024, 2048):
+            shape = GemmShape(k, k, 256, DType.FP32, False, True)
+            m = simulate_gemm(maxwell, GOOD, shape).tflops
+            errs_1.append(abs(benchmark_gemm(maxwell, GOOD, shape, reps=1) - m) / m)
+            errs_9.append(abs(benchmark_gemm(maxwell, GOOD, shape, reps=16) - m) / m)
+        assert sum(errs_9) < sum(errs_1)
+
+
+class TestConvSimulation:
+    CFG = ConvConfig(kt=4, pt=2, qt=2, nt=1, kb=32, pb=4, qb=4, nb=2,
+                     u=8, vec=2, db=2)
+
+    def test_basic(self, device):
+        shape = ConvShape.from_output(n=8, p=28, q=28, k=64, c=64, r=3, s=3)
+        stats = simulate_conv(device, self.CFG, shape)
+        assert 0 < stats.tflops <= device.peak_tflops(DType.FP32)
+
+    def test_conv_illegal_raises(self, maxwell):
+        bad = self.CFG.with_(cl=8, u=32)
+        shape = ConvShape.from_output(n=8, p=28, q=28, k=64, c=64, r=3, s=3)
+        with pytest.raises(IllegalKernelError):
+            simulate_conv(maxwell, bad, shape)
+
+    def test_deep_reduction_benefits_from_cg(self, maxwell):
+        """A deep-CRS layer with few output tiles starves the grid unless
+        the reduction is split (the Conv7/Conv8 mechanism)."""
+        shape = ConvShape.from_output(n=1, p=7, q=7, k=32, c=832, r=5, s=5)
+        t0 = simulate_conv(maxwell, self.CFG, shape).tflops
+        t1 = simulate_conv(maxwell, self.CFG.with_(cg=16), shape).tflops
+        assert t1 > 1.5 * t0
+
+    def test_benchmark_deterministic(self, maxwell):
+        shape = ConvShape.from_output(n=8, p=28, q=28, k=64, c=64, r=3, s=3)
+        assert benchmark_conv(maxwell, self.CFG, shape) == benchmark_conv(
+            maxwell, self.CFG, shape
+        )

@@ -1,0 +1,101 @@
+"""Metamorphic property tests of the simulated GPU.
+
+Hypothesis generates random legal kernels and shapes; the simulator must
+obey physics-flavoured invariants regardless of the sample: throughput
+bounded by peak and bandwidth, monotone cost in problem volume, and
+sane diagnostics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GemmConfig
+from repro.core.legality import is_legal_gemm
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import GTX_980_TI, TESLA_P100
+from repro.gpu.simulator import simulate_gemm
+
+from tests.test_legality import gemm_configs
+
+
+def shapes() -> st.SearchStrategy[GemmShape]:
+    return st.builds(
+        GemmShape,
+        m=st.integers(16, 4096),
+        n=st.integers(16, 4096),
+        k=st.integers(16, 40000),
+        dtype=st.sampled_from(list(DType)),
+        ta=st.booleans(),
+        tb=st.booleans(),
+    )
+
+
+class TestPhysicalBounds:
+    @given(cfg=gemm_configs(), shape=shapes())
+    @settings(max_examples=120, deadline=None)
+    def test_throughput_bounded_by_peak(self, cfg, shape):
+        for device in (GTX_980_TI, TESLA_P100):
+            if not is_legal_gemm(cfg, shape.dtype, device):
+                continue
+            stats = simulate_gemm(device, cfg, shape)
+            assert 0 < stats.tflops <= device.peak_tflops(shape.dtype) * 1.001
+
+    @given(cfg=gemm_configs(), shape=shapes())
+    @settings(max_examples=120, deadline=None)
+    def test_dram_bounded_by_bandwidth(self, cfg, shape):
+        device = GTX_980_TI
+        if not is_legal_gemm(cfg, shape.dtype, device):
+            return
+        stats = simulate_gemm(device, cfg, shape)
+        assert stats.dram_gbs <= device.mem_bw_gbs * 1.001
+
+    @given(cfg=gemm_configs(), shape=shapes())
+    @settings(max_examples=100, deadline=None)
+    def test_diagnostics_sane(self, cfg, shape):
+        device = TESLA_P100
+        if not is_legal_gemm(cfg, shape.dtype, device):
+            return
+        stats = simulate_gemm(device, cfg, shape)
+        assert 0.0 <= stats.padding_waste < 1.0
+        assert 0.0 < stats.occupancy.occupancy <= 1.0
+        assert 0.0 <= stats.traffic.l2_hit_rate <= 0.98
+        assert stats.waves > 0
+        assert stats.grid_size == cfg.grid_size(shape)
+
+
+class TestMonotonicity:
+    @given(cfg=gemm_configs(), shape=shapes())
+    @settings(max_examples=80, deadline=None)
+    def test_doubling_k_never_speeds_up(self, cfg, shape):
+        device = GTX_980_TI
+        if not is_legal_gemm(cfg, shape.dtype, device) or shape.k > 20000:
+            return
+        bigger = GemmShape(
+            shape.m, shape.n, shape.k * 2, shape.dtype, shape.ta, shape.tb
+        )
+        t1 = simulate_gemm(device, cfg, shape).time_ms
+        t2 = simulate_gemm(device, cfg, bigger).time_ms
+        assert t2 >= t1 * 0.999
+
+    @given(cfg=gemm_configs(), shape=shapes())
+    @settings(max_examples=80, deadline=None)
+    def test_checked_mode_never_faster(self, cfg, shape):
+        """CUDA-C-style bounds checks can only add instructions (§8.3)."""
+        device = GTX_980_TI
+        if not is_legal_gemm(cfg, shape.dtype, device):
+            return
+        pred = simulate_gemm(device, cfg, shape, bounds_mode="predicated")
+        chk = simulate_gemm(device, cfg, shape, bounds_mode="checked")
+        assert chk.time_ms >= pred.time_ms * 0.999
+
+    @given(cfg=gemm_configs(), shape=shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_unpacked_fp16_never_faster(self, cfg, shape):
+        device = TESLA_P100
+        shape16 = GemmShape(shape.m, shape.n, shape.k, DType.FP16,
+                            shape.ta, shape.tb)
+        if not is_legal_gemm(cfg, DType.FP16, device):
+            return
+        packed = simulate_gemm(device, cfg, shape16, allow_fp16x2=True)
+        plain = simulate_gemm(device, cfg, shape16, allow_fp16x2=False)
+        assert plain.time_ms >= packed.time_ms * 0.999

@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.space."""
+
+import pytest
+
+from repro.core.config import GemmConfig
+from repro.core.space import (
+    CONV_SPACE,
+    GEMM_SPACE,
+    ParamSpace,
+    enumerate_legal,
+    table1_space,
+)
+
+
+class TestParamSpace:
+    def test_gemm_space_has_ten_parameters(self):
+        # §4: "there are 10 tuning parameters" for GEMM.
+        assert len(GEMM_SPACE.params) == 10
+        assert GEMM_SPACE.names == GemmConfig.param_names()
+
+    def test_conv_space_has_fourteen_parameters(self):
+        assert len(CONV_SPACE.params) == 14
+
+    def test_size_is_product(self):
+        space = ParamSpace("t", (("a", (1, 2)), ("b", (1, 2, 3))))
+        assert space.size == 6
+
+    def test_iter_points_covers_space(self):
+        space = ParamSpace("t", (("a", (1, 2)), ("b", (4, 8))))
+        points = list(space.iter_points())
+        assert len(points) == 4
+        assert {tuple(sorted(p.items())) for p in points} == {
+            (("a", 1), ("b", 4)),
+            (("a", 1), ("b", 8)),
+            (("a", 2), ("b", 4)),
+            (("a", 2), ("b", 8)),
+        }
+
+    def test_values_lookup(self):
+        assert GEMM_SPACE.values("ms") == (1, 2, 4, 8, 16)
+        with pytest.raises(KeyError):
+            GEMM_SPACE.values("nope")
+
+    def test_contains(self):
+        point = {n: v[0] for n, v in GEMM_SPACE.params}
+        assert GEMM_SPACE.contains(point)
+        point["ms"] = 3
+        assert not GEMM_SPACE.contains(point)
+
+    def test_all_values_are_powers_of_two(self):
+        for space in (GEMM_SPACE, CONV_SPACE):
+            for name, vals in space.params:
+                for v in vals:
+                    assert v & (v - 1) == 0, f"{space.name}.{name}={v}"
+
+
+class TestTable1Space:
+    def test_all_params_within_16(self):
+        for base in (GEMM_SPACE, CONV_SPACE):
+            sp = table1_space(base)
+            for name, vals in sp.params:
+                if name == "db":
+                    assert vals == (1, 2)
+                else:
+                    assert vals == (1, 2, 4, 8, 16)
+
+    def test_preserves_parameter_names(self):
+        assert table1_space(GEMM_SPACE).names == GEMM_SPACE.names
+
+    def test_values_capped_at_16(self):
+        sp = table1_space(GEMM_SPACE)
+        assert max(max(vals) for _, vals in sp.params) == 16
+        # The production space reaches much larger tiles.
+        assert max(GEMM_SPACE.values("ml")) > 16
+
+
+class TestEnumerateLegal:
+    def test_limit_respected(self):
+        space = ParamSpace(
+            "t",
+            (("ms", (2,)), ("ns", (4,)), ("ml", (32, 64)), ("nl", (32, 64)),
+             ("u", (8, 16)), ("ks", (1,)), ("kl", (1,)), ("kg", (1,)),
+             ("vec", (1,)), ("db", (1, 2))),
+        )
+        out = enumerate_legal(
+            space, GemmConfig.from_dict, lambda c: True, limit=3
+        )
+        assert len(out) == 3
+
+    def test_filter_applied(self):
+        space = ParamSpace(
+            "t",
+            (("ms", (2, 4)), ("ns", (4,)), ("ml", (32,)), ("nl", (32,)),
+             ("u", (8,)), ("ks", (1,)), ("kl", (1,)), ("kg", (1,)),
+             ("vec", (1,)), ("db", (1,))),
+        )
+        out = enumerate_legal(
+            space, GemmConfig.from_dict, lambda c: c.ms == 4
+        )
+        assert len(out) == 1 and out[0].ms == 4

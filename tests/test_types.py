@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types import (
+    ConvShape,
+    DType,
+    GemmShape,
+    ceil_div,
+    is_pow2,
+    log2_int,
+    round_up,
+)
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.FP16.size == 2
+        assert DType.FP32.size == 4
+        assert DType.FP64.size == 8
+
+    def test_short_names(self):
+        assert DType.FP16.short_name == "h"
+        assert DType.FP32.short_name == "s"
+        assert DType.FP64.short_name == "d"
+
+    def test_numpy_names(self):
+        import numpy as np
+
+        for dt in DType:
+            assert np.dtype(dt.numpy_name).itemsize == dt.size
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("fp16", DType.FP16),
+            ("half", DType.FP16),
+            ("FLOAT32", DType.FP32),
+            ("double", DType.FP64),
+        ],
+    )
+    def test_from_name(self, name, expected):
+        assert DType.from_name(name) is expected
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            DType.from_name("bf16")
+
+
+class TestGemmShape:
+    def test_flops(self):
+        s = GemmShape(4, 5, 6)
+        assert s.flops == 2 * 4 * 5 * 6
+
+    def test_bytes_moved(self):
+        s = GemmShape(4, 5, 6, DType.FP64)
+        assert s.bytes_moved == (4 * 6 + 6 * 5 + 4 * 5) * 8
+
+    def test_arithmetic_intensity_grows_with_size(self):
+        small = GemmShape(64, 64, 64)
+        big = GemmShape(2048, 2048, 2048)
+        assert big.arithmetic_intensity > small.arithmetic_intensity
+
+    @pytest.mark.parametrize(
+        "ta,tb,code",
+        [(False, False, "NN"), (False, True, "NT"),
+         (True, False, "TN"), (True, True, "TT")],
+    )
+    def test_layout_code(self, ta, tb, code):
+        assert GemmShape(8, 8, 8, ta=ta, tb=tb).layout_code == code
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemmShape(0, 4, 4)
+        with pytest.raises(ValueError):
+            GemmShape(4, -1, 4)
+
+    def test_describe_mentions_extents(self):
+        text = GemmShape(12, 34, 56).describe()
+        assert "M=12" in text and "N=34" in text and "K=56" in text
+
+    def test_frozen(self):
+        s = GemmShape(8, 8, 8)
+        with pytest.raises(AttributeError):
+            s.m = 16
+
+
+class TestConvShape:
+    def test_output_extents_stride1(self):
+        s = ConvShape(n=2, c=3, h=10, w=12, k=4, r=3, s=5)
+        assert s.p == 8 and s.q == 8
+
+    def test_from_output_round_trips(self):
+        s = ConvShape.from_output(n=16, p=7, q=7, k=128, c=832, r=5, s=5)
+        assert (s.p, s.q) == (7, 7)
+        assert s.h == 11 and s.w == 11
+
+    def test_npq_crs(self):
+        s = ConvShape.from_output(n=16, p=7, q=7, k=128, c=832, r=5, s=5)
+        assert s.npq == 16 * 7 * 7 == 784
+        assert s.crs == 832 * 25 == 20800
+
+    def test_flops(self):
+        s = ConvShape.from_output(n=2, p=3, q=3, k=4, c=5, r=2, s=2)
+        assert s.flops == 2 * 4 * 3 * 3 * 2 * 5 * 2 * 2
+
+    def test_implicit_gemm_dims(self):
+        s = ConvShape.from_output(n=8, p=4, q=4, k=32, c=16, r=3, s=3)
+        g = s.implicit_gemm()
+        assert (g.m, g.n, g.k) == (s.npq, s.k, s.crs)
+        assert g.dtype is s.dtype
+
+    def test_padding_and_stride(self):
+        s = ConvShape(n=1, c=1, h=8, w=8, k=1, r=3, s=3,
+                      pad_h=1, pad_w=1, stride_h=2, stride_w=2)
+        assert s.p == 4 and s.q == 4
+
+    def test_rejects_filter_larger_than_image(self):
+        with pytest.raises(ValueError, match="filter larger"):
+            ConvShape(n=1, c=1, h=2, w=2, k=1, r=5, s=5)
+
+
+class TestIntHelpers:
+    @given(st.integers(1, 10**6), st.integers(1, 10**4))
+    def test_ceil_div_property(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b
+
+    def test_ceil_div_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**4))
+    def test_round_up_property(self, a, b):
+        r = round_up(a, b)
+        assert r % b == 0 and 0 <= r - a < b
+
+    def test_is_pow2(self):
+        assert all(is_pow2(1 << i) for i in range(20))
+        assert not any(is_pow2(x) for x in (0, -2, 3, 6, 12, 100))
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+        with pytest.raises(ValueError):
+            log2_int(12)

@@ -1,0 +1,100 @@
+"""Tests pinning the benchmark workloads to the paper's published tables."""
+
+import pytest
+
+from repro.core.types import DType
+from repro.workloads.conv_suites import (
+    TABLE5_NPQ_CRS,
+    TABLE5_TASKS,
+    fp16_tasks,
+    task,
+)
+from repro.workloads.gemm_suites import (
+    FIG8_DTYPES,
+    TABLE4_TASKS,
+    fig8_tasks,
+    tasks_by_group,
+)
+
+
+class TestTable4:
+    def test_group_inventory(self):
+        groups = {t.group for t in TABLE4_TASKS}
+        assert groups == {
+            "LINPACK", "DeepBench [F]", "DeepBench [B]", "ICA", "Blocked SVD"
+        }
+
+    def test_linpack_is_square_nt(self):
+        for t in tasks_by_group("LINPACK"):
+            s = t.shape
+            assert s.m == s.n == s.k
+            assert (s.ta, s.tb) == (False, True)
+
+    def test_deepbench_dimensions(self):
+        """M = K = 2560 with batch N; backward transposes A (paper §7.3)."""
+        for t in tasks_by_group("DeepBench [F]"):
+            assert t.shape.m == t.shape.k == 2560
+            assert not t.shape.ta
+        for t in tasks_by_group("DeepBench [B]"):
+            assert t.shape.m == t.shape.k == 2560
+            assert t.shape.ta
+        ns = sorted(t.shape.n for t in tasks_by_group("DeepBench [F]"))
+        assert ns == [16, 32, 64, 128]
+
+    def test_ica_is_deep_covariance(self):
+        for t in tasks_by_group("ICA"):
+            assert t.shape.k == 60000
+            assert t.shape.m == t.shape.n
+
+    def test_svd_k_is_block_size(self):
+        for t in tasks_by_group("Blocked SVD"):
+            assert t.shape.k == 32
+
+    def test_all_fp32_by_default(self):
+        assert all(t.shape.dtype is DType.FP32 for t in TABLE4_TASKS)
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(KeyError):
+            tasks_by_group("SPARSE")
+
+
+class TestFig8Precisions:
+    def test_assignment(self):
+        """Fig 8: half for LINPACK + DeepBench, double for ICA + SVD."""
+        assert FIG8_DTYPES["LINPACK"] is DType.FP16
+        assert FIG8_DTYPES["ICA"] is DType.FP64
+        for t in fig8_tasks():
+            assert t.shape.dtype is FIG8_DTYPES[t.group]
+
+    def test_shapes_preserved(self):
+        for base, retyped in zip(TABLE4_TASKS, fig8_tasks()):
+            assert (base.shape.m, base.shape.n, base.shape.k) == (
+                retyped.shape.m, retyped.shape.n, retyped.shape.k
+            )
+
+
+class TestTable5:
+    def test_fourteen_layers(self):
+        assert len(TABLE5_TASKS) == 14
+        assert [t.label for t in TABLE5_TASKS] == [
+            f"Conv{i}" for i in range(1, 15)
+        ]
+
+    def test_npq_crs_match_paper(self):
+        """The derived implicit-GEMM extents must equal the paper's NPQ/CRS
+        columns exactly — this pins every (N, P, Q, K, C, R, S) entry."""
+        for t in TABLE5_TASKS:
+            npq, crs = TABLE5_NPQ_CRS[t.label]
+            assert t.shape.npq == npq, t.label
+            assert t.shape.crs == crs, t.label
+
+    def test_six_applications(self):
+        assert len({t.group for t in TABLE5_TASKS}) == 6
+
+    def test_task_lookup(self):
+        assert task("Conv8").shape.c == 832
+        with pytest.raises(KeyError):
+            task("Conv99")
+
+    def test_fp16_variant(self):
+        assert all(t.shape.dtype is DType.FP16 for t in fp16_tasks())
