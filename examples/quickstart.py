@@ -5,6 +5,14 @@ fit the generative sampler, benchmark random kernels, train the MLP, then
 answer runtime queries for a few input shapes and compare against the
 cuBLAS-like baseline.
 
+``Isaac(device, op=...)`` accepts any operation registered with the
+:mod:`repro.core.ops` registry — ``"gemm"``, ``"conv"`` and ``"bgemm"``
+ship built in; see ``docs/architecture.md`` for how to register your own.
+Runtime queries go through the pre-scaled exhaustive search:
+``tuner.top_k(shape)`` scores every legal kernel for one input shape, and
+``tuner.top_k_batch(shapes)`` amortizes the model pass over many shapes
+(see ``examples/batched_gemm.py`` for both in action).
+
 Run:  python examples/quickstart.py
 """
 

@@ -45,6 +45,11 @@ class BatchedGemmShape:
             raise ValueError(f"batch must be positive, got {self.batch}")
 
     @property
+    def dtype(self) -> DType:
+        """Element type of every batch element (shared by construction)."""
+        return self.base.dtype
+
+    @property
     def flops(self) -> int:
         return self.batch * self.base.flops
 

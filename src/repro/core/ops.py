@@ -1,0 +1,306 @@
+"""Pluggable operation registry: everything one op needs, in one place.
+
+The paper frames ISAAC as a *generic* pipeline — generative sampling →
+MLP regression → exhaustive runtime search → top-k re-ranking — that is
+instantiated for GEMM and CONV but tied to neither.  An :class:`OpSpec`
+bundles the per-operation ingredients that pipeline consumes:
+
+* the shape (input-parameter) and config (tuning-parameter) types;
+* the tuning :class:`~repro.core.space.ParamSpace` the generative model
+  samples from, and the legality predicate carving X out of X̂;
+* feature extractors mapping configs/shapes to the MLP's design matrix;
+* a candidate enumerator for the runtime search;
+* the simulator benchmark functions standing in for kernel launches;
+* a profile-cache key so tuned kernels persist across runs.
+
+Registering a spec (:func:`register_op`) makes the op available to every
+layer — :class:`~repro.core.tuner.Isaac`,
+:class:`~repro.inference.search.ExhaustiveSearch`, the re-ranker, the
+dataset generator and :class:`~repro.core.profile_cache.ProfileCache` —
+without touching any of them.  ``gemm``, ``conv`` and ``bgemm``
+(strided-batched GEMM) are registered at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.core.space import CONV_SPACE, GEMM_SPACE, ParamSpace
+from repro.core.types import DType
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One tunable operation, as seen by every stage of the pipeline.
+
+    ``candidates(device, shape, space=None)`` returns the configs the
+    runtime search scores for one query shape.  ``enumerable=True``
+    declares that this set depends on the shape only through its dtype
+    (GEMM: the full legal set), so searches may cache per-(device, dtype);
+    otherwise candidates are generated per shape (CONV: tile
+    factorization).
+    """
+
+    name: str
+    shape_type: type
+    config_type: type
+    space: ParamSpace
+    default_dtypes: tuple[DType, ...]
+    config_features: tuple[str, ...]
+    shape_features: tuple[str, ...]
+    is_legal: Callable[[Any, DType, DeviceSpec], bool]
+    config_matrix: Callable[..., np.ndarray]
+    shape_vector: Callable[..., np.ndarray]
+    candidates: Callable[..., list]
+    simulate: Callable[..., Any]
+    benchmark: Callable[..., float]
+    make_shape_sampler: Callable[
+        [tuple[DType, ...]], Callable[[np.random.Generator], Any]
+    ]
+    shape_key: Callable[[Any], str]
+    enumerable: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return self.config_features + self.shape_features
+
+    @property
+    def n_config_features(self) -> int:
+        return len(self.config_features)
+
+    @property
+    def n_shape_features(self) -> int:
+        return len(self.shape_features)
+
+    def config_from_point(self, point) -> Any:
+        """Build a config from a space point / stored dict."""
+        return self.config_type.from_dict(point)
+
+    def encode(self, cfg, shape, log: bool = True) -> np.ndarray:
+        """Full feature vector for one (config, shape) pair."""
+        return np.concatenate(
+            [
+                self.config_matrix([cfg], log)[0],
+                self.shape_vector(shape, log),
+            ]
+        )
+
+    def candidate_cache_key(
+        self, device: DeviceSpec, shape, space: ParamSpace | None = None
+    ) -> Hashable:
+        """Key under which a search may cache this shape's candidate set."""
+        if self.enumerable:
+            sp = space or self.space
+            return (self.name, device.name, shape.dtype.name, sp.name)
+        return (self.name, device.name, shape)
+
+    def profile_key(self, device_name: str, shape) -> str:
+        """Filesystem-cache key for one tuned (device, shape) entry."""
+        return f"{self.name}|{device_name}|{self.shape_key(shape)}"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, OpSpec] = {}
+
+
+def register_op(spec: OpSpec, *, replace: bool = False) -> OpSpec:
+    """Register ``spec`` under ``spec.name``; returns it for chaining."""
+    if not spec.name:
+        raise ValueError("OpSpec.name must be non-empty")
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"op {spec.name!r} is already registered (pass replace=True "
+            "to override)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_op(name: str) -> None:
+    """Remove an op (mainly for tests registering throwaway specs)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_op(op: str | OpSpec) -> OpSpec:
+    """Resolve an op name (or pass an :class:`OpSpec` through)."""
+    if isinstance(op, OpSpec):
+        return op
+    spec = _REGISTRY.get(op)
+    if spec is None:
+        raise ValueError(
+            f"unknown op {op!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return spec
+
+
+def registered_ops() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# Built-in specs
+# ----------------------------------------------------------------------
+
+def _gemm_candidates(device: DeviceSpec, shape, space=None) -> list:
+    from repro.inference.search import legal_configs
+
+    return legal_configs(device, shape.dtype, "gemm", space)[0]
+
+
+def _conv_candidates(device: DeviceSpec, shape, space=None) -> list:
+    from repro.inference.conv_search import conv_candidates
+
+    return conv_candidates(device, shape)
+
+
+def _make_gemm_spec() -> OpSpec:
+    from repro.core.config import GemmConfig
+    from repro.core.legality import is_legal_gemm
+    from repro.core.types import GemmShape
+    from repro.gpu.simulator import benchmark_gemm, simulate_gemm
+    from repro.sampling.features import (
+        GEMM_CONFIG_FEATURES,
+        GEMM_SHAPE_FEATURES,
+        gemm_config_matrix,
+        gemm_shape_vector,
+    )
+
+    def shape_key(shape: GemmShape) -> str:
+        return (
+            f"{shape.m}x{shape.n}x{shape.k}"
+            f"|{shape.dtype.name}|{shape.layout_code}"
+        )
+
+    def make_shape_sampler(dtypes):
+        from repro.sampling.dataset import GemmShapeSampler
+
+        return GemmShapeSampler(dtypes=tuple(dtypes))
+
+    return OpSpec(
+        name="gemm",
+        shape_type=GemmShape,
+        config_type=GemmConfig,
+        space=GEMM_SPACE,
+        default_dtypes=(DType.FP32, DType.FP16, DType.FP64),
+        config_features=GEMM_CONFIG_FEATURES,
+        shape_features=GEMM_SHAPE_FEATURES,
+        is_legal=is_legal_gemm,
+        config_matrix=gemm_config_matrix,
+        shape_vector=gemm_shape_vector,
+        candidates=_gemm_candidates,
+        simulate=simulate_gemm,
+        benchmark=benchmark_gemm,
+        make_shape_sampler=make_shape_sampler,
+        shape_key=shape_key,
+        enumerable=True,
+    )
+
+
+def _make_conv_spec() -> OpSpec:
+    from repro.core.config import ConvConfig
+    from repro.core.legality import is_legal_conv
+    from repro.core.types import ConvShape
+    from repro.gpu.simulator import benchmark_conv, simulate_conv
+    from repro.sampling.features import (
+        CONV_CONFIG_FEATURES,
+        CONV_SHAPE_FEATURES,
+        conv_config_matrix,
+        conv_shape_vector,
+    )
+
+    def shape_key(shape: ConvShape) -> str:
+        return (
+            f"n{shape.n}c{shape.c}h{shape.h}w{shape.w}"
+            f"k{shape.k}r{shape.r}s{shape.s}|{shape.dtype.name}"
+        )
+
+    def make_shape_sampler(dtypes):
+        from repro.sampling.dataset import ConvShapeSampler
+
+        return ConvShapeSampler(dtypes=tuple(dtypes))
+
+    return OpSpec(
+        name="conv",
+        shape_type=ConvShape,
+        config_type=ConvConfig,
+        space=CONV_SPACE,
+        default_dtypes=(DType.FP32, DType.FP16),
+        config_features=CONV_CONFIG_FEATURES,
+        shape_features=CONV_SHAPE_FEATURES,
+        is_legal=is_legal_conv,
+        config_matrix=conv_config_matrix,
+        shape_vector=conv_shape_vector,
+        candidates=_conv_candidates,
+        simulate=simulate_conv,
+        benchmark=benchmark_conv,
+        make_shape_sampler=make_shape_sampler,
+        shape_key=shape_key,
+        enumerable=False,
+    )
+
+
+def _make_bgemm_spec() -> OpSpec:
+    """Strided-batched GEMM: the registry's proof that new ops plug in.
+
+    Reuses the GEMM tuning space, legality and config features; the shape
+    side adds the batch extent, and the simulator comes from
+    :mod:`repro.core.batched` (one launch whose grid covers every batch
+    element).
+    """
+    from repro.core.batched import (
+        BatchedGemmShape,
+        benchmark_batched_gemm,
+        simulate_batched_gemm,
+    )
+    from repro.core.config import GemmConfig
+    from repro.core.legality import is_legal_gemm
+    from repro.sampling.features import (
+        BGEMM_SHAPE_FEATURES,
+        GEMM_CONFIG_FEATURES,
+        bgemm_shape_vector,
+        gemm_config_matrix,
+    )
+
+    def shape_key(shape: BatchedGemmShape) -> str:
+        base = shape.base
+        return (
+            f"b{shape.batch}|{base.m}x{base.n}x{base.k}"
+            f"|{base.dtype.name}|{base.layout_code}"
+        )
+
+    def make_shape_sampler(dtypes):
+        from repro.sampling.dataset import BatchedGemmShapeSampler
+
+        return BatchedGemmShapeSampler(dtypes=tuple(dtypes))
+
+    return OpSpec(
+        name="bgemm",
+        shape_type=BatchedGemmShape,
+        config_type=GemmConfig,
+        space=GEMM_SPACE,
+        default_dtypes=(DType.FP32, DType.FP16),
+        config_features=GEMM_CONFIG_FEATURES,
+        shape_features=BGEMM_SHAPE_FEATURES,
+        is_legal=is_legal_gemm,
+        config_matrix=gemm_config_matrix,
+        shape_vector=bgemm_shape_vector,
+        candidates=_gemm_candidates,
+        simulate=simulate_batched_gemm,
+        benchmark=benchmark_batched_gemm,
+        make_shape_sampler=make_shape_sampler,
+        shape_key=shape_key,
+        enumerable=True,
+    )
+
+
+register_op(_make_gemm_spec())
+register_op(_make_conv_spec())
+register_op(_make_bgemm_spec())

@@ -5,36 +5,27 @@ latency would be negligible (e.g., Deep Learning), cached on the
 filesystem, or even used as a kernel generation backend..."  This module is
 that cache: a JSON file mapping (device, op, input parameters) to the
 chosen tuning parameters and their measured performance.
+
+Keys and config (de)serialization come from the op's
+:class:`~repro.core.ops.OpSpec`, so every registered operation gets
+persistence for free; ``get_gemm``-style helpers remain as thin shims.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+import os
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.config import ConvConfig, GemmConfig
-from repro.core.types import ConvShape, DType, GemmShape
+from repro.core.ops import OpSpec, get_op
 
 
 @dataclass(frozen=True)
 class CachedKernel:
     config_dict: dict
     measured_tflops: float
-
-
-def _gemm_key(device_name: str, shape: GemmShape) -> str:
-    return (
-        f"gemm|{device_name}|{shape.m}x{shape.n}x{shape.k}"
-        f"|{shape.dtype.name}|{shape.layout_code}"
-    )
-
-
-def _conv_key(device_name: str, shape: ConvShape) -> str:
-    return (
-        f"conv|{device_name}|n{shape.n}c{shape.c}h{shape.h}w{shape.w}"
-        f"k{shape.k}r{shape.r}s{shape.s}|{shape.dtype.name}"
-    )
 
 
 class ProfileCache:
@@ -50,47 +41,71 @@ class ProfileCache:
         return len(self._data)
 
     # ------------------------------------------------------------------
-    def get_gemm(
-        self, device_name: str, shape: GemmShape
-    ) -> tuple[GemmConfig, float] | None:
-        entry = self._data.get(_gemm_key(device_name, shape))
+    def get(
+        self, op: str | OpSpec, device_name: str, shape
+    ) -> tuple[object, float] | None:
+        """Cached (config, measured TFLOPS) for one problem, or None."""
+        spec = get_op(op)
+        entry = self._data.get(spec.profile_key(device_name, shape))
         if entry is None:
             return None
-        return GemmConfig.from_dict(entry["config"]), entry["tflops"]
+        return spec.config_from_point(entry["config"]), entry["tflops"]
 
-    def put_gemm(
+    def put(
         self,
+        op: str | OpSpec,
         device_name: str,
-        shape: GemmShape,
-        cfg: GemmConfig,
+        shape,
+        cfg,
         tflops: float,
     ) -> None:
-        self._data[_gemm_key(device_name, shape)] = {
-            "config": cfg.as_dict(),
-            "tflops": tflops,
-        }
-
-    def get_conv(
-        self, device_name: str, shape: ConvShape
-    ) -> tuple[ConvConfig, float] | None:
-        entry = self._data.get(_conv_key(device_name, shape))
-        if entry is None:
-            return None
-        return ConvConfig.from_dict(entry["config"]), entry["tflops"]
-
-    def put_conv(
-        self,
-        device_name: str,
-        shape: ConvShape,
-        cfg: ConvConfig,
-        tflops: float,
-    ) -> None:
-        self._data[_conv_key(device_name, shape)] = {
+        spec = get_op(op)
+        self._data[spec.profile_key(device_name, shape)] = {
             "config": cfg.as_dict(),
             "tflops": tflops,
         }
 
     # ------------------------------------------------------------------
+    # Back-compat shims
+    # ------------------------------------------------------------------
+    def get_gemm(self, device_name: str, shape):
+        return self.get("gemm", device_name, shape)
+
+    def put_gemm(self, device_name: str, shape, cfg, tflops: float) -> None:
+        self.put("gemm", device_name, shape, cfg, tflops)
+
+    def get_conv(self, device_name: str, shape):
+        return self.get("conv", device_name, shape)
+
+    def put_conv(self, device_name: str, shape, cfg, tflops: float) -> None:
+        self.put("conv", device_name, shape, cfg, tflops)
+
+    # ------------------------------------------------------------------
     def save(self) -> None:
+        """Atomically persist: a crash mid-save never corrupts the file."""
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        self._path.write_text(json.dumps(self._data, indent=1, sort_keys=True))
+        payload = json.dumps(self._data, indent=1, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self._path.parent, prefix=self._path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(payload)
+                f.flush()
+                os.fsync(f.fileno())
+            # mkstemp creates 0600 files; keep the destination's mode (or
+            # the umask default) so a shared cache stays shared.
+            try:
+                mode = os.stat(self._path).st_mode & 0o777
+            except FileNotFoundError:
+                umask = os.umask(0)
+                os.umask(umask)
+                mode = 0o666 & ~umask
+            os.chmod(tmp, mode)
+            os.replace(tmp, self._path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -9,7 +9,10 @@ operation:
 3. *runtime inference* — exhaustive model search over tuning parameters
    for the user's input parameters, then top-k re-ranking on the device.
 
-The tuned mapping ``input parameters -> kernel`` can be persisted through
+The operation is any name registered with the
+:mod:`~repro.core.ops` registry — ``gemm``, ``conv``, ``bgemm`` out of the
+box — so new kernels plug into the tuner without modifying it.  The tuned
+mapping ``input parameters -> kernel`` can be persisted through
 :class:`~repro.core.profile_cache.ProfileCache`.
 """
 
@@ -20,17 +23,17 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.ops import OpSpec, get_op
 from repro.core.profile_cache import ProfileCache
-from repro.core.types import ConvShape, DType, GemmShape
+from repro.core.types import DType
 from repro.gpu.device import DeviceSpec
 from repro.inference.search import ExhaustiveSearch, Prediction
-from repro.inference.topk import RankedKernel, best_after_rerank, rerank
+from repro.inference.topk import RankedKernel, best_after_rerank
 from repro.mlp.crossval import FitResult, fit_regressor
 from repro.sampling.dataset import (
     Dataset,
     fit_generative_models,
-    generate_conv_dataset,
-    generate_gemm_dataset,
+    generate_dataset,
 )
 
 
@@ -64,19 +67,14 @@ class Isaac:
     def __init__(
         self,
         device: DeviceSpec,
-        op: str = "gemm",
+        op: str | OpSpec = "gemm",
         dtypes: Sequence[DType] | None = None,
     ):
-        if op not in ("gemm", "conv"):
-            raise ValueError(f"unknown op {op!r}")
+        self.spec = get_op(op)
         self.device = device
-        self.op = op
+        self.op = self.spec.name
         if dtypes is None:
-            dtypes = (
-                (DType.FP32, DType.FP16, DType.FP64)
-                if op == "gemm"
-                else (DType.FP32, DType.FP16)
-            )
+            dtypes = self.spec.default_dtypes
         self.dtypes = tuple(dtypes)
         self.dataset: Dataset | None = None
         self.fit_result: FitResult | None = None
@@ -100,16 +98,18 @@ class Isaac:
         rng = np.random.default_rng(seed)
         samplers = fit_generative_models(
             self.device,
-            op=self.op,
+            op=self.spec,
             dtypes=self.dtypes,
             rng=rng,
             target_accepted=generative_target,
         )
-        generate = (
-            generate_gemm_dataset if self.op == "gemm" else generate_conv_dataset
-        )
-        self.dataset = generate(
-            self.device, n_samples, rng, samplers=samplers, dtypes=self.dtypes
+        self.dataset = generate_dataset(
+            self.device,
+            self.spec,
+            n_samples,
+            rng,
+            samplers=samplers,
+            dtypes=self.dtypes,
         )
         train, val = self.dataset.split(val_frac, rng)
         self.fit_result = fit_regressor(
@@ -122,7 +122,7 @@ class Isaac:
             seed=seed,
             patience=patience,
         )
-        self._search = ExhaustiveSearch(self.fit_result, self.device, self.op)
+        self._search = ExhaustiveSearch(self.fit_result, self.device, self.spec)
         return TuneReport(
             n_samples=n_samples,
             val_mse=self.fit_result.val_mse,
@@ -145,6 +145,12 @@ class Isaac:
         """The model's k best tuning vectors for fixed input parameters."""
         return self._require_tuned().top_k(shape, k)
 
+    def top_k_batch(
+        self, shapes: Sequence, k: int = 100
+    ) -> list[list[Prediction]]:
+        """Per-shape top-k for many input shapes in one model pass."""
+        return self._require_tuned().top_k_batch(shapes, k)
+
     def best_kernel(
         self,
         shape,
@@ -155,11 +161,7 @@ class Isaac:
     ) -> RankedKernel:
         """Exhaustive model search + top-k device re-ranking (§6)."""
         if cache is not None:
-            hit = (
-                cache.get_gemm(self.device.name, shape)
-                if self.op == "gemm"
-                else cache.get_conv(self.device.name, shape)
-            )
+            hit = cache.get(self.spec, self.device.name, shape)
             if hit is not None:
                 cfg, tflops = hit
                 return RankedKernel(
@@ -168,17 +170,16 @@ class Isaac:
                     measured_tflops=tflops,
                 )
         best = best_after_rerank(
-            self.device, shape, self.top_k(shape, k), op=self.op, reps=reps
+            self.device, shape, self.top_k(shape, k), op=self.spec, reps=reps
         )
         if cache is not None:
-            if self.op == "gemm":
-                cache.put_gemm(
-                    self.device.name, shape, best.config, best.measured_tflops
-                )
-            else:
-                cache.put_conv(
-                    self.device.name, shape, best.config, best.measured_tflops
-                )
+            cache.put(
+                self.spec,
+                self.device.name,
+                shape,
+                best.config,
+                best.measured_tflops,
+            )
         return best
 
     def tflops(self, shape, *, k: int = 100, reps: int = 3) -> float:
@@ -228,6 +229,6 @@ class Isaac:
         )
         tuner.fit_result = load_fit(path)
         tuner._search = ExhaustiveSearch(
-            tuner.fit_result, tuner.device, tuner.op
+            tuner.fit_result, tuner.device, tuner.spec
         )
         return tuner

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.baselines.cublas import CuBLASLike
 from repro.baselines.cudnn import CuDNNLike
+from repro.core.ops import get_op
 from repro.core.tuner import Isaac
 from repro.core.types import ConvShape, GemmShape
 from repro.gpu.simulator import simulate_conv, simulate_gemm
@@ -39,10 +40,8 @@ class AppResult:
         return self.step.total_flops / self.baseline_ms / 1e9
 
 
-def _kernel_time_ms(device, shape, cfg, op: str) -> float:
-    if op == "gemm":
-        return simulate_gemm(device, cfg, shape).time_ms
-    return simulate_conv(device, cfg, shape).time_ms
+def _kernel_time_ms(device, shape, cfg, op) -> float:
+    return get_op(op).simulate(device, cfg, shape).time_ms
 
 
 def run_network_step(

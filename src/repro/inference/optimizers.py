@@ -30,17 +30,7 @@ class _Scorer:
         self._search = search
         self._shape = shape
         self._configs, self._cfg_matrix = search.candidates(shape)
-        from repro.sampling.features import (
-            conv_shape_vector,
-            gemm_shape_vector,
-        )
-
-        vec = (
-            gemm_shape_vector(shape, log=True)
-            if search._op == "gemm"
-            else conv_shape_vector(shape, log=True)
-        )
-        self._shape_vec = vec
+        self._shape_vec = search.spec.shape_vector(shape, log=True)
         self._cache: dict[int, float] = {}
 
     def __len__(self) -> int:

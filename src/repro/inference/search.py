@@ -6,61 +6,82 @@ search: it finds the global optimum of the model within the search range,
 is trivially batchable (up to a million configurations per second), and
 yields the top-k list that the re-ranking step re-benchmarks.
 
-The legal configuration set for a (device, dtype) pair is enumerated once
-and cached module-wide, together with its feature sub-matrix, so repeated
-searches only pay one matrix product per MLP layer.
+Which configurations are searched, and how they are featurized, comes from
+the :mod:`~repro.core.ops` registry — any registered op plugs in here
+unchanged.
+
+The hot path is pre-scaled and batched.  The candidate feature matrix is
+standardized by the fit's x-scaler *once* and immediately folded through
+the MLP's first layer (the layer is affine, so the config and shape
+columns contribute additively):
+
+    z1 = [Zc | Zs] @ W1 + b1 = (Zc @ W1c + b1) + Zs @ W1s
+
+The cached term ``H0 = Zc @ W1c + b1`` never changes between queries; one
+query only standardizes its shape-feature vector, adds the rank-one shape
+term, and runs the remaining layers chunk-wise through preallocated
+buffers.  :meth:`ExhaustiveSearch.top_k_batch` amortizes further by
+pushing many query shapes through each cache-resident chunk of ``H0``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 
-from repro.core.config import ConvConfig, GemmConfig
-from repro.core.legality import is_legal_conv, is_legal_gemm
-from repro.core.space import CONV_SPACE, GEMM_SPACE, ParamSpace
-from repro.core.types import ConvShape, DType, GemmShape
+from repro.core.ops import OpSpec, get_op
+from repro.core.space import ParamSpace
+from repro.core.types import DType
 from repro.gpu.device import DeviceSpec
 from repro.mlp.crossval import FitResult
-from repro.sampling.features import (
-    conv_config_matrix,
-    conv_shape_vector,
-    gemm_config_matrix,
-    gemm_shape_vector,
-)
 
-_LEGAL_CACHE: dict[tuple[str, str, str], tuple[list, np.ndarray]] = {}
+#: Enumerated candidate sets + their log-feature matrices, shared by every
+#: search over the same (op, device, dtype, space).  Keyed by
+#: OpSpec.candidate_cache_key, so only dtype-enumerable ops land here.
+_LEGAL_CACHE: dict[Hashable, tuple[list, np.ndarray]] = {}
+
+#: Rows per chunk of the folded evaluation: intermediates stay cache-resident
+#: (8192 x 64 float64 = 4 MiB) instead of streaming through DRAM.
+_CHUNK_ROWS = 8192
+
+#: Cap on (query shapes x candidates) prediction elements materialized at
+#: once by top_k_batch (32M float64 = 256 MiB).
+_BATCH_BLOCK_ELEMS = 32_000_000
 
 
 def legal_configs(
     device: DeviceSpec,
     dtype: DType,
-    op: str = "gemm",
+    op: str | OpSpec = "gemm",
     space: ParamSpace | None = None,
 ) -> tuple[list, np.ndarray]:
     """All legal configs for (device, dtype) plus their log-feature matrix.
 
-    Cached: the enumeration walks the full product space once (a few
-    seconds for GEMM's ~2M points) and is reused by every later search.
+    Only ops whose candidate set is shape-independent (``enumerable``) can
+    be enumerated here.  Cached: the enumeration walks the full product
+    space once (a few seconds for GEMM's ~2M points) and is reused by
+    every later search.
     """
-    if op != "gemm":
+    spec = get_op(op)
+    if not spec.enumerable:
         raise ValueError(
-            "only the GEMM space is enumerable; CONV candidates are "
-            "generated per shape by repro.inference.conv_search"
+            f"{spec.name.upper()} candidates are generated per query "
+            "shape by the op's candidate generator, not enumerated per "
+            "dtype"
         )
-    space = space or GEMM_SPACE
-    key = (device.name, dtype.name, space.name)
+    space = space or spec.space
+    key = (spec.name, device.name, dtype.name, space.name)
     if key in _LEGAL_CACHE:
         return _LEGAL_CACHE[key]
 
     configs: list = []
     for point in space.iter_points():
-        cfg = GemmConfig.from_dict(point)
-        if is_legal_gemm(cfg, dtype, device):
+        cfg = spec.config_from_point(point)
+        if spec.is_legal(cfg, dtype, device):
             configs.append(cfg)
-    matrix = gemm_config_matrix(configs, log=True)
+    matrix = spec.config_matrix(configs, log=True)
 
     _LEGAL_CACHE[key] = (configs, matrix)
     return _LEGAL_CACHE[key]
@@ -78,54 +99,246 @@ class Prediction:
     predicted_tflops: float
 
 
+class _FoldedMLP:
+    """The fit's scaler + first layer, folded for a fixed feature split.
+
+    Splits the standardization and the first (affine) layer into a
+    config-column part — applied once per candidate set — and a
+    shape-column part applied per query.  The remaining layers run over
+    preallocated chunk buffers with in-place activations, numerically
+    identical (modulo float association) to the plain forward pass.
+    """
+
+    def __init__(self, fit: FitResult, n_config_features: int):
+        layers = fit.model.layers
+        scaler = fit.x_scaler
+        nc = n_config_features
+        w1 = layers[0].w
+        self._mean_c = scaler.mean_[:nc].copy()
+        self._scale_c = scaler.scale_[:nc].copy()
+        self._mean_s = scaler.mean_[nc:].copy()
+        self._scale_s = scaler.scale_[nc:].copy()
+        # True copies, not views: the snapshot must diverge from the live
+        # model when it is mutated in place, so is_current() can tell.
+        self._w1_cfg = np.array(w1[:nc], order="C", copy=True)
+        self._w1_shape = np.array(w1[nc:], order="C", copy=True)
+        self._b1 = layers[0].b.copy()
+        self._act0 = layers[0].activation
+        self._rest = layers[1:]
+        self._fit = fit
+        widths = [w1.shape[1]] + [lyr.w.shape[1] for lyr in self._rest]
+        self._bufs = [np.empty((_CHUNK_ROWS, w)) for w in widths]
+
+    def is_current(self) -> bool:
+        """Whether the folded snapshot still matches the live model.
+
+        The first layer and scaler stats are copied at fold time (they are
+        baked into cached ``H0`` terms); in-place model mutation — pruning,
+        further fine-tuning — must invalidate the fold.  Cheap: the first
+        layer is ~n_features x width floats.
+        """
+        layers = self._fit.model.layers
+        scaler = self._fit.x_scaler
+        nc = len(self._mean_c)
+        w1 = layers[0].w
+        return (
+            w1.shape[0] == nc + len(self._mean_s)
+            and np.array_equal(self._w1_cfg, w1[:nc])
+            and np.array_equal(self._w1_shape, w1[nc:])
+            and np.array_equal(self._b1, layers[0].b)
+            and np.array_equal(self._mean_c, scaler.mean_[:nc])
+            and np.array_equal(self._scale_c, scaler.scale_[:nc])
+            and np.array_equal(self._mean_s, scaler.mean_[nc:])
+            and np.array_equal(self._scale_s, scaler.scale_[nc:])
+        )
+
+    @staticmethod
+    def supports(fit: FitResult, n_features: int) -> bool:
+        """Whether the model/scaler expose what folding needs."""
+        layers = getattr(fit.model, "layers", None)
+        if not layers:
+            return False
+        first = layers[0]
+        if not hasattr(first, "w") or not hasattr(first, "activation"):
+            return False
+        return (
+            first.w.shape[0] == n_features
+            and fit.x_scaler.mean_ is not None
+            and len(fit.x_scaler.mean_) == n_features
+        )
+
+    # ------------------------------------------------------------------
+    def prescale(self, cfg_matrix: np.ndarray) -> np.ndarray:
+        """``H0``: standardized config columns through the first layer."""
+        z = (cfg_matrix - self._mean_c) / self._scale_c
+        return z @ self._w1_cfg + self._b1
+
+    def _shape_term(self, shape_vec: np.ndarray) -> np.ndarray:
+        z = (shape_vec - self._mean_s) / self._scale_s
+        return z @ self._w1_shape
+
+    @staticmethod
+    def _activate(act, a: np.ndarray) -> np.ndarray:
+        if act.name == "relu":
+            np.maximum(a, 0.0, out=a)
+        elif act.name != "identity":
+            a[...] = act.fn(a)
+        return a
+
+    def _eval_chunk(
+        self, h0_chunk: np.ndarray, h: np.ndarray, out_row: np.ndarray
+    ) -> None:
+        m = len(h0_chunk)
+        a = self._bufs[0][:m]
+        np.add(h0_chunk, h, out=a)
+        self._activate(self._act0, a)
+        for layer, buf in zip(self._rest, self._bufs[1:]):
+            nxt = buf[:m]
+            np.dot(a, layer.w, out=nxt)
+            nxt += layer.b
+            self._activate(layer.activation, nxt)
+            a = nxt
+        out_row[:] = a[:, 0]
+
+    def predict(self, h0: np.ndarray, shape_vec: np.ndarray) -> np.ndarray:
+        """Standardized model outputs for every candidate at one shape."""
+        h = self._shape_term(shape_vec)
+        n = len(h0)
+        out = np.empty(n)
+        for lo in range(0, n, _CHUNK_ROWS):
+            hi = min(n, lo + _CHUNK_ROWS)
+            self._eval_chunk(h0[lo:hi], h, out[lo:hi])
+        return out
+
+    def predict_batch(
+        self, h0: np.ndarray, shape_vecs: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """(n_shapes, n_candidates) outputs, one pass over ``h0``.
+
+        Each chunk of the candidate term is evaluated for every shape
+        while it is cache-resident, so the batch pays the memory traffic
+        of a single query.
+        """
+        hs = [self._shape_term(v) for v in shape_vecs]
+        n = len(h0)
+        out = np.empty((len(hs), n))
+        for lo in range(0, n, _CHUNK_ROWS):
+            hi = min(n, lo + _CHUNK_ROWS)
+            chunk = h0[lo:hi]
+            for b, h in enumerate(hs):
+                self._eval_chunk(chunk, h, out[b, lo:hi])
+        return out
+
+
+@dataclass
+class _CandidateSet:
+    """One op's candidates with precomputed search-side artifacts."""
+
+    configs: list
+    cfg_matrix: np.ndarray
+    h0: np.ndarray | None = None
+
+
 class ExhaustiveSearch:
-    """Vectorized model evaluation over every legal tuning vector."""
+    """Vectorized model evaluation over every legal tuning vector.
+
+    ``op`` is any name registered with :func:`repro.core.ops.register_op`
+    (or an :class:`~repro.core.ops.OpSpec` directly).
+    """
 
     def __init__(
         self,
         fit: FitResult,
         device: DeviceSpec,
-        op: str = "gemm",
+        op: str | OpSpec = "gemm",
         space: ParamSpace | None = None,
     ):
-        if op not in ("gemm", "conv"):
-            raise ValueError(f"unknown op {op!r}")
+        self._spec = get_op(op)
         self._fit = fit
         self._device = device
-        self._op = op
         self._space = space
-        self._conv_cache: dict = {}
+        self._sets: dict[Hashable, _CandidateSet] = {}
+        n_features = len(self._spec.feature_names)
+        self._folded = (
+            _FoldedMLP(fit, self._spec.n_config_features)
+            if _FoldedMLP.supports(fit, n_features)
+            else None
+        )
+
+    @property
+    def spec(self) -> OpSpec:
+        return self._spec
+
+    @property
+    def op(self) -> str:
+        return self._spec.name
+
+    # ------------------------------------------------------------------
+    def _refresh_fold(self) -> None:
+        """Re-fold if the model/scaler was mutated in place (e.g. pruned)."""
+        if self._folded is None or self._folded.is_current():
+            return
+        self._folded = _FoldedMLP(self._fit, self._spec.n_config_features)
+        for cs in self._sets.values():
+            cs.h0 = None
+
+    def _candidate_set(self, shape) -> _CandidateSet:
+        self._refresh_fold()
+        key = self._spec.candidate_cache_key(self._device, shape, self._space)
+        cs = self._sets.get(key)
+        if cs is None:
+            configs = self._spec.candidates(self._device, shape, self._space)
+            # An op delegating to another's enumeration (bgemm -> gemm)
+            # caches under the delegate's key, so match by identity.
+            cached = next(
+                (v for v in _LEGAL_CACHE.values() if v[0] is configs), None
+            )
+            if cached is not None:
+                matrix = cached[1]  # enumerable op: matrix already built
+            else:
+                matrix = self._spec.config_matrix(configs, log=True)
+                if self._spec.enumerable:
+                    # Publish so later searches skip the rebuild.
+                    _LEGAL_CACHE[key] = (configs, matrix)
+            cs = _CandidateSet(configs=configs, cfg_matrix=matrix)
+            self._sets[key] = cs
+        if cs.h0 is None and self._folded is not None:
+            cs.h0 = self._folded.prescale(cs.cfg_matrix)
+        return cs
 
     def candidates(self, shape) -> tuple[list, np.ndarray]:
         """Candidate configs + config-feature matrix for one query shape."""
-        if self._op == "gemm":
-            return legal_configs(self._device, shape.dtype, "gemm", self._space)
-        key = shape
-        if key not in self._conv_cache:
-            from repro.inference.conv_search import conv_candidates
+        cs = self._candidate_set(shape)
+        return cs.configs, cs.cfg_matrix
 
-            configs = conv_candidates(self._device, shape)
-            self._conv_cache[key] = (configs, conv_config_matrix(configs))
-        return self._conv_cache[key]
-
+    # ------------------------------------------------------------------
     def predictions(self, shape) -> np.ndarray:
         """Predicted log2-TFLOPS for every candidate config at this shape."""
-        configs, cfg_matrix = self.candidates(shape)
-        if self._op == "gemm":
-            shape_vec = gemm_shape_vector(shape, log=True)
-        else:
-            shape_vec = conv_shape_vector(shape, log=True)
+        cs = self._candidate_set(shape)
+        if self._folded is None:
+            return self._predict_reference(cs, shape)
+        pred = self._folded.predict(
+            cs.h0, self._spec.shape_vector(shape, log=True)
+        )
+        return self._fit.y_scaler.inverse_transform(pred)
+
+    def predictions_reference(self, shape) -> np.ndarray:
+        """The unfolded path: build and re-standardize the full design
+        matrix per query.  Kept as the numerical reference the pre-scaled
+        path is regression-tested (and benchmarked) against."""
+        return self._predict_reference(self._candidate_set(shape), shape)
+
+    def _predict_reference(self, cs: _CandidateSet, shape) -> np.ndarray:
+        shape_vec = self._spec.shape_vector(shape, log=True)
         design = np.hstack(
-            [cfg_matrix, np.tile(shape_vec, (len(configs), 1))]
+            [cs.cfg_matrix, np.tile(shape_vec, (len(cs.configs), 1))]
         )
         z = self._fit.x_scaler.transform(design)
         pred = self._fit.model.predict(z)
         return self._fit.y_scaler.inverse_transform(pred)
 
-    def top_k(self, shape, k: int = 100) -> list[Prediction]:
-        """The k configs the model believes are fastest, best first."""
-        configs, _ = self.candidates(shape)
-        preds = self.predictions(shape)
+    # ------------------------------------------------------------------
+    def _select(self, configs: list, preds: np.ndarray, k: int, shape):
         k = min(k, len(configs))
         if k == 0:
             raise RuntimeError(
@@ -137,3 +350,46 @@ class ExhaustiveSearch:
             Prediction(config=configs[i], predicted_tflops=float(2.0 ** preds[i]))
             for i in top
         ]
+
+    def top_k(self, shape, k: int = 100) -> list[Prediction]:
+        """The k configs the model believes are fastest, best first."""
+        cs = self._candidate_set(shape)
+        preds = self.predictions(shape)
+        return self._select(cs.configs, preds, k, shape)
+
+    def top_k_batch(
+        self, shapes: Sequence, k: int = 100
+    ) -> list[list[Prediction]]:
+        """Per-shape top-k for many query shapes in one model pass.
+
+        Shapes sharing a candidate set (e.g. GEMM shapes of one dtype) are
+        evaluated together chunk-wise; results match per-shape
+        :meth:`top_k` exactly.
+        """
+        results: list[list[Prediction] | None] = [None] * len(shapes)
+        groups: dict[Hashable, list[int]] = {}
+        for i, shape in enumerate(shapes):
+            key = self._spec.candidate_cache_key(
+                self._device, shape, self._space
+            )
+            groups.setdefault(key, []).append(i)
+        for idxs in groups.values():
+            cs = self._candidate_set(shapes[idxs[0]])
+            if self._folded is None:
+                for i in idxs:
+                    results[i] = self.top_k(shapes[i], k)
+                continue
+            # Bound the materialized (shapes x candidates) prediction block
+            # so arbitrarily large batches cannot exhaust memory.
+            per_group = max(1, _BATCH_BLOCK_ELEMS // max(1, len(cs.configs)))
+            for lo in range(0, len(idxs), per_group):
+                sub = idxs[lo:lo + per_group]
+                vecs = [
+                    self._spec.shape_vector(shapes[i], log=True) for i in sub
+                ]
+                rows = self._fit.y_scaler.inverse_transform(
+                    self._folded.predict_batch(cs.h0, vecs)
+                )
+                for row, i in zip(rows, sub):
+                    results[i] = self._select(cs.configs, row, k, shapes[i])
+        return results  # type: ignore[return-value]

@@ -12,13 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.types import ConvShape, GemmShape
+from repro.core.ops import OpSpec, get_op
 from repro.gpu.device import DeviceSpec
-from repro.gpu.simulator import (
-    IllegalKernelError,
-    benchmark_conv,
-    benchmark_gemm,
-)
+from repro.gpu.simulator import IllegalKernelError
 from repro.inference.search import Prediction
 
 
@@ -36,11 +32,11 @@ def rerank(
     shape,
     candidates: Sequence[Prediction],
     *,
-    op: str = "gemm",
+    op: str | OpSpec = "gemm",
     reps: int = 3,
 ) -> list[RankedKernel]:
     """Benchmark each candidate on the device; best measured first."""
-    bench = benchmark_gemm if op == "gemm" else benchmark_conv
+    bench = get_op(op).benchmark
     ranked: list[RankedKernel] = []
     for cand in candidates:
         try:
@@ -65,7 +61,7 @@ def best_after_rerank(
     shape,
     candidates: Sequence[Prediction],
     *,
-    op: str = "gemm",
+    op: str | OpSpec = "gemm",
     reps: int = 3,
 ) -> RankedKernel:
     return rerank(device, shape, candidates, op=op, reps=reps)[0]

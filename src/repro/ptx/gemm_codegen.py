@@ -144,6 +144,10 @@ class GemmKernel:
 
         stage_elems = (cfg.ml + cfg.nl) * cfg.u           # per slice-iteration
         ldg_iter = stage_elems * cfg.kl // (threads * cfg.vec)
+        # Memory-level parallelism is set by the vectorized staging pattern;
+        # checked mode's branches serialize accesses (§8.3), so the scalar
+        # expansion below must not raise it and make checked mode faster.
+        mlp_iter = ldg_iter
         if self.bounds_mode == "checked":
             # CUDA-C bounds tests wrap each element access in a branch,
             # which also defeats vectorized loads (§8.3): scalar accesses.
@@ -203,7 +207,7 @@ class GemmKernel:
         ideal_bytes = ideal_a + ideal_b
         st_bytes = cfg.ml * cfg.nl * dsize * (2.0 if cfg.kg > 1 else 1.0)
 
-        mlp = max(1.0, float(ldg_iter)) * (1.5 if cfg.db == 2 else 1.0)
+        mlp = max(1.0, float(mlp_iter)) * (1.5 if cfg.db == 2 else 1.0)
         ilp = float(min(cfg.ms * cfg.ns * cfg.ks, 48))
 
         return BlockCounts(

@@ -16,14 +16,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.config import ConvConfig, GemmConfig
-from repro.core.legality import is_legal_conv, is_legal_gemm
-from repro.core.space import CONV_SPACE, GEMM_SPACE, ParamSpace
+from repro.core.batched import BatchedGemmShape
+from repro.core.ops import OpSpec, get_op
 from repro.core.types import ConvShape, DType, GemmShape
 from repro.gpu.device import DeviceSpec
 from repro.gpu.noise import DEFAULT_SIGMA
-from repro.gpu.simulator import benchmark_conv, benchmark_gemm
-from repro.sampling.features import encode_conv, encode_gemm
 from repro.sampling.generative import CategoricalModel
 
 
@@ -95,6 +92,35 @@ class ConvShapeSampler:
         )
 
 
+@dataclass
+class BatchedGemmShapeSampler:
+    """Random strided-batched GEMM inputs: many small identical products.
+
+    RNN timestep stacks and attention blocks launch hundreds of small
+    GEMMs, so the batch range is wide while the per-element extents stay
+    modest (a large batched product would be a plain GEMM).
+    """
+
+    batch_range: tuple[int, int] = (2, 256)
+    m_range: tuple[int, int] = (16, 1024)
+    n_range: tuple[int, int] = (16, 1024)
+    k_range: tuple[int, int] = (16, 4096)
+    dtypes: tuple[DType, ...] = (DType.FP32, DType.FP16)
+
+    def __call__(self, rng: np.random.Generator) -> BatchedGemmShape:
+        base = GemmShape(
+            m=_log_uniform_int(rng, *self.m_range),
+            n=_log_uniform_int(rng, *self.n_range),
+            k=_log_uniform_int(rng, *self.k_range),
+            dtype=self.dtypes[rng.integers(len(self.dtypes))],
+            ta=bool(rng.integers(2)),
+            tb=bool(rng.integers(2)),
+        )
+        return BatchedGemmShape(
+            batch=_log_uniform_int(rng, *self.batch_range), base=base
+        )
+
+
 # ----------------------------------------------------------------------
 # Datasets
 # ----------------------------------------------------------------------
@@ -133,28 +159,66 @@ class Dataset:
 def fit_generative_models(
     device: DeviceSpec,
     *,
-    op: str = "gemm",
-    dtypes: Sequence[DType] = (DType.FP32, DType.FP16, DType.FP64),
+    op: str | OpSpec = "gemm",
+    dtypes: Sequence[DType] | None = None,
     rng: np.random.Generator | None = None,
     target_accepted: int = 400,
     alpha: float = 100.0,
 ) -> dict[DType, CategoricalModel]:
     """One categorical model per data-type (legality depends on the dtype)."""
+    spec = get_op(op)
     rng = rng if rng is not None else np.random.default_rng(0)
-    space = GEMM_SPACE if op == "gemm" else CONV_SPACE
+    dtypes = spec.default_dtypes if dtypes is None else tuple(dtypes)
     out: dict[DType, CategoricalModel] = {}
     for dt in dtypes:
-        accept = _make_accept(device, op, dt)
-        model = CategoricalModel(space, alpha=alpha)
+        accept = _make_accept(device, spec, dt)
+        model = CategoricalModel(spec.space, alpha=alpha)
         model.fit(accept, rng, target_accepted=target_accepted)
         out[dt] = model
     return out
 
 
-def _make_accept(device: DeviceSpec, op: str, dtype: DType):
-    if op == "gemm":
-        return lambda pt: is_legal_gemm(GemmConfig.from_dict(pt), dtype, device)
-    return lambda pt: is_legal_conv(ConvConfig.from_dict(pt), dtype, device)
+def _make_accept(device: DeviceSpec, op: str | OpSpec, dtype: DType):
+    spec = get_op(op)
+    return lambda pt: spec.is_legal(spec.config_from_point(pt), dtype, device)
+
+
+def generate_dataset(
+    device: DeviceSpec,
+    op: str | OpSpec,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    samplers: dict[DType, CategoricalModel] | None = None,
+    shape_sampler: Callable[[np.random.Generator], object] | None = None,
+    sigma: float = DEFAULT_SIGMA,
+    reps: int = 1,
+    dtypes: Sequence[DType] | None = None,
+) -> Dataset:
+    """Benchmark ``n`` random legal kernels of ``op`` on the simulated device.
+
+    Everything op-specific — the shape sampler, the tuning space behind the
+    generative model, legality, the simulator benchmark and the feature
+    encoding — comes from the op's :class:`~repro.core.ops.OpSpec`.
+    """
+    spec = get_op(op)
+    dtypes = spec.default_dtypes if dtypes is None else tuple(dtypes)
+    shape_sampler = shape_sampler or spec.make_shape_sampler(dtypes)
+    samplers = samplers or fit_generative_models(
+        device, op=spec, dtypes=dtypes, rng=rng
+    )
+    feature_names = spec.feature_names
+    xs = np.empty((n, len(feature_names)))
+    ys = np.empty(n)
+    for i in range(n):
+        shape = shape_sampler(rng)
+        accept = _make_accept(device, spec, shape.dtype)
+        point = samplers[shape.dtype].sample_legal(accept, rng)
+        cfg = spec.config_from_point(point)
+        tflops = spec.benchmark(device, cfg, shape, reps=reps, sigma=sigma)
+        xs[i] = spec.encode(cfg, shape, log=False)
+        ys[i] = np.log2(max(tflops, 1e-6))
+    return Dataset(xs, ys, feature_names)
 
 
 def generate_gemm_dataset(
@@ -169,25 +233,11 @@ def generate_gemm_dataset(
     dtypes: Sequence[DType] = (DType.FP32, DType.FP16, DType.FP64),
 ) -> Dataset:
     """Benchmark ``n`` random legal GEMM kernels on the simulated device."""
-    from repro.sampling.features import GEMM_FEATURES
-
-    shape_sampler = shape_sampler or GemmShapeSampler(dtypes=tuple(dtypes))
-    samplers = samplers or fit_generative_models(
-        device, op="gemm", dtypes=dtypes, rng=rng
+    return generate_dataset(
+        device, "gemm", n, rng,
+        samplers=samplers, shape_sampler=shape_sampler,
+        sigma=sigma, reps=reps, dtypes=dtypes,
     )
-    xs = np.empty((n, len(GEMM_FEATURES)))
-    ys = np.empty(n)
-    for i in range(n):
-        shape = shape_sampler(rng)
-        accept = _make_accept(device, "gemm", shape.dtype)
-        point = samplers[shape.dtype].sample_legal(accept, rng)
-        cfg = GemmConfig.from_dict(point)
-        tflops = benchmark_gemm(
-            device, cfg, shape, reps=reps, sigma=sigma
-        )
-        xs[i] = encode_gemm(cfg, shape, log=False)
-        ys[i] = np.log2(max(tflops, 1e-6))
-    return Dataset(xs, ys, GEMM_FEATURES)
 
 
 def generate_conv_dataset(
@@ -202,22 +252,8 @@ def generate_conv_dataset(
     dtypes: Sequence[DType] = (DType.FP32, DType.FP16),
 ) -> Dataset:
     """Benchmark ``n`` random legal CONV kernels on the simulated device."""
-    from repro.sampling.features import CONV_FEATURES
-
-    shape_sampler = shape_sampler or ConvShapeSampler(dtypes=tuple(dtypes))
-    samplers = samplers or fit_generative_models(
-        device, op="conv", dtypes=dtypes, rng=rng
+    return generate_dataset(
+        device, "conv", n, rng,
+        samplers=samplers, shape_sampler=shape_sampler,
+        sigma=sigma, reps=reps, dtypes=dtypes,
     )
-    xs = np.empty((n, len(CONV_FEATURES)))
-    ys = np.empty(n)
-    for i in range(n):
-        shape = shape_sampler(rng)
-        accept = _make_accept(device, "conv", shape.dtype)
-        point = samplers[shape.dtype].sample_legal(accept, rng)
-        cfg = ConvConfig.from_dict(point)
-        tflops = benchmark_conv(
-            device, cfg, shape, reps=reps, sigma=sigma
-        )
-        xs[i] = encode_conv(cfg, shape, log=False)
-        ys[i] = np.log2(max(tflops, 1e-6))
-    return Dataset(xs, ys, CONV_FEATURES)

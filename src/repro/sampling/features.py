@@ -28,6 +28,9 @@ CONV_SHAPE_FEATURES = (
 )  # 10 (npq / crs are the implicit-GEMM extents)
 CONV_FEATURES = CONV_CONFIG_FEATURES + CONV_SHAPE_FEATURES
 
+BGEMM_SHAPE_FEATURES = ("batch",) + GEMM_SHAPE_FEATURES  # 7
+BGEMM_FEATURES = GEMM_CONFIG_FEATURES + BGEMM_SHAPE_FEATURES
+
 
 def _log_positive(x: np.ndarray) -> np.ndarray:
     """log2 of positive features; 0/1 flags pass through unchanged."""
@@ -53,23 +56,25 @@ def gemm_config_matrix(
 
 
 def gemm_shape_vector(shape: GemmShape, log: bool = True) -> np.ndarray:
-    """(6,) vector of input-parameter features."""
+    """(6,) vector of input-parameter features.
+
+    The layout flags are encoded as ``1 + flag`` so the log2 transform maps
+    them to 0/1 — the raw (training) and log (inference) paths then agree
+    after the training-side log, instead of the raw flags collapsing to a
+    constant ``log2(1) = 0`` column the model cannot learn from.
+    """
     raw = np.array(
         [
             shape.m,
             shape.n,
             shape.k,
             shape.dtype.size,
-            float(shape.ta),
-            float(shape.tb),
+            1.0 + shape.ta,
+            1.0 + shape.tb,
         ],
         dtype=np.float64,
     )
-    if not log:
-        return raw
-    out = raw.copy()
-    out[:4] = np.log2(out[:4])
-    return out
+    return _log_positive(raw) if log else raw
 
 
 def encode_gemm(
@@ -141,3 +146,13 @@ def conv_design_matrix(
     cfg_part = conv_config_matrix(configs, log)
     shape_part = np.tile(conv_shape_vector(shape, log), (len(configs), 1))
     return np.hstack([cfg_part, shape_part])
+
+
+# ----------------------------------------------------------------------
+# Batched GEMM
+# ----------------------------------------------------------------------
+
+def bgemm_shape_vector(shape, log: bool = True) -> np.ndarray:
+    """(7,) vector: the batch extent prepended to the base GEMM features."""
+    batch = np.log2(shape.batch) if log else float(shape.batch)
+    return np.concatenate([[batch], gemm_shape_vector(shape.base, log)])
