@@ -9,7 +9,6 @@ much of the Table 4 suite it loses to the input-aware tuner.
 
 import math
 
-import pytest
 
 from repro.baselines.oblivious import ObliviousTuner
 from repro.core.types import DType

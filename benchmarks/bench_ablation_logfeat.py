@@ -9,7 +9,6 @@ best-of-top-10 on the device.  The log-feature model must rank better.
 import math
 
 import numpy as np
-import pytest
 
 from repro.core.types import DType, GemmShape
 from repro.gpu.device import TESLA_P100

@@ -8,7 +8,6 @@ performance and model evaluations spent.
 
 import math
 
-import pytest
 
 from repro.inference.optimizers import SEARCH_METHODS
 from repro.inference.search import ExhaustiveSearch

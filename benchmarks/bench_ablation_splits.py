@@ -6,9 +6,7 @@ ablation re-runs the ICA and DeepBench tasks with the tuner's candidate
 set restricted to KL = KG = 1 and measures what is lost.
 """
 
-import math
 
-import pytest
 
 from repro.core.types import DType, GemmShape
 from repro.gpu.device import TESLA_P100

@@ -8,7 +8,6 @@ never hurt and should win measurably somewhere.
 
 import math
 
-import pytest
 
 from repro.harness.report import render_series
 from repro.workloads.gemm_suites import TABLE4_TASKS

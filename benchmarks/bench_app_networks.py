@@ -5,7 +5,6 @@ bench measures end-to-end step time for the RNN-training, ICA and
 blocked-SVD workloads under ISAAC vs the baseline library.
 """
 
-import pytest
 
 from repro.harness.app_eval import run_network_step
 from repro.harness.report import render_table

@@ -1,0 +1,125 @@
+"""Macrobenchmark: Engine batched serving vs the per-request loop.
+
+Before the Engine, a deployment answered "which kernel for this shape?"
+by looping ``Isaac.best_kernel`` per request — one model pass per shape,
+no result reuse across repeated traffic.  The Engine front door batches
+mixed-op requests through ``top_k_batch`` and serves repeats from its
+two-level cache (in-memory LRU over the profile cache).
+
+This bench replays a mixed 100-shape workload (GEMM + CONV + batched
+GEMM) twice — cold, then hot, as repeated multi-tenant traffic would —
+and asserts:
+
+* every Engine reply is config-identical to per-shape ``best_kernel``
+  (the facade changes dispatch, never answers);
+* total Engine throughput is at least 2x the per-request loop.
+
+Model quality is irrelevant to dispatch cost, so tuners are trained at a
+tiny budget.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.batched import BatchedGemmShape
+from repro.core.tuner import Isaac
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.gpu.device import TESLA_P100
+from repro.service.engine import Engine, KernelRequest
+
+K = 20
+REPS = 2
+PASSES = 2
+
+
+def _tiny_tuner(op: str, n_samples: int, seed: int) -> Isaac:
+    tuner = Isaac(TESLA_P100, op=op, dtypes=(DType.FP32,))
+    tuner.tune(n_samples=n_samples, seed=seed, epochs=15,
+               generative_target=120)
+    return tuner
+
+
+def _mixed_workload(rng: np.random.Generator) -> list[KernelRequest]:
+    """100 mixed requests: 50 GEMM, 25 CONV, 25 batched GEMM."""
+    dims = [int(d) for d in 2 ** rng.uniform(5, 11.5, size=150)]
+    requests = []
+    for i in range(50):
+        m, n, k = dims[3 * i: 3 * i + 3]
+        shape = GemmShape(m, n, k, DType.FP32, bool(i % 3 == 0),
+                          bool(i % 2 == 0))
+        requests.append(KernelRequest("gemm", shape, k=K, reps=REPS))
+    for i in range(25):
+        p = int(rng.integers(4, 15))
+        c = int(2 ** rng.integers(3, 7))
+        kk = int(2 ** rng.integers(4, 8))
+        n = int(rng.integers(1, 9))
+        shape = ConvShape.from_output(n=n, p=p, q=p, k=kk, c=c, r=3, s=3)
+        requests.append(KernelRequest("conv", shape, k=K, reps=REPS))
+    for i in range(25):
+        batch = int(2 ** rng.integers(3, 9))
+        m = int(2 ** rng.integers(5, 9))
+        kdim = int(2 ** rng.integers(5, 10))
+        shape = BatchedGemmShape(batch=batch, base=GemmShape(m, m, kdim))
+        requests.append(KernelRequest("bgemm", shape, k=K, reps=REPS))
+    return requests
+
+
+def test_bench_engine_throughput(results_recorder):
+    rng = np.random.default_rng(42)
+    tuners = {
+        "gemm": _tiny_tuner("gemm", 2000, 0),
+        "conv": _tiny_tuner("conv", 1200, 1),
+        "bgemm": _tiny_tuner("bgemm", 1200, 2),
+    }
+    requests = _mixed_workload(rng)
+
+    # --- per-request loop: what callers hand-wired before the Engine ---
+    t0 = time.perf_counter()
+    loop_replies = []
+    for _ in range(PASSES):
+        loop_replies = [
+            tuners[r.op].best_kernel(r.shape, k=r.k, reps=r.reps)
+            for r in requests
+        ]
+    loop_s = time.perf_counter() - t0
+
+    # --- the Engine front door: batched dispatch + two-level cache ---
+    engine = Engine()
+    for tuner in tuners.values():
+        engine.register(tuner)
+    t0 = time.perf_counter()
+    engine_replies = []
+    for _ in range(PASSES):
+        engine_replies = engine.query_many(requests)
+    engine_s = time.perf_counter() - t0
+    stats = engine.stats()
+    engine.close()
+
+    # Identical answers, per the acceptance bar: the facade may only
+    # change how requests are dispatched, never what they return.
+    mismatches = sum(
+        1
+        for got, want in zip(engine_replies, loop_replies)
+        if got.config != want.config
+    )
+    assert mismatches == 0, f"{mismatches} config mismatches vs best_kernel"
+
+    total = PASSES * len(requests)
+    speedup = loop_s / engine_s
+    lines = [
+        "Engine throughput: mixed 100-shape workload "
+        f"(gemm+conv+bgemm), {PASSES} passes",
+        f"{'path':>24s} {'total':>9s} {'req/s':>8s}",
+        f"{'per-request best_kernel':>24s} {loop_s:8.2f}s "
+        f"{total / loop_s:8.1f}",
+        f"{'Engine.query_many':>24s} {engine_s:8.2f}s "
+        f"{total / engine_s:8.1f}",
+        f"speedup: {speedup:.2f}x   (searches={stats.searches}, "
+        f"lru_hits={stats.lru_hits})",
+    ]
+    results_recorder("engine_throughput", "\n".join(lines))
+
+    distinct = len({(r.op, r.shape) for r in requests})
+    assert stats.searches == distinct  # dup shapes collapse; pass 2 cached
+    assert speedup >= 2.0, f"only {speedup:.2f}x over the per-request loop"

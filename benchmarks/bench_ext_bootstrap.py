@@ -8,7 +8,6 @@ tuner's own forward pass.
 
 import math
 
-import pytest
 
 from repro.harness.bootstrap import bootstrap_report
 from repro.harness.report import render_table

@@ -6,7 +6,6 @@ efficiency instead of speed and quantifies the trade-off frontier on two
 contrasting shapes.
 """
 
-import pytest
 
 from repro.core.types import DType, GemmShape
 from repro.gpu.energy import gemm_energy

@@ -6,7 +6,6 @@ identical warm-up streams in the Table-1 space and compares acceptance.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import GemmConfig
 from repro.core.legality import is_legal_gemm

@@ -7,9 +7,7 @@ cross-validation MSE vs the multiply-accumulate count of runtime inference.
 """
 
 import numpy as np
-import pytest
 
-from repro.core.types import DType
 from repro.gpu.device import GTX_980_TI
 from repro.harness.report import render_table
 from repro.mlp.crossval import fit_regressor, _maybe_log

@@ -6,7 +6,6 @@ were tailored to Maxwell): >5x on Conv8, ~70% on Conv13.
 
 import math
 
-import pytest
 
 from repro.harness.experiments import run_fig10
 

@@ -6,7 +6,6 @@ consistently faster half-precision convolutions than cuDNN.
 
 import math
 
-import pytest
 
 from repro.harness.experiments import run_fig11
 

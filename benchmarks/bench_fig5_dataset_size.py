@@ -7,7 +7,6 @@ flat profile at smaller sizes).
 
 import os
 
-import pytest
 
 from repro.harness.experiments import run_fig5
 

@@ -7,7 +7,6 @@ mis-handle ICA reduction splitting, ~10% on blocked-SVD outer products.
 
 import math
 
-import pytest
 
 from repro.harness.experiments import run_fig6
 

@@ -8,7 +8,6 @@ heuristics, are at fault.
 
 import math
 
-import pytest
 
 from repro.harness.experiments import run_fig7
 

@@ -5,7 +5,6 @@ kernels), 2.5-3x fp16 wins on DeepBench (ISAAC emits fp16x2 across the
 whole space), fp64 gains of ~5% LINPACK / ~40% ICA / ~15% LAPACK.
 """
 
-import pytest
 
 from repro.core.types import DType
 from repro.harness.experiments import run_fig8

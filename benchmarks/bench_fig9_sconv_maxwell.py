@@ -7,7 +7,6 @@ small-NPQ true convolutions (Conv13).
 
 import math
 
-import pytest
 
 from repro.harness.experiments import run_fig9
 

@@ -6,7 +6,6 @@ rate — and therefore higher TFLOPS on a shape where cuBLAS wastes half its
 threads on a nonexistent part of the output.
 """
 
-import pytest
 
 from repro.harness.experiments import run_sec81
 

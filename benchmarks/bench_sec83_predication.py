@@ -4,7 +4,6 @@ Paper: moving from CUDA-C to PTX cut the bounds-checking overhead from
 15-20% to ~2%, thanks to hardware predication.
 """
 
-import pytest
 
 from repro.harness.experiments import run_sec83
 

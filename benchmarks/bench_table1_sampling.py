@@ -4,7 +4,6 @@ Paper: GEMM 20% vs 0.1%, CONV 15% vs 0.1% — a >2-orders-of-magnitude
 improvement from fitting per-parameter marginals on a short uniform phase.
 """
 
-import pytest
 
 from repro.harness.experiments import run_table1
 

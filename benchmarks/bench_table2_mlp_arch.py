@@ -8,7 +8,6 @@ magnitude.
 
 import os
 
-import pytest
 
 from repro.harness.experiments import run_table2
 

@@ -1,5 +1,7 @@
 """Table 3: the two simulated test platforms (spec fidelity check)."""
 
+import pytest
+
 from repro.core.types import DType
 from repro.gpu.device import GTX_980_TI, TESLA_P100
 from repro.harness.experiments import run_table3
@@ -14,6 +16,3 @@ def test_table3_devices(benchmark, results_recorder):
     assert TESLA_P100.mem_bw_gbs / GTX_980_TI.mem_bw_gbs == pytest.approx(
         732 / 336
     )
-
-
-import pytest  # noqa: E402  (used in the assertion above)

@@ -5,7 +5,6 @@ always split (KL and/or KG > 1), (3) large outer products (LAPACK) keep
 KG = KL = 1.
 """
 
-import pytest
 
 from repro.harness.experiments import run_table6
 

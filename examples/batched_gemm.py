@@ -8,27 +8,27 @@ benchmark.  Nothing in the tuner, search, re-ranker, dataset generator or
 profile cache knows its name — this script drives them all through the
 registry.
 
-It also shows the batched runtime search: ``top_k_batch`` answers many
-query shapes in one pass over the pre-scaled candidate set, which is how
-a deployment would warm its profile cache for a whole network at once.
+It also shows the engine's batching planner: ``Engine.query_many``
+groups the requests by (device, op, dtype) and answers each group in one
+``top_k_batch`` model pass plus per-shape re-ranking — how a deployment
+warms its profile cache for a whole network at once.
 
 Run:  python examples/batched_gemm.py
 """
 
-from repro import DType, GemmShape, TESLA_P100
+from repro import DType, Engine, GemmShape, KernelRequest, TESLA_P100
 from repro.core.batched import BatchedGemmShape, simulate_looped_gemm
 from repro.core.ops import get_op
-from repro.core.tuner import Isaac
-from repro.inference.topk import best_after_rerank
 
 
 def main() -> None:
     spec = get_op("bgemm")
     print(f"op {spec.name!r}: features = {', '.join(spec.feature_names)}")
 
-    tuner = Isaac(TESLA_P100, op="bgemm", dtypes=(DType.FP32,))
+    engine = Engine()
     print("tuning (data generation + MLP training)...")
-    report = tuner.tune(n_samples=4_000, seed=0)
+    report = engine.tune(TESLA_P100, "bgemm", dtypes=(DType.FP32,),
+                         n_samples=4_000, seed=0)
     print(f"  {report}")
 
     # RNN-style timestep stacks: many small identical products.
@@ -39,23 +39,24 @@ def main() -> None:
         BatchedGemmShape(batch=256, base=GemmShape(32, 32, 128)),
     ]
 
-    # One model pass scores every query shape (the profile-cache warmup
-    # pattern); re-ranking then measures the short lists on the device.
-    all_top = tuner.top_k_batch(queries, k=40)
+    # One batched dispatch: the engine runs a single model pass over the
+    # shared candidate set, then re-ranks each shape's short list.
+    replies = engine.query_many(
+        [KernelRequest("bgemm", shape, k=40, reps=3) for shape in queries]
+    )
 
     print(f"\n{'shape':>34s} {'batched':>9s} {'looped':>9s} {'speedup':>8s}"
           f"   chosen kernel")
-    for shape, top in zip(queries, all_top):
-        best = best_after_rerank(TESLA_P100, shape, top, op=spec, reps=3)
+    for shape, reply in zip(queries, replies):
         batched_ms = spec.simulate(
-            TESLA_P100, best.config, shape
+            TESLA_P100, reply.config, shape
         ).time_ms
-        looped_ms = simulate_looped_gemm(TESLA_P100, best.config, shape)
+        looped_ms = simulate_looped_gemm(TESLA_P100, reply.config, shape)
         print(
             f"{shape.describe():>34s} "
             f"{batched_ms:8.3f}ms {looped_ms:8.3f}ms "
             f"{looped_ms / batched_ms:7.2f}x"
-            f"   {best.config.short()}"
+            f"   {reply.config.short()}"
         )
 
 

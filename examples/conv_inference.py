@@ -16,7 +16,7 @@ import numpy as np
 from repro import DType, Isaac, get_device
 from repro.baselines.cudnn import CuDNNLike
 from repro.kernels.conv_ref import conv_reference, execute_conv, make_tensors
-from repro.workloads.conv_suites import TABLE5_TASKS, task
+from repro.workloads.conv_suites import task
 
 
 def main() -> None:

@@ -2,49 +2,55 @@
 
 The paper's motivating workload: deep-learning training steps are chains
 of GEMMs whose batch dimension is small, and a single mis-tiled kernel
-drags the whole step.  This example tunes once, persists the tuner to
-disk, reloads it (as a deployment would), and times a 4-timestep vanilla
-RNN training step against the cuBLAS-like baseline.
+drags the whole step.  This example tunes once into a model store,
+reopens it through the :class:`repro.Engine` front door (as a deployment
+would), pre-warms the cache for the whole graph, and times a 4-timestep
+vanilla RNN training step against the cuBLAS-like baseline.
 
 Run:  python examples/end_to_end_rnn.py
 """
 
 import tempfile
-from pathlib import Path
 
-from repro import DType, Isaac, TESLA_P100
+from repro import DType, Engine
 from repro.harness.app_eval import run_network_step
 from repro.workloads.networks import rnn_training_step
 
 
 def main() -> None:
-    device = TESLA_P100
-    tuner = Isaac(device, op="gemm", dtypes=(DType.FP32,))
-    print(f"tuning on {device.name} ...")
-    print(f"  {tuner.tune(n_samples=8_000, seed=0)}")
-
-    # Persist and reload — the deployment path: ship the model, not data.
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "isaac-p100-gemm.npz"
-        tuner.save(path)
-        deployed = Isaac.load(path)
-        print(f"  saved + reloaded tuner from {path.name}")
+        # Offline: fit the (device, op) model and save it into the store.
+        offline = Engine(model_dir=tmp)
+        print("tuning on pascal ...")
+        print(f"  {offline.tune('pascal', 'gemm', dtypes=(DType.FP32,), n_samples=8_000, seed=0)}")
 
-        for batch in (16, 32, 128):
-            step = rnn_training_step(hidden=2560, batch=batch, timesteps=4)
-            result = run_network_step(deployed, step, k=60)
-            print(
-                f"\n  {step.name}: ISAAC {result.isaac_ms:.2f} ms "
-                f"vs baseline {result.baseline_ms:.2f} ms "
-                f"({result.speedup:.2f}x, {result.isaac_tflops:.2f} TFLOPS)"
-            )
-            worst = max(
-                result.per_kernel, key=lambda row: row[2] / row[1]
-            )
-            print(
-                f"    biggest per-kernel win: {worst[0]} "
-                f"({worst[2] / worst[1]:.2f}x)"
-            )
+        # Deployment: reopen the store (ship the model, not the data) and
+        # warm the cache for every step we are about to serve.
+        with Engine.open(tmp) as engine:
+            steps = [
+                rnn_training_step(hidden=2560, batch=batch, timesteps=4)
+                for batch in (16, 32, 128)
+            ]
+            searched = engine.warmup(steps, k=60)
+            print(f"  warmed {searched} distinct kernels for "
+                  f"{len(steps)} steps")
+
+            for step in steps:
+                result = run_network_step(engine, step, k=60)
+                print(
+                    f"\n  {step.name}: ISAAC {result.isaac_ms:.2f} ms "
+                    f"vs baseline {result.baseline_ms:.2f} ms "
+                    f"({result.speedup:.2f}x, "
+                    f"{result.isaac_tflops:.2f} TFLOPS)"
+                )
+                worst = max(
+                    result.per_kernel, key=lambda row: row[2] / row[1]
+                )
+                print(
+                    f"    biggest per-kernel win: {worst[0]} "
+                    f"({worst[2] / worst[1]:.2f}x)"
+                )
+            print(f"\n  engine stats: {engine.stats()}")
 
 
 if __name__ == "__main__":

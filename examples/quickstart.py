@@ -1,22 +1,21 @@
-"""Quickstart: tune ISAAC for GEMM on the simulated Tesla P100.
+"""Quickstart: tune ISAAC for GEMM and serve it through the Engine.
 
 Runs the full paper pipeline end to end at a small budget (~1 minute):
 fit the generative sampler, benchmark random kernels, train the MLP, then
-answer runtime queries for a few input shapes and compare against the
-cuBLAS-like baseline.
+answer runtime queries through the :class:`repro.Engine` front door and
+compare against the cuBLAS-like baseline.
 
-``Isaac(device, op=...)`` accepts any operation registered with the
-:mod:`repro.core.ops` registry — ``"gemm"``, ``"conv"`` and ``"bgemm"``
-ship built in; see ``docs/architecture.md`` for how to register your own.
-Runtime queries go through the pre-scaled exhaustive search:
-``tuner.top_k(shape)`` scores every legal kernel for one input shape, and
-``tuner.top_k_batch(shapes)`` amortizes the model pass over many shapes
-(see ``examples/batched_gemm.py`` for both in action).
+The engine owns the serving concerns the paper leaves to the caller —
+model registry, result caching (in-memory LRU over the on-disk profile
+cache) and batched dispatch — so a client only ever builds
+:class:`repro.KernelRequest` objects.  ``Isaac(device, op=...)`` remains
+the low-level per-(device, op) API underneath; see
+``docs/architecture.md`` and ``examples/batched_gemm.py``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DType, GemmShape, Isaac, TESLA_P100
+from repro import DType, Engine, GemmShape, KernelRequest, TESLA_P100
 from repro.baselines.cublas import CuBLASLike
 
 
@@ -24,9 +23,10 @@ def main() -> None:
     print(f"device: {TESLA_P100.name} "
           f"({TESLA_P100.peak_tflops(DType.FP32):.1f} fp32 TFLOPS peak)")
 
-    tuner = Isaac(TESLA_P100, op="gemm", dtypes=(DType.FP32,))
+    engine = Engine()
     print("tuning (data generation + MLP training)...")
-    report = tuner.tune(n_samples=8_000, seed=0)
+    report = engine.tune("pascal", "gemm", dtypes=(DType.FP32,),
+                         n_samples=8_000, seed=0)
     print(f"  {report}")
 
     cublas = CuBLASLike(TESLA_P100)
@@ -37,15 +37,23 @@ def main() -> None:
     ]
     print(f"\n{'shape':>28s} {'ISAAC':>8s} {'cuBLAS':>8s} {'speedup':>8s}"
           f"   chosen kernel")
-    for shape in queries:
-        kernel = tuner.best_kernel(shape, k=100, reps=3)
+    # One batched dispatch answers every shape (cache -> one model pass).
+    replies = engine.query_many(
+        [KernelRequest("gemm", shape, k=100, reps=3) for shape in queries]
+    )
+    for shape, reply in zip(queries, replies):
         baseline = cublas.tflops(shape, mode="heuristic")
         print(
             f"{shape.describe():>28s} "
-            f"{kernel.measured_tflops:8.2f} {baseline:8.2f} "
-            f"{kernel.measured_tflops / baseline:7.2f}x"
-            f"   {kernel.config.short()}"
+            f"{reply.measured_tflops:8.2f} {baseline:8.2f} "
+            f"{reply.measured_tflops / baseline:7.2f}x"
+            f"   {reply.config.short()}"
         )
+
+    # Asking again is free: the engine serves it from the in-memory LRU.
+    again = engine.query(KernelRequest("gemm", queries[0]))
+    print(f"\nrepeat query served from {again.source!r} "
+          f"({engine.stats().lru_hits} LRU hits so far)")
 
 
 if __name__ == "__main__":

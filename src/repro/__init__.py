@@ -14,25 +14,33 @@ The public API mirrors the paper's pipeline (Figure 1):
 * **regression analysis** — :mod:`repro.mlp` is the from-scratch MLP;
 * **runtime inference** — :mod:`repro.inference` does exhaustive model
   search plus top-k device re-ranking;
-* **the tuner** — :class:`~repro.core.tuner.Isaac` glues it all together;
+* **the tuner** — :class:`~repro.core.tuner.Isaac` glues it all together
+  for one (device, op) pair (the documented low-level API);
+* **the engine** — :class:`~repro.service.engine.Engine` is the
+  concurrent front door: it loads saved fits, caches answers (in-memory
+  LRU over the on-disk profile cache) and batches mixed-op queries;
 * **baselines & evaluation** — :mod:`repro.baselines`,
   :mod:`repro.workloads` and :mod:`repro.harness` regenerate every table
   and figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import Isaac, GemmShape, TESLA_P100
+    from repro import Engine, GemmShape, KernelRequest
 
-    tuner = Isaac(TESLA_P100, op="gemm")
-    tuner.tune(n_samples=10_000, seed=0)
-    kernel = tuner.best_kernel(GemmShape(2560, 16, 2560))
-    print(kernel.config, f"{kernel.measured_tflops:.2f} TFLOPS")
+    engine = Engine(model_dir="models/")
+    engine.tune("pascal", "gemm", n_samples=10_000, seed=0)
+    reply = engine.query(KernelRequest("gemm", GemmShape(2560, 16, 2560)))
+    print(reply.config, f"{reply.measured_tflops:.2f} TFLOPS")
+
+(``Isaac(device, op)`` + ``tune()`` + ``best_kernel(shape)`` remains the
+low-level per-pair API underneath.)
 """
 
 from repro.core.config import ConvConfig, GemmConfig
 from repro.core.profile_cache import ProfileCache
 from repro.core.tuner import Isaac, TuneReport
 from repro.core.types import ConvShape, DType, GemmShape
+from repro.service.engine import Engine, KernelReply, KernelRequest
 from repro.gpu.device import GTX_980_TI, TESLA_P100, DeviceSpec, get_device
 from repro.gpu.simulator import (
     KernelStats,
@@ -49,10 +57,13 @@ __all__ = [
     "ConvShape",
     "DType",
     "DeviceSpec",
+    "Engine",
     "GTX_980_TI",
     "GemmConfig",
     "GemmShape",
     "Isaac",
+    "KernelReply",
+    "KernelRequest",
     "KernelStats",
     "ProfileCache",
     "TESLA_P100",

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import GemmConfig
-from repro.core.legality import is_legal_gemm
 from repro.core.types import DType, GemmShape
 from repro.gpu.device import DeviceSpec
 from repro.gpu.simulator import IllegalKernelError, benchmark_gemm

@@ -19,7 +19,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.config import GemmConfig
 from repro.core.legality import gemm_resources, gemm_violations
-from repro.core.types import DType, GemmShape, ceil_div
+from repro.core.types import DType, GemmShape
 from repro.gpu.device import DeviceSpec
 from repro.gpu.memory import estimate_traffic
 from repro.gpu.noise import DEFAULT_SIGMA, averaged_noise_factor

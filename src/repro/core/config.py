@@ -10,9 +10,9 @@ into an instruction stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Iterator, Mapping
+from typing import Mapping
 
-from repro.core.types import ConvShape, DType, GemmShape, ceil_div
+from repro.core.types import ConvShape, GemmShape, ceil_div
 
 
 @dataclass(frozen=True, slots=True)

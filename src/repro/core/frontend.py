@@ -151,7 +151,6 @@ def _lower_gemm(
     )
 
     def execute(a: np.ndarray, b: np.ndarray, cfg=None) -> np.ndarray:
-        from repro.core.config import GemmConfig
         from repro.kernels.gemm_ref import execute_gemm, gemm_reference
 
         a_logical = a.T if ta else a

@@ -18,6 +18,7 @@ mapping ``input parameters -> kernel`` can be persisted through
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -164,10 +165,13 @@ class Isaac:
             hit = cache.get(self.spec, self.device.name, shape)
             if hit is not None:
                 cfg, tflops = hit
+                # The cache persists only the measurement; there is no
+                # model prediction to report for a cache hit.
                 return RankedKernel(
                     config=cfg,
-                    predicted_tflops=tflops,
+                    predicted_tflops=math.nan,
                     measured_tflops=tflops,
+                    source="cache",
                 )
         best = best_after_rerank(
             self.device, shape, self.top_k(shape, k), op=self.spec, reps=reps

@@ -9,8 +9,7 @@ the input-parameter side: data-types and the GEMM / CONV problem shapes.
 from __future__ import annotations
 
 import enum
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class DType(enum.Enum):

@@ -14,7 +14,6 @@ they play the role of actually launching the kernel.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.config import ConvConfig, GemmConfig
@@ -27,7 +26,7 @@ from repro.core.legality import (
 )
 from repro.core.types import ConvShape, DType, GemmShape, ceil_div
 from repro.gpu.device import DeviceSpec
-from repro.gpu.latency import PipeTimes, pipe_times
+from repro.gpu.latency import pipe_times
 from repro.gpu.memory import TrafficEstimate, estimate_traffic
 from repro.gpu.noise import DEFAULT_SIGMA, averaged_noise_factor
 from repro.gpu.occupancy import Occupancy, occupancy_for

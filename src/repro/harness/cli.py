@@ -1,8 +1,25 @@
-"""Command-line entry point: ``repro-experiments <experiment> [...]``.
+"""Command-line entry point: experiments, plus the Engine service verbs.
 
-Runs any of the paper's tables/figures and prints the rendered text.
-``repro-experiments all`` runs everything at default (laptop-scale)
-budgets; individual experiments accept ``--samples`` and ``--seed``.
+Two families of commands share one binary:
+
+* the paper's tables/figures (legacy form, unchanged)::
+
+      repro-experiments table3
+      repro-experiments fig7 --samples 20000 --seed 1
+      repro-experiments all
+
+* the serving workflow, built on the :class:`~repro.service.engine.Engine`
+  facade::
+
+      repro-experiments tune   --models m/ --device pascal --op gemm
+      repro-experiments query  --models m/ --op gemm --shape 2560x16x2560
+      repro-experiments warmup --models m/ --network rnn
+
+  ``tune`` fits one (device, op) pair and saves it into the model
+  directory; ``query`` answers one shape (cache -> batched search) and
+  ``warmup`` pre-populates the cache for a whole network graph.  Both
+  serving verbs run the engine as a context manager, so the in-memory
+  cache is flushed to the on-disk profile cache atomically on exit.
 """
 
 from __future__ import annotations
@@ -29,12 +46,200 @@ _REGISTRY = {
     "sec83": lambda a: ex.run_sec83(),
 }
 
+_SERVICE_COMMANDS = ("tune", "query", "warmup")
+
+
+# ----------------------------------------------------------------------
+# Service verbs
+# ----------------------------------------------------------------------
+
+def _parse_dtype(name: str):
+    from repro.core.types import DType
+
+    try:
+        return DType[name.upper()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown dtype {name!r}; known: "
+            f"{', '.join(d.name.lower() for d in DType)}"
+        ) from None
+
+
+def _parse_shape(op: str, text: str, dtype, layout: str):
+    """Build an op's shape from its CLI spelling.
+
+    * gemm — ``MxNxK`` (+ ``--layout`` NN/NT/TN/TT)
+    * bgemm — ``BxMxNxK``
+    * conv — ``NxCxHxWxKxRxS``
+    """
+    from repro.core.batched import BatchedGemmShape
+    from repro.core.types import ConvShape, GemmShape
+
+    dims = [int(d) for d in text.lower().split("x")]
+    layout = layout.upper()
+    if len(layout) != 2 or set(layout) - {"N", "T"}:
+        raise SystemExit(f"bad --layout {layout!r}; expected NN/NT/TN/TT")
+    ta, tb = layout[0] == "T", layout[1] == "T"
+    if op == "gemm" and len(dims) == 3:
+        return GemmShape(*dims, dtype=dtype, ta=ta, tb=tb)
+    if op == "bgemm" and len(dims) == 4:
+        b, m, n, k = dims
+        return BatchedGemmShape(
+            batch=b, base=GemmShape(m, n, k, dtype=dtype, ta=ta, tb=tb)
+        )
+    if op == "conv" and len(dims) == 7:
+        n, c, h, w, k, r, s = dims
+        return ConvShape(n=n, c=c, h=h, w=w, k=k, r=r, s=s, dtype=dtype)
+    raise SystemExit(
+        f"cannot parse {op!r} shape from {text!r} "
+        "(gemm: MxNxK, bgemm: BxMxNxK, conv: NxCxHxWxKxRxS)"
+    )
+
+
+def _networks() -> dict:
+    from repro.workloads.networks import (
+        blocked_svd_sweep,
+        face_recognition_forward,
+        ica_pipeline_step,
+        rnn_training_step,
+    )
+
+    return {
+        "rnn": rnn_training_step,
+        "ica": ica_pipeline_step,
+        "face": face_recognition_forward,
+        "svd": blocked_svd_sweep,
+    }
+
+
+def _service_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Engine service verbs (tune / query / warmup).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--models", required=True, metavar="DIR",
+            help="model directory (saved fits + profiles.json)",
+        )
+        p.add_argument("--device", default=None,
+                       help="device name or alias (e.g. pascal, maxwell)")
+
+    tune = sub.add_parser("tune", help="fit one (device, op) and save it")
+    common(tune)
+    tune.add_argument("--op", default="gemm")
+    tune.add_argument("--samples", type=int, default=20_000)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--epochs", type=int, default=40)
+    tune.add_argument(
+        "--dtypes", default=None,
+        help="comma-separated (e.g. fp32,fp16); default: the op's own",
+    )
+
+    query = sub.add_parser("query", help="which kernel for this shape, now")
+    common(query)
+    query.add_argument("--op", default="gemm")
+    query.add_argument("--shape", required=True,
+                       help="gemm: MxNxK, bgemm: BxMxNxK, conv: NxCxHxWxKxRxS")
+    query.add_argument("--dtype", default="fp32")
+    query.add_argument("--layout", default="NT",
+                       help="GEMM operand layout (NN/NT/TN/TT)")
+    query.add_argument("-k", type=int, default=100,
+                       help="re-ranked short-list length")
+    query.add_argument("--reps", type=int, default=3)
+
+    warmup = sub.add_parser(
+        "warmup", help="pre-populate the cache for a network graph"
+    )
+    common(warmup)
+    warmup.add_argument(
+        "--network", required=True,
+        choices=[*_networks(), "all"],
+    )
+    warmup.add_argument("-k", type=int, default=60)
+    warmup.add_argument("--reps", type=int, default=3)
+
+    return parser
+
+
+def _run_service(argv: list[str]) -> int:
+    from repro.service.engine import Engine, KernelRequest
+
+    args = _service_parser().parse_args(argv)
+
+    if args.command == "tune":
+        dtypes = None
+        if args.dtypes:
+            dtypes = tuple(
+                _parse_dtype(d) for d in args.dtypes.split(",") if d
+            )
+        engine = Engine(model_dir=args.models)
+        t0 = time.time()
+        report = engine.tune(
+            args.device or "pascal",
+            args.op,
+            dtypes=dtypes,
+            n_samples=args.samples,
+            seed=args.seed,
+            epochs=args.epochs,
+        )
+        print(f"{report}  [{time.time() - t0:.1f}s, saved to {args.models}]")
+        return 0
+
+    with Engine.open(args.models) as engine:
+        if args.command == "query":
+            shape = _parse_shape(
+                args.op, args.shape, _parse_dtype(args.dtype), args.layout
+            )
+            t0 = time.time()
+            reply = engine.query(
+                KernelRequest(
+                    op=args.op, shape=shape, device=args.device,
+                    k=args.k, reps=args.reps,
+                )
+            )
+            ms = (time.time() - t0) * 1e3
+            print(
+                f"{shape.describe()}: {reply.config.short()} "
+                f"{reply.measured_tflops:.2f} TFLOPS "
+                f"[{reply.source}, {ms:.1f} ms]"
+            )
+        else:  # warmup
+            names = (
+                list(_networks())
+                if args.network == "all"
+                else [args.network]
+            )
+            steps = [_networks()[name]() for name in names]
+            t0 = time.time()
+            fresh = engine.warmup(
+                steps, device=args.device, k=args.k, reps=args.reps
+            )
+            stats = engine.stats()
+            print(
+                f"warmed {', '.join(s.name for s in steps)}: "
+                f"{fresh} searched, {stats.queries - fresh} already "
+                f"cached [{time.time() - t0:.1f}s]"
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SERVICE_COMMANDS:
+        return _run_service(argv)
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce tables/figures of the ISAAC paper (SC'17) "
-        "on the simulated GPU substrate.",
+        "on the simulated GPU substrate; 'tune', 'query' and 'warmup' "
+        "drive the serving engine (see their --help).",
     )
     parser.add_argument(
         "experiment",

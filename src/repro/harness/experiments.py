@@ -8,7 +8,7 @@ minutes on a laptop; the paper-scale numbers are noted per function.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

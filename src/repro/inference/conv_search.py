@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro.core.config import ConvConfig, GemmConfig
 from repro.core.legality import is_legal_conv
 from repro.core.space import CONV_SPACE
-from repro.core.types import ConvShape, DType
+from repro.core.types import ConvShape
 from repro.gpu.device import DeviceSpec
 from repro.inference.search import legal_configs
 

@@ -20,11 +20,20 @@ from repro.inference.search import Prediction
 
 @dataclass
 class RankedKernel:
-    """A candidate after on-device re-evaluation."""
+    """A candidate after on-device re-evaluation.
+
+    ``source`` records where the numbers come from: ``"reranked"`` means
+    ``predicted_tflops`` is the model's estimate and ``measured_tflops``
+    was benchmarked on the device; ``"cache"`` means the kernel was read
+    back from a profile cache, which persists only the measurement —
+    ``predicted_tflops`` is then NaN rather than a fake copy of the
+    measured value.
+    """
 
     config: object
     predicted_tflops: float
     measured_tflops: float
+    source: str = "reranked"
 
 
 def rerank(

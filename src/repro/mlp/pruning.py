@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.mlp.network import MLP
 from repro.mlp.optimizers import Adam
-from repro.mlp.training import History, train
+from repro.mlp.training import train
 
 
 @dataclass

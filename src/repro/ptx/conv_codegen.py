@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import ConvConfig, GemmConfig
+from repro.core.config import ConvConfig
 from repro.core.legality import conv_resources
 from repro.core.types import ConvShape, DType, GemmShape, ceil_div
 from repro.gpu.device import DeviceSpec

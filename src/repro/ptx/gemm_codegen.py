@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.core.config import GemmConfig
 from repro.core.legality import gemm_resources
-from repro.core.types import DType, GemmShape, ceil_div, round_up
+from repro.core.types import DType, GemmShape, round_up
 from repro.gpu.device import DeviceSpec
 from repro.ptx.counts import BlockCounts, KernelCounts
 

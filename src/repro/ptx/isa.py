@@ -11,7 +11,7 @@ bounds checking without padding.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class OpClass(enum.Enum):

@@ -11,7 +11,7 @@ in-distribution; configs come from the fitted categorical generative model
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np

@@ -1,0 +1,24 @@
+"""Service layer: the concurrent front door over the tuning pipeline.
+
+:class:`~repro.service.engine.Engine` owns model loading, two-level
+result caching and batched dispatch for every registered (device, op)
+tuner, so clients issue :class:`~repro.service.engine.KernelRequest`
+objects instead of hand-wiring ``Isaac`` + ``ExhaustiveSearch`` +
+``ProfileCache`` per pair.
+"""
+
+from repro.service.engine import (
+    Engine,
+    EngineError,
+    EngineStats,
+    KernelReply,
+    KernelRequest,
+)
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "EngineStats",
+    "KernelReply",
+    "KernelRequest",
+]

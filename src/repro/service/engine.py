@@ -1,0 +1,707 @@
+"""The Engine: one concurrent front door for tuning, search and serving.
+
+The paper's deliverable is a runtime answer to *"which kernel for this
+shape, now"*.  The low-level API answers it one pair at a time: callers
+hand-wire an :class:`~repro.core.tuner.Isaac` per (device, op), consult a
+:class:`~repro.core.profile_cache.ProfileCache` themselves, and loop over
+shapes.  That cannot serve heavy multi-tenant traffic.  Like AutoTVM's
+``task -> tuner -> apply_history_best`` flow and cuDNN's single-handle
+heuristics API, :class:`Engine` is the one stable facade in front of the
+whole pipeline:
+
+* **model store** — :meth:`Engine.open` points the engine at a directory
+  of fits saved by :meth:`Engine.tune` / :meth:`Isaac.save`; each
+  (device, op) tuner is loaded lazily on first use and kept hot;
+* **two-level cache** — a thread-safe in-memory LRU in front of the
+  on-disk :class:`ProfileCache`, consulted before any model search; new
+  results are written through to both levels, so LRU eviction falls back
+  to the profile cache rather than re-searching;
+* **batching planner** — :meth:`query_many` groups concurrent mixed-op /
+  mixed-device requests by (device, op, dtype, k, reps) and routes each
+  group through :meth:`Isaac.top_k_batch`, amortizing the model pass the
+  way a deployment warms its cache for a whole network
+  (:meth:`Engine.warmup`);
+* **concurrency** — :meth:`query` / :meth:`query_many` are thread-safe:
+  per-tuner locks serialize the (stateful) exhaustive search, duplicate
+  in-flight shapes are deduplicated so N concurrent queries for one shape
+  cost one search, and groups are dispatched on a ``ThreadPoolExecutor``.
+
+``Isaac`` remains the documented low-level API; the engine composes it
+without changing its semantics — :meth:`query` returns exactly what
+:meth:`Isaac.best_kernel` would for the same (shape, k, reps).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.core.ops import OpSpec, get_op
+from repro.core.profile_cache import ProfileCache
+from repro.core.tuner import Isaac, TuneReport
+from repro.core.types import DType
+from repro.gpu.device import DeviceSpec, get_device
+from repro.inference.topk import RankedKernel, best_after_rerank
+from repro.workloads.networks import NetworkStep
+
+
+class EngineError(RuntimeError):
+    """A request the engine cannot serve (unknown model, closed engine)."""
+
+
+# ----------------------------------------------------------------------
+# Request / reply envelope
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelRequest:
+    """One "which kernel?" question.
+
+    ``device`` may be omitted when the engine serves a single device.
+    ``k`` (re-ranked short-list length) and ``reps`` (benchmark
+    repetitions) are search-time knobs: like ``Isaac.best_kernel``'s
+    ``cache`` parameter, they are not part of the cached result's
+    identity — the first answer for a (device, op, shape) is served to
+    every later request for it.
+    """
+
+    op: str
+    shape: Any
+    device: str | None = None
+    k: int = 100
+    reps: int = 3
+
+
+@dataclass(frozen=True)
+class KernelReply:
+    """The engine's answer, with provenance.
+
+    ``source`` is ``"search"`` for a fresh model search + re-rank,
+    ``"lru"`` for an in-memory hit and ``"profile"`` for an on-disk
+    profile-cache hit (both cache sources report ``predicted_tflops`` as
+    NaN — the caches persist only measurements).
+    """
+
+    request: KernelRequest
+    config: Any
+    predicted_tflops: float
+    measured_tflops: float
+    source: str
+
+    @property
+    def tflops(self) -> float:
+        return self.measured_tflops
+
+
+@dataclass
+class EngineStats:
+    """Counters since construction (returned by :meth:`Engine.stats`)."""
+
+    lru_hits: int = 0
+    profile_hits: int = 0
+    searches: int = 0
+    dedup_waits: int = 0
+    evictions: int = 0
+
+    @property
+    def queries(self) -> int:
+        return self.lru_hits + self.profile_hits + self.searches
+
+
+# ----------------------------------------------------------------------
+# In-memory level-1 cache
+# ----------------------------------------------------------------------
+
+class _LruCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Not internally locked: the engine guards every access with its cache
+    lock (the same lock that orders writes to the profile cache behind
+    it).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"lru_capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+        self._data: OrderedDict[str, tuple[Any, float]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> tuple[Any, float] | None:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: tuple[Any, float]) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+
+def _device_slug(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+
+
+def _model_filename(device_name: str, op_name: str) -> str:
+    return f"{_device_slug(device_name)}--{op_name}.npz"
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class Engine:
+    """Concurrent facade over every (device, op) tuner.
+
+    Typical service use::
+
+        with Engine.open("models/") as engine:
+            reply = engine.query(KernelRequest("gemm", shape))
+            replies = engine.query_many(requests)   # batched dispatch
+
+    Typical offline use::
+
+        engine = Engine(model_dir="models/")
+        engine.tune("pascal", "gemm", n_samples=20_000)   # fits + saves
+    """
+
+    def __init__(
+        self,
+        *,
+        model_dir: str | Path | None = None,
+        profile_cache: ProfileCache | str | Path | None = None,
+        lru_capacity: int = 4096,
+        max_workers: int | None = None,
+    ):
+        self._model_dir = Path(model_dir) if model_dir is not None else None
+        if isinstance(profile_cache, (str, Path)):
+            profile_cache = ProfileCache(profile_cache)
+        self._profiles = profile_cache
+        self._lru = _LruCache(lru_capacity)
+        self._stats = EngineStats()
+
+        #: hot tuners + lazily loadable fits, both keyed (device name, op).
+        self._tuners: dict[tuple[str, str], Isaac] = {}
+        self._model_index: dict[tuple[str, str], Path] = {}
+        self._tuner_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._load_locks: dict[tuple[str, str], threading.Lock] = {}
+
+        self._registry_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        self._inflight: dict[str, threading.Event] = {}
+
+        self._max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+        if self._model_dir is not None and self._model_dir.is_dir():
+            self._scan_model_dir()
+
+    # ------------------------------------------------------------------
+    # Model store
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        model_dir: str | Path,
+        *,
+        profile_cache: ProfileCache | str | Path | None = None,
+        **kwargs,
+    ) -> "Engine":
+        """An engine over a directory of saved fits.
+
+        Every ``*.npz`` with an ``Isaac.save`` sidecar is indexed; the
+        tuner itself is loaded on first query for its (device, op) and
+        kept hot.  Unless overridden, tuned-kernel profiles persist in
+        ``<model_dir>/profiles.json``.
+        """
+        model_dir = Path(model_dir)
+        if not model_dir.is_dir():
+            raise EngineError(
+                f"model directory {model_dir} does not exist; create one "
+                "with Engine(model_dir=...).tune(...) or Isaac.save()"
+            )
+        if profile_cache is None:
+            profile_cache = model_dir / "profiles.json"
+        return cls(model_dir=model_dir, profile_cache=profile_cache, **kwargs)
+
+    def _scan_model_dir(self) -> None:
+        import json
+
+        for path in sorted(self._model_dir.glob("*.npz")):
+            sidecar = path.with_suffix(path.suffix + ".meta.json")
+            if not sidecar.exists():
+                continue
+            meta = json.loads(sidecar.read_text())
+            self._model_index[(meta["device"], meta["op"])] = path
+
+    def register(self, tuner: Isaac) -> None:
+        """Serve an already-tuned (or loaded) ``Isaac`` through the engine."""
+        if not tuner.is_tuned:
+            raise EngineError(
+                f"tuner for ({tuner.device.name}, {tuner.op}) is not tuned"
+            )
+        key = (tuner.device.name, tuner.op)
+        with self._registry_lock:
+            self._tuners[key] = tuner
+            self._tuner_locks.setdefault(key, threading.Lock())
+
+    def tune(
+        self,
+        device: str | DeviceSpec,
+        op: str | OpSpec,
+        *,
+        dtypes: Sequence[DType] | None = None,
+        save: bool = True,
+        **tune_kwargs,
+    ) -> TuneReport:
+        """Run the offline phase for one (device, op) and serve the result.
+
+        With a ``model_dir`` configured (and ``save=True``), the fit is
+        persisted there under a canonical name so a later
+        :meth:`Engine.open` finds it.
+        """
+        if isinstance(device, str):
+            device = get_device(device)
+        tuner = Isaac(device, op=op, dtypes=dtypes)
+        report = tuner.tune(**tune_kwargs)
+        if save and self._model_dir is not None:
+            self._model_dir.mkdir(parents=True, exist_ok=True)
+            path = self._model_dir / _model_filename(device.name, tuner.op)
+            tuner.save(path)
+            with self._registry_lock:
+                self._model_index[(device.name, tuner.op)] = path
+        self.register(tuner)
+        return report
+
+    def _tuner(self, device_name: str, op_name: str) -> Isaac:
+        """The hot tuner for (device, op), lazily loading a saved fit.
+
+        The load itself runs outside ``_registry_lock`` (under a per-key
+        lock) so one cold model load never stalls lookups of already-hot
+        pairs.
+        """
+        key = (device_name, op_name)
+        with self._registry_lock:
+            tuner = self._tuners.get(key)
+            if tuner is not None:
+                return tuner
+            path = self._model_index.get(key)
+            if path is None:
+                known = sorted(set(self._tuners) | set(self._model_index))
+                raise EngineError(
+                    f"no model for device={device_name!r} op={op_name!r}; "
+                    f"available: {known or 'none'}"
+                )
+            load_lock = self._load_locks.setdefault(key, threading.Lock())
+        with load_lock:
+            with self._registry_lock:
+                tuner = self._tuners.get(key)
+                if tuner is not None:
+                    return tuner
+            tuner = Isaac.load(path)
+            with self._registry_lock:
+                self._tuners[key] = tuner
+                self._tuner_locks.setdefault(key, threading.Lock())
+            return tuner
+
+    def _known_pairs(self) -> set[tuple[str, str]]:
+        with self._registry_lock:
+            return set(self._tuners) | set(self._model_index)
+
+    def devices(self) -> tuple[str, ...]:
+        """Device names the engine can serve (hot or lazily loadable)."""
+        return tuple(sorted({d for d, _ in self._known_pairs()}))
+
+    def ops(self, device: str | None = None) -> tuple[str, ...]:
+        """Op names servable (optionally restricted to one device)."""
+        pairs = self._known_pairs()
+        return tuple(
+            sorted({o for d, o in pairs if device is None or d == device})
+        )
+
+    # ------------------------------------------------------------------
+    # Request resolution
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, request: KernelRequest
+    ) -> tuple[KernelRequest, OpSpec, str]:
+        """Canonicalize one request: full device name + its cache key."""
+        if self._closed:
+            raise EngineError("engine is closed")
+        spec = get_op(request.op)
+        device_name = request.device
+        if device_name is None:
+            known = self.devices()
+            if len(known) != 1:
+                raise EngineError(
+                    "request names no device and the engine serves "
+                    f"{list(known) or 'none'}; set KernelRequest.device"
+                )
+            device_name = known[0]
+        else:
+            # Accept aliases ("pascal") but key everything canonically.
+            device_name = get_device(device_name).name
+        if not isinstance(request.shape, spec.shape_type):
+            raise EngineError(
+                f"op {spec.name!r} expects {spec.shape_type.__name__}, "
+                f"got {type(request.shape).__name__}"
+            )
+        if request.device != device_name or request.op != spec.name:
+            request = replace(request, device=device_name, op=spec.name)
+        return request, spec, spec.profile_key(device_name, request.shape)
+
+    def _cached_reply_locked(
+        self, request: KernelRequest, spec: OpSpec, key: str
+    ) -> KernelReply | None:
+        """Level-1 then level-2 lookup; caller holds the cache lock."""
+        hit = self._lru.get(key)
+        if hit is not None:
+            self._stats.lru_hits += 1
+            cfg, tflops = hit
+            return self._cache_reply(request, cfg, tflops, "lru")
+        if self._profiles is not None:
+            found = self._profiles.get(spec, request.device, request.shape)
+            if found is not None:
+                cfg, tflops = found
+                self._lru.put(key, (cfg, tflops))
+                self._stats.profile_hits += 1
+                return self._cache_reply(request, cfg, tflops, "profile")
+        return None
+
+    @staticmethod
+    def _cache_reply(
+        request: KernelRequest, cfg: Any, tflops: float, source: str
+    ) -> KernelReply:
+        return KernelReply(
+            request=request,
+            config=cfg,
+            predicted_tflops=float("nan"),
+            measured_tflops=tflops,
+            source=source,
+        )
+
+    def _store_locked(
+        self, request: KernelRequest, spec: OpSpec, key: str,
+        best: RankedKernel,
+    ) -> None:
+        """Write-through: LRU + the profile cache's in-memory map."""
+        self._lru.put(key, (best.config, best.measured_tflops))
+        self._stats.evictions = self._lru.evictions
+        self._stats.searches += 1
+        if self._profiles is not None:
+            self._profiles.put(
+                spec,
+                request.device,
+                request.shape,
+                best.config,
+                best.measured_tflops,
+            )
+
+    # ------------------------------------------------------------------
+    # Single query (with in-flight deduplication)
+    # ------------------------------------------------------------------
+    def query(self, request: KernelRequest) -> KernelReply:
+        """Answer one request: LRU -> profile cache -> model search.
+
+        Thread-safe.  Concurrent queries for the same (device, op, shape)
+        run exactly one search: the first becomes the leader, the rest
+        wait on its result and read it from the cache.
+        """
+        request, spec, key = self._resolve(request)
+        while True:
+            with self._cache_lock:
+                reply = self._cached_reply_locked(request, spec, key)
+                if reply is not None:
+                    return reply
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    break
+                self._stats.dedup_waits += 1
+            # Another thread is searching this key; wait outside the lock
+            # and re-check — on leader failure the loop elects a new one.
+            event.wait()
+        try:
+            best = self._search_one(request, spec)
+            with self._cache_lock:
+                self._store_locked(request, spec, key, best)
+        finally:
+            with self._cache_lock:
+                event = self._inflight.pop(key)
+            event.set()
+        return KernelReply(
+            request=request,
+            config=best.config,
+            predicted_tflops=best.predicted_tflops,
+            measured_tflops=best.measured_tflops,
+            source="search",
+        )
+
+    def _search_one(
+        self, request: KernelRequest, spec: OpSpec
+    ) -> RankedKernel:
+        """One model search + device re-rank; identical to
+        ``Isaac.best_kernel(shape, k=k, reps=reps)`` with no cache."""
+        tuner = self._tuner(request.device, request.op)
+        with self._tuner_locks[(request.device, request.op)]:
+            # ExhaustiveSearch mutates per-instance caches and reuses
+            # preallocated chunk buffers — one search per tuner at a time.
+            top = tuner.top_k(request.shape, request.k)
+        return best_after_rerank(
+            tuner.device, request.shape, top, op=spec, reps=request.reps
+        )
+
+    # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+    def query_many(
+        self, requests: Sequence[KernelRequest]
+    ) -> list[KernelReply]:
+        """Answer many requests through the batching planner.
+
+        Cache hits are resolved inline; the misses are deduplicated and
+        grouped by (device, op, dtype, k, reps), each group runs one
+        :meth:`Isaac.top_k_batch` model pass, and groups execute
+        concurrently on the engine's thread pool.  Replies align with
+        ``requests`` and match per-request :meth:`query` exactly.
+        """
+        resolved = [self._resolve(r) for r in requests]
+        replies: list[KernelReply | None] = [None] * len(resolved)
+
+        # Pass 1 — serve from the two cache levels, dedupe the misses.
+        owned: dict[str, list[int]] = {}
+        theirs: dict[str, list[int]] = {}
+        with self._cache_lock:
+            for i, (req, spec, key) in enumerate(resolved):
+                if key in owned:
+                    owned[key].append(i)
+                    continue
+                if key in theirs:
+                    theirs[key].append(i)
+                    continue
+                reply = self._cached_reply_locked(req, spec, key)
+                if reply is not None:
+                    replies[i] = reply
+                elif key in self._inflight:
+                    # Another thread is already searching this shape.
+                    self._stats.dedup_waits += 1
+                    theirs[key] = [i]
+                else:
+                    self._inflight[key] = threading.Event()
+                    owned[key] = [i]
+
+        # Pass 2 — group our misses for batched dispatch.
+        groups: dict[tuple, list[str]] = {}
+        for key, idxs in owned.items():
+            req, spec, _ = resolved[idxs[0]]
+            gkey = (req.device, spec.name, req.shape.dtype.name,
+                    req.k, req.reps)
+            groups.setdefault(gkey, []).append(key)
+
+        try:
+            self._run_groups(groups, owned, resolved, replies)
+        finally:
+            with self._cache_lock:
+                events = [self._inflight.pop(k) for k in owned]
+            for event in events:
+                event.set()
+
+        # Pass 3 — collect shapes other threads were already searching.
+        for key, idxs in theirs.items():
+            reply = self.query(resolved[idxs[0]][0])
+            for i in idxs:
+                replies[i] = self._realign(reply, resolved[i][0])
+        return replies  # type: ignore[return-value]
+
+    def _run_groups(
+        self,
+        groups: dict[tuple, list[str]],
+        owned: dict[str, list[int]],
+        resolved: list[tuple[KernelRequest, OpSpec, str]],
+        replies: list[KernelReply | None],
+    ) -> None:
+        if not groups:
+            return
+        work = list(groups.items())
+        executor = self._get_executor() if len(work) > 1 else None
+        if executor is None:
+            for item in work:
+                self._search_group(item, owned, resolved, replies)
+            return
+        futures = [
+            executor.submit(self._search_group, item, owned, resolved,
+                            replies)
+            for item in work
+        ]
+        wait(futures)
+        for future in futures:
+            future.result()  # propagate the first failure
+
+    def _search_group(
+        self,
+        item: tuple[tuple, list[str]],
+        owned: dict[str, list[int]],
+        resolved: list[tuple[KernelRequest, OpSpec, str]],
+        replies: list[KernelReply | None],
+    ) -> None:
+        """One (device, op, dtype, k, reps) group: batch search + rerank."""
+        (device_name, op_name, _dtype, k, reps), keys = item
+        spec = get_op(op_name)
+        tuner = self._tuner(device_name, op_name)
+        shapes = [resolved[owned[key][0]][0].shape for key in keys]
+        with self._tuner_locks[(device_name, op_name)]:
+            tops = tuner.top_k_batch(shapes, k)
+        for key, shape, top in zip(keys, shapes, tops):
+            best = best_after_rerank(
+                tuner.device, shape, top, op=spec, reps=reps
+            )
+            leader_req = resolved[owned[key][0]][0]
+            with self._cache_lock:
+                self._store_locked(leader_req, spec, key, best)
+            for i in owned[key]:
+                replies[i] = KernelReply(
+                    request=resolved[i][0],
+                    config=best.config,
+                    predicted_tflops=best.predicted_tflops,
+                    measured_tflops=best.measured_tflops,
+                    source="search",
+                )
+
+    @staticmethod
+    def _realign(reply: KernelReply, request: KernelRequest) -> KernelReply:
+        if reply.request is request:
+            return reply
+        return replace(reply, request=request)
+
+    def _get_executor(self) -> ThreadPoolExecutor | None:
+        if self._max_workers == 0:
+            return None
+        with self._executor_lock:
+            if self._executor is None:
+                import os
+
+                workers = self._max_workers or min(
+                    8, (os.cpu_count() or 2)
+                )
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # Warmup
+    # ------------------------------------------------------------------
+    def warmup(
+        self,
+        network: NetworkStep | Iterable[NetworkStep],
+        *,
+        device: str | None = None,
+        k: int = 100,
+        reps: int = 3,
+    ) -> int:
+        """Pre-populate the cache for whole network graphs.
+
+        Accepts one :class:`NetworkStep` or an iterable of them; each
+        kernel's op is inferred from its shape type among the ops served
+        for the device.  Returns the number of fresh searches (shapes
+        already cached cost nothing).
+        """
+        steps = [network] if isinstance(network, NetworkStep) else list(network)
+        requests = []
+        seen: set[str] = set()
+        for step in steps:
+            for _label, shape in step.kernels:
+                req = KernelRequest(
+                    op=self.op_for_shape(shape, device=device),
+                    shape=shape,
+                    device=device,
+                    k=k,
+                    reps=reps,
+                )
+                req, _spec, key = self._resolve(req)
+                if key not in seen:
+                    seen.add(key)
+                    requests.append(req)
+        replies = self.query_many(requests)
+        return sum(1 for r in replies if r.source == "search")
+
+    def op_for_shape(self, shape: Any, *, device: str | None = None) -> str:
+        """The served op whose shape type matches ``shape``.
+
+        This is how workload graphs (which carry bare shapes, not op
+        names) map onto the engine: a ``GemmShape`` resolves to ``gemm``,
+        a ``ConvShape`` to ``conv``, and so on for registered ops.
+        """
+        if device is None:
+            known = self.devices()
+            device_ops = self.ops() if len(known) != 1 else self.ops(known[0])
+        else:
+            device_ops = self.ops(get_device(device).name)
+        for op_name in device_ops:
+            if isinstance(shape, get_op(op_name).shape_type):
+                return op_name
+        raise EngineError(
+            f"no served op accepts shape type {type(shape).__name__} "
+            f"(ops: {list(device_ops) or 'none'})"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        with self._cache_lock:
+            return replace(self._stats, evictions=self._lru.evictions)
+
+    def save_profiles(self) -> None:
+        """Flush the write-through profile cache to disk (atomic replace)."""
+        if self._profiles is None:
+            return
+        with self._cache_lock:
+            self._profiles.save()
+
+    def close(self) -> None:
+        """Stop serving, drain in-flight searches, then flush; idempotent.
+
+        Ordering matters: new queries are refused first, then the thread
+        pool and any in-flight leaders finish (their results land in the
+        write-through profile map), and only then is the profile cache
+        flushed — so nothing computed before ``close()`` returned is
+        lost.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+        # Leaders always publish + set their event (in a finally), so
+        # these waits terminate even if a search failed.
+        while True:
+            with self._cache_lock:
+                events = list(self._inflight.values())
+            if not events:
+                break
+            for event in events:
+                event.wait()
+        self.save_profiles()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -10,9 +10,8 @@ where a single mis-selected kernel (one slow layer) drags the whole step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
-from repro.core.types import ConvShape, DType, GemmShape
+from repro.core.types import DType, GemmShape
 from repro.workloads.conv_suites import task as conv_task
 
 

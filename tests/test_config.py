@@ -1,6 +1,5 @@
 """Unit tests for repro.core.config."""
 
-import pytest
 
 from repro.core.config import ConvConfig, GemmConfig
 from repro.core.types import ConvShape, GemmShape

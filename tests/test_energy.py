@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import GemmConfig
 from repro.core.types import DType, GemmShape
-from repro.gpu.device import GTX_980_TI, TESLA_P100
 from repro.gpu.energy import (
     IDLE_FRAC,
     estimate_energy,

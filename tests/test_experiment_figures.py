@@ -5,7 +5,6 @@ these reuse the session tuner to exercise the complete data flow of the
 GEMM figure runners, Table 6 and §8.1 in tens of seconds.
 """
 
-import pytest
 
 from repro.harness.experiments import run_fig7, run_sec81, run_table6
 from repro.workloads.gemm_suites import TABLE4_TASKS

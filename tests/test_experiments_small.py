@@ -4,9 +4,7 @@ The full-budget versions live in benchmarks/; these verify the runners'
 plumbing (data flow, rendering, structured payloads) in seconds.
 """
 
-import pytest
 
-from repro.gpu.device import GTX_980_TI
 from repro.harness.experiments import (
     run_fig5,
     run_table1,

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import ConvConfig, GemmConfig
-from repro.core.frontend import (
-    Contraction,
-    FrontendError,
-    lower,
-    parse,
-)
+from repro.core.frontend import FrontendError, lower, parse
 from repro.core.types import ConvShape, DType, GemmShape
 
 

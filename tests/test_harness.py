@@ -1,6 +1,5 @@
 """Tests for the report renderer, analysis helpers and experiment runners."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import GemmConfig
@@ -17,7 +16,7 @@ from repro.harness.experiments import (
     run_sec83,
     run_table3,
 )
-from repro.harness.gemm_eval import GemmResult, results_as_series, run_gemm_suite
+from repro.harness.gemm_eval import results_as_series, run_gemm_suite
 from repro.harness.report import (
     render_bar_chart,
     render_series,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import ConvConfig, GemmConfig
+from repro.core.config import GemmConfig
 from repro.core.legality import is_legal_conv, is_legal_gemm
 from repro.core.types import ConvShape, DType, GemmShape
 from repro.gpu.device import GTX_980_TI, TESLA_P100
@@ -17,7 +17,6 @@ from repro.inference.search import ExhaustiveSearch, legal_configs
 from repro.inference.topk import best_after_rerank, rerank
 from repro.mlp.crossval import fit_regressor
 from repro.sampling.dataset import generate_gemm_dataset
-from tests.conftest import TINY_GEMM_SPACE
 
 
 class TestLegalConfigs:

@@ -1,6 +1,5 @@
 """Tests for the L2 reuse / DRAM traffic model."""
 
-import pytest
 
 from repro.gpu.device import GTX_980_TI
 from repro.gpu.memory import estimate_traffic, l2_hit_rate

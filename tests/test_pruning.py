@@ -5,12 +5,7 @@ import pytest
 
 from repro.mlp.losses import mse
 from repro.mlp.network import MLP
-from repro.mlp.pruning import (
-    apply_masks,
-    prune,
-    sparsity_of,
-    weight_masks,
-)
+from repro.mlp.pruning import prune, sparsity_of, weight_masks
 from repro.mlp.training import train
 
 

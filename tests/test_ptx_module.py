@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import ConvConfig, GemmConfig
+from repro.core.config import GemmConfig
 from repro.core.types import ConvShape, DType, GemmShape
 from repro.gpu.device import GTX_980_TI, TESLA_P100
 from repro.ptx.conv_codegen import ConvKernel

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.config import ConvConfig, GemmConfig
 from repro.core.types import ConvShape, DType, GemmShape
-from repro.gpu.device import GTX_980_TI, TESLA_P100
 from repro.gpu.simulator import (
     IllegalKernelError,
     benchmark_conv,

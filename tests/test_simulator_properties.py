@@ -6,10 +6,8 @@ bounded by peak and bandwidth, monotone cost in problem volume, and
 sane diagnostics.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.config import GemmConfig
 from repro.core.legality import is_legal_gemm
 from repro.core.types import DType, GemmShape
 from repro.gpu.device import GTX_980_TI, TESLA_P100

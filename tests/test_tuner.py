@@ -7,7 +7,6 @@ from repro.core.profile_cache import ProfileCache
 from repro.core.tuner import Isaac, TuneReport
 from repro.core.types import ConvShape, DType, GemmShape
 from repro.gpu.device import TESLA_P100
-from repro.gpu.simulator import benchmark_gemm
 
 
 class TestIsaacLifecycle:
