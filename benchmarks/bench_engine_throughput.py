@@ -118,7 +118,22 @@ def test_bench_engine_throughput(results_recorder):
         f"speedup: {speedup:.2f}x   (searches={stats.searches}, "
         f"lru_hits={stats.lru_hits})",
     ]
-    results_recorder("engine_throughput", "\n".join(lines))
+    results_recorder(
+        "engine_throughput",
+        "\n".join(lines),
+        data={
+            "requests": len(requests),
+            "passes": PASSES,
+            "loop_s": loop_s,
+            "engine_s": engine_s,
+            "loop_req_per_s": total / loop_s,
+            "engine_req_per_s": total / engine_s,
+            "speedup": speedup,
+            "searches": stats.searches,
+            "lru_hits": stats.lru_hits,
+            "config_mismatches": mismatches,
+        },
+    )
 
     distinct = len({(r.op, r.shape) for r in requests})
     assert stats.searches == distinct  # dup shapes collapse; pass 2 cached

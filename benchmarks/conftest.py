@@ -11,6 +11,7 @@ Budgets scale with the REPRO_BENCH_SAMPLES environment variable
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -26,15 +27,38 @@ N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "12000"))
 N_CONV_SAMPLES = int(os.environ.get("REPRO_BENCH_CONV_SAMPLES", "8000"))
 
 
-def record(exp_id: str, text: str) -> None:
-    """Persist one experiment's rendered output and echo it."""
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--json",
+        action="store_true",
+        default=False,
+        help="also write machine-readable benchmarks/results/BENCH_<exp>.json "
+        "files for benches that pass structured data to results_recorder",
+    )
+
+
+def record(exp_id: str, text: str, data: dict | None = None) -> None:
+    """Persist one experiment's rendered output and echo it.
+
+    ``data``, when given and ``--json`` is on, additionally lands as
+    ``results/BENCH_<exp_id>.json`` — the machine-readable form CI and
+    trend tooling consume.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+    if data is not None and record.emit_json:
+        (RESULTS_DIR / f"BENCH_{exp_id}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
     print(f"\n{text}\n")
 
 
+record.emit_json = False
+
+
 @pytest.fixture(scope="session")
-def results_recorder():
+def results_recorder(pytestconfig: pytest.Config):
+    record.emit_json = pytestconfig.getoption("--json")
     return record
 
 

@@ -44,10 +44,13 @@ from repro.service.engine import Engine, KernelReply, KernelRequest
 from repro.gpu.device import GTX_980_TI, TESLA_P100, DeviceSpec, get_device
 from repro.gpu.simulator import (
     KernelStats,
+    KernelStatsArrays,
     benchmark_conv,
     benchmark_gemm,
+    benchmark_many,
     simulate_conv,
     simulate_gemm,
+    simulate_many,
 )
 
 __version__ = "0.1.0"
@@ -65,13 +68,16 @@ __all__ = [
     "KernelReply",
     "KernelRequest",
     "KernelStats",
+    "KernelStatsArrays",
     "ProfileCache",
     "TESLA_P100",
     "TuneReport",
     "benchmark_conv",
     "benchmark_gemm",
+    "benchmark_many",
     "get_device",
     "simulate_conv",
     "simulate_gemm",
+    "simulate_many",
     "__version__",
 ]

@@ -11,26 +11,45 @@ This module extends the simulator to that launch style without modifying
 the single-GEMM model: per-block behaviour is identical, the grid is
 ``batch`` times larger, L2 reuse stays *within* a batch element (different
 elements share no operands), and DRAM traffic scales with the batch.
+
+Like the core simulator, the implementation is batched-first:
+:func:`simulate_bgemm_many` / :func:`benchmark_bgemm_many` evaluate N
+``(config, shape)`` pairs per call and the scalar functions wrap them with
+N = 1.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.config import GemmConfig
-from repro.core.legality import gemm_resources, gemm_violations
+from repro.core.legality import (
+    gemm_legal_mask,
+    gemm_resources_arrays,
+    gemm_violations,
+)
+from repro.core.soa import GemmPairArrays
 from repro.core.types import DType, GemmShape
 from repro.gpu.device import DeviceSpec
-from repro.gpu.memory import estimate_traffic
-from repro.gpu.noise import DEFAULT_SIGMA, averaged_noise_factor
-from repro.gpu.occupancy import occupancy_for
+from repro.gpu.memory import TrafficArrays, estimate_traffic_arrays
+from repro.gpu.noise import (
+    DEFAULT_SIGMA,
+    averaged_noise_factor,
+    averaged_noise_factors,
+)
+from repro.gpu.occupancy import occupancy_arrays
 from repro.gpu.simulator import (
     IllegalKernelError,
     KernelStats,
-    _wave_time_ms,
+    KernelStatsArrays,
+    _legal_mask_by_dsize,
+    _schedule_waves,
+    measurement_key,
+    measurement_keys,
 )
-from repro.ptx.counts import KernelCounts
-from repro.ptx.gemm_codegen import GemmKernel
+from repro.ptx.batch_counts import gemm_launch_arrays
 
 
 @dataclass(frozen=True)
@@ -57,6 +76,87 @@ class BatchedGemmShape:
         return f"batched[{self.batch}] {self.base.describe()}"
 
 
+def simulate_bgemm_many(
+    device: DeviceSpec,
+    cfgs,
+    shapes,
+    *,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+    check_legality: bool = True,
+) -> KernelStatsArrays:
+    """N strided-batched launches: each grid = batch x per-element grid."""
+    batch = np.array([s.batch for s in shapes], dtype=np.int64)
+    bases = [s.base for s in shapes]
+    soa = GemmPairArrays.from_pairs(cfgs, bases)
+    legal = _legal_mask_by_dsize(
+        device, soa.config_params(), soa.dsize, gemm_legal_mask, check_legality
+    )
+    launch = gemm_launch_arrays(
+        device, soa, bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2
+    )
+    res = gemm_resources_arrays(soa.config_params(), soa.dsize)
+    occ = occupancy_arrays(
+        device, res.threads, res.regs_per_thread, res.smem_bytes
+    )
+    legal = legal & occ.active
+
+    per_element_grid = launch.grid_size
+    grid_size = per_element_grid * batch
+    concurrent = occ.blocks_per_sm * device.sms
+    conc = np.maximum(concurrent, 1)
+
+    # L2 reuse exists only within one batch element; concurrency per
+    # element shrinks as resident blocks spread across elements.
+    per_element_concurrency = np.maximum(
+        1, np.minimum(concurrent, per_element_grid)
+    )
+    counts = launch.counts
+    traffic_one = estimate_traffic_arrays(
+        device,
+        ldg_bytes_per_block=counts.ldg_bytes,
+        ideal_ldg_bytes_per_block=counts.ideal_ldg_bytes,
+        st_bytes_per_block=counts.st_bytes,
+        grid_m=launch.grid_m,
+        grid_n=launch.grid_n,
+        kg=launch.kg,
+        concurrent_blocks=per_element_concurrency,
+        a_bytes_frac=launch.a_bytes_frac,
+        staged_bytes_per_block=launch.staged_bytes,
+        staged_depth=launch.staged_depth,
+    )
+    traffic = TrafficArrays(
+        l2_hit_rate=traffic_one.l2_hit_rate,
+        dram_load_bytes=traffic_one.dram_load_bytes * batch,
+        dram_store_bytes=traffic_one.dram_store_bytes * batch,
+    )
+    dram_bytes_per_block = traffic.dram_bytes / np.maximum(1, grid_size)
+
+    return _schedule_waves(
+        device, launch, res, occ, traffic, legal,
+        grid_size=grid_size,
+        concurrent=conc,
+        dram_bytes_per_block=dram_bytes_per_block,
+        useful_flops=launch.useful_flops * batch,
+        padded_flops=launch.padded_flops * batch,
+    )
+
+
+def benchmark_bgemm_many(
+    device: DeviceSpec,
+    cfgs,
+    shapes,
+    *,
+    reps: int = 1,
+    sigma: float = DEFAULT_SIGMA,
+    **kwargs,
+) -> np.ndarray:
+    """Measured TFLOPS of N batched launches (NaN = illegal)."""
+    stats = simulate_bgemm_many(device, cfgs, shapes, **kwargs)
+    keys = measurement_keys(device, "bgemm", cfgs, shapes)
+    return stats.tflops * averaged_noise_factors(keys, reps, sigma)
+
+
 def simulate_batched_gemm(
     device: DeviceSpec,
     cfg: GemmConfig,
@@ -66,89 +166,19 @@ def simulate_batched_gemm(
     allow_fp16x2: bool = True,
     check_legality: bool = True,
 ) -> KernelStats:
-    """One strided-batched launch: grid = batch x per-element grid."""
-    base = shape.base
+    """One strided-batched launch (N = 1 wrapper over the array core)."""
     if check_legality:
-        violations = gemm_violations(cfg, base.dtype, device)
+        violations = gemm_violations(cfg, shape.base.dtype, device)
         if violations:
             raise IllegalKernelError("; ".join(violations))
-
-    kernel = GemmKernel(
-        cfg=cfg, shape=base, device=device,
+    stats = simulate_bgemm_many(
+        device, [cfg], [shape],
         bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
+        check_legality=False,
     )
-    eff = kernel.effective_shape
-    block = kernel.block_counts()
-    res = gemm_resources(cfg, base.dtype)
-    occ = occupancy_for(device, res)
-    if not occ.active:
+    if not stats.legal[0]:
         raise IllegalKernelError(f"kernel does not fit on {device.name}")
-
-    gm, gn, _ = cfg.grid(eff)
-    per_element_grid = cfg.grid_size(eff)
-    grid_size = per_element_grid * shape.batch
-    counts = KernelCounts(
-        block=block, grid_size=grid_size, threads_per_block=cfg.threads
-    )
-    concurrent = occ.blocks_per_sm * device.sms
-
-    # L2 reuse exists only within one batch element; concurrency per
-    # element shrinks as resident blocks spread across elements.
-    per_element_concurrency = max(
-        1, min(concurrent, per_element_grid)
-    )
-    staged_bytes = cfg.db * (cfg.ml + cfg.nl) * cfg.u * cfg.kl * base.dtype.size
-    traffic_one = estimate_traffic(
-        device,
-        ldg_bytes_per_block=block.ldg_bytes,
-        ideal_ldg_bytes_per_block=block.ideal_ldg_bytes,
-        st_bytes_per_block=block.st_bytes,
-        grid_m=gm,
-        grid_n=gn,
-        kg=cfg.kg,
-        concurrent_blocks=per_element_concurrency,
-        a_bytes_frac=cfg.ml / (cfg.ml + cfg.nl),
-        staged_bytes_per_block=staged_bytes,
-        staged_depth=cfg.u * cfg.kl,
-    )
-    traffic = replace(
-        traffic_one,
-        dram_load_bytes=traffic_one.dram_load_bytes * shape.batch,
-        dram_store_bytes=traffic_one.dram_store_bytes * shape.batch,
-    )
-    dram_bytes_per_block = traffic.dram_bytes / max(1, grid_size)
-
-    full_waves, rem = divmod(grid_size, concurrent)
-    total_ms = 0.0
-    limiter = "alu"
-    if full_waves:
-        t, limiter = _wave_time_ms(
-            device, counts, concurrent, occ.blocks_per_sm,
-            dram_bytes_per_block, base.dtype,
-        )
-        total_ms += t * full_waves
-    if rem:
-        t, lim_p = _wave_time_ms(
-            device, counts, rem, occ.blocks_per_sm,
-            dram_bytes_per_block, base.dtype,
-        )
-        total_ms += t
-        if not full_waves:
-            limiter = lim_p
-    total_ms += device.kernel_launch_us * 1e-3
-
-    return KernelStats(
-        device_name=device.name,
-        time_ms=total_ms,
-        useful_flops=shape.flops,
-        padded_flops=cfg.padded_flops(eff) * shape.batch,
-        occupancy=occ,
-        resources=res,
-        traffic=traffic,
-        limiter=limiter,
-        waves=grid_size / concurrent,
-        grid_size=grid_size,
-    )
+    return stats.row(0)
 
 
 def simulate_looped_gemm(
@@ -175,5 +205,5 @@ def benchmark_batched_gemm(
 ) -> float:
     """Measured TFLOPS of the batched launch (deterministic noise)."""
     stats = simulate_batched_gemm(device, cfg, shape, **kwargs)
-    key = f"{device.name}|bgemm|{cfg.as_dict()}|{shape}"
+    key = measurement_key(device, "bgemm", cfg, shape)
     return stats.tflops * averaged_noise_factor(key, reps, sigma)

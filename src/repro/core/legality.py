@@ -13,6 +13,9 @@ calculator, the simulator and the PTX verifier all consume the same
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
 
 from repro.core.config import ConvConfig, GemmConfig
 from repro.core.types import DType
@@ -264,3 +267,190 @@ def conv_violations(
 
 def is_legal_conv(cfg: ConvConfig, dtype: DType, device: DeviceSpec) -> bool:
     return not conv_violations(cfg, dtype, device)
+
+
+# ----------------------------------------------------------------------
+# Array cores: resources and legality for N configs at once
+# ----------------------------------------------------------------------
+#
+# The batched offline pipeline (dataset generation, shortlist re-ranking)
+# filters and prices thousands of configurations per call.  The functions
+# below evaluate the exact conditions of gemm_violations/conv_violations on
+# struct-of-arrays inputs: one int64 column per tuning parameter (the shape
+# of a batched space sample), plus the element byte-width.  Divisors that a
+# scalar early-return would have skipped are clamped to 1 — the clamped
+# condition's value is irrelevant because the mask is a conjunction and an
+# earlier condition already rejected the row.
+
+@dataclass(frozen=True)
+class ResourceArrays:
+    """Struct-of-arrays :class:`ResourceUsage` for N configs."""
+
+    threads: np.ndarray
+    regs_per_thread: np.ndarray
+    smem_bytes: np.ndarray
+
+    @property
+    def warps(self) -> np.ndarray:
+        return -(-self.threads // 32)
+
+    @property
+    def regs_per_block(self) -> np.ndarray:
+        return self.regs_per_thread * self.threads
+
+
+def _cols(
+    params: Mapping[str, np.ndarray], names: tuple[str, ...]
+) -> tuple[np.ndarray, ...]:
+    return tuple(np.asarray(params[n], dtype=np.int64) for n in names)
+
+
+def gemm_resources_arrays(
+    params: Mapping[str, np.ndarray], dsize: np.ndarray | int
+) -> ResourceArrays:
+    """Vectorized :func:`gemm_resources` over a name->column mapping."""
+    ms, ns, ml, nl, u, ks, kl, vec, db = _cols(
+        params, ("ms", "ns", "ml", "nl", "u", "ks", "kl", "vec", "db")
+    )
+    dsize = np.asarray(dsize, dtype=np.int64)
+    rpe = np.maximum(1, dsize // 4)
+    accum = ms * ns * rpe
+    operands = (ms + ns) * rpe * db
+    threads = np.maximum(1, (ml // ms) * (nl // ns) * kl)
+    loads_per_thread = (ml + nl) * u * kl // np.maximum(1, threads * vec)
+    staging_regs = loads_per_thread * (vec * rpe + 2)
+    addressing = _REG_OVERHEAD + 2 * (ks - 1) + vec
+    regs = accum + operands + staging_regs + addressing
+
+    staging = db * (ml + nl) * u * kl * dsize
+    reduction = np.where(kl > 1, ml * nl * dsize, 0)
+    return ResourceArrays(
+        threads=(ml // ms) * (nl // ns) * kl,
+        regs_per_thread=regs,
+        smem_bytes=staging + reduction,
+    )
+
+
+def conv_resources_arrays(
+    params: Mapping[str, np.ndarray], dsize: np.ndarray | int
+) -> ResourceArrays:
+    """Vectorized :func:`conv_resources` over a name->column mapping."""
+    kt, pt, qt, nt, kb, pb, qb, nb, u, cs, cl, vec, db = _cols(
+        params,
+        ("kt", "pt", "qt", "nt", "kb", "pb", "qb", "nb", "u", "cs", "cl",
+         "vec", "db"),
+    )
+    dsize = np.asarray(dsize, dtype=np.int64)
+    rpe = np.maximum(1, dsize // 4)
+    thread_m = nt * pt * qt
+    thread_n = kt
+    block_m = nb * pb * qb
+    block_n = kb
+    threads = (kb // kt) * (pb // pt) * (qb // qt) * (nb // nt) * cl
+
+    accum = thread_m * thread_n * rpe
+    operands = (thread_m + thread_n) * rpe * db
+    threads_floor = np.maximum(1, threads)
+    loads_per_thread = (
+        (block_m + block_n) * u * cl // np.maximum(1, threads_floor * vec)
+    )
+    staging_regs = loads_per_thread * (vec * rpe + 2)
+    addressing = _REG_OVERHEAD + 4 + 2 * (cs - 1) + vec  # +4: 5-D indexing
+    regs = accum + operands + staging_regs + addressing
+
+    staging = db * (block_m + block_n) * u * cl * dsize
+    reduction = np.where(cl > 1, block_m * block_n * dsize, 0)
+    table = 4 * u * cl
+    return ResourceArrays(
+        threads=threads,
+        regs_per_thread=regs,
+        smem_bytes=staging + reduction + table,
+    )
+
+
+def gemm_legal_mask(
+    device: DeviceSpec,
+    params: Mapping[str, np.ndarray],
+    dtype: DType,
+) -> np.ndarray:
+    """Vectorized :func:`is_legal_gemm`: one bool per parameter row."""
+    ms, ns, ml, nl, u, ks, kl, vec = _cols(
+        params, ("ms", "ns", "ml", "nl", "u", "ks", "kl", "vec")
+    )
+    ok = (
+        (ms > 0) & (ns > 0) & (ks > 0) & (kl > 0) & (vec > 0)
+        & (ml % np.maximum(1, ms) == 0)
+        & (nl % np.maximum(1, ns) == 0)
+        & (ks <= u)
+        & (u % np.maximum(1, ks) == 0)
+    )
+
+    threads = (ml // np.maximum(1, ms)) * (nl // np.maximum(1, ns)) * kl
+    ok &= threads >= 2 * device.warp_size
+    ok &= threads <= device.max_threads_per_block
+    ok &= threads % device.warp_size == 0
+    ok &= ms * ns >= 4
+
+    # Cooperative staging: every thread of a KL slice must move the same
+    # whole number of vec-wide chunks per iteration, within the unrolled
+    # load-stream register budget.
+    slice_chunk = np.maximum(1, (threads // np.maximum(1, kl)) * vec)
+    for tile in (ml * u, nl * u):
+        ok &= tile % slice_chunk == 0
+        ok &= tile // slice_chunk <= _MAX_LOADS_PER_THREAD
+    ok &= ns % vec == 0
+    ok &= (ml * nl) % np.maximum(1, threads * vec) == 0
+    ok &= vec * dtype.size <= 16
+
+    res = gemm_resources_arrays(params, dtype.size)
+    ok &= res.smem_bytes <= device.smem_per_block_kb * 1024
+    ok &= res.regs_per_thread <= device.max_regs_per_thread
+    ok &= res.regs_per_block <= device.regfile_per_sm
+    return ok
+
+
+def conv_legal_mask(
+    device: DeviceSpec,
+    params: Mapping[str, np.ndarray],
+    dtype: DType,
+) -> np.ndarray:
+    """Vectorized :func:`is_legal_conv`: one bool per parameter row."""
+    kt, pt, qt, nt, kb, pb, qb, nb, u, cs, cl, vec = _cols(
+        params,
+        ("kt", "pt", "qt", "nt", "kb", "pb", "qb", "nb", "u", "cs", "cl",
+         "vec"),
+    )
+    ok = np.ones(len(kt), dtype=bool)
+    for big, small in ((kb, kt), (pb, pt), (qb, qt), (nb, nt)):
+        ok &= (small > 0) & (big % np.maximum(1, small) == 0)
+    ok &= (cs > 0) & (cs <= u) & (u % np.maximum(1, cs) == 0)
+    ok &= (cl > 0) & (vec > 0)
+
+    threads = (
+        (kb // np.maximum(1, kt))
+        * (pb // np.maximum(1, pt))
+        * (qb // np.maximum(1, qt))
+        * (nb // np.maximum(1, nt))
+        * cl
+    )
+    ok &= threads >= 2 * device.warp_size
+    ok &= threads <= device.max_threads_per_block
+    ok &= threads % device.warp_size == 0
+    thread_m = nt * pt * qt
+    ok &= thread_m * kt >= 4
+
+    block_m = nb * pb * qb
+    block_n = kb
+    slice_chunk = np.maximum(1, (threads // np.maximum(1, cl)) * vec)
+    for tile in (block_m * u, block_n * u):
+        ok &= tile % slice_chunk == 0
+        ok &= tile // slice_chunk <= _MAX_LOADS_PER_THREAD
+    ok &= kt % vec == 0
+    ok &= (block_m * block_n) % np.maximum(1, threads * vec) == 0
+    ok &= vec * dtype.size <= 16
+
+    res = conv_resources_arrays(params, dtype.size)
+    ok &= res.smem_bytes <= device.smem_per_block_kb * 1024
+    ok &= res.regs_per_thread <= device.max_regs_per_thread
+    ok &= res.regs_per_block <= device.regfile_per_sm
+    return ok

@@ -10,7 +10,13 @@ bundles the per-operation ingredients that pipeline consumes:
   samples from, and the legality predicate carving X out of X̂;
 * feature extractors mapping configs/shapes to the MLP's design matrix;
 * a candidate enumerator for the runtime search;
-* the simulator benchmark functions standing in for kernel launches;
+* the simulator benchmark functions standing in for kernel launches —
+  scalar and, for ops that register one, batched (``benchmark_many``
+  evaluates N (config, shape) pairs per call through the array-core
+  simulator; :meth:`OpSpec.benchmark_pairs` falls back to a scalar loop
+  for ops that don't);
+* an optional vectorized legality mask (``legal_mask``) so batched
+  rejection sampling can filter thousands of candidate configs per call;
 * a profile-cache key so tuned kernels persist across runs.
 
 Registering a spec (:func:`register_op`) makes the op available to every
@@ -63,6 +69,16 @@ class OpSpec:
     ]
     shape_key: Callable[[Any], str]
     enumerable: bool = False
+    #: Batched simulator entry points (struct-of-arrays, N pairs per call).
+    #: ``benchmark_many(device, cfgs, shapes, *, reps, sigma) -> ndarray``
+    #: returns NaN for illegal pairs; ops without one fall back to a scalar
+    #: loop via :meth:`benchmark_pairs`.  ``simulate_many`` returns the full
+    #: :class:`~repro.gpu.simulator.KernelStatsArrays` batch.
+    benchmark_many: Callable[..., np.ndarray] | None = None
+    simulate_many: Callable[..., Any] | None = None
+    #: Vectorized legality: ``legal_mask(device, params, dtype) -> bool[]``
+    #: over a name->column mapping (one row per candidate config).
+    legal_mask: Callable[..., np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -89,6 +105,44 @@ class OpSpec:
                 self.shape_vector(shape, log),
             ]
         )
+
+    def benchmark_pairs(
+        self,
+        device: DeviceSpec,
+        cfgs,
+        shapes,
+        *,
+        reps: int = 1,
+        sigma: float | None = None,
+    ) -> np.ndarray:
+        """Measured TFLOPS for N (config, shape) pairs; NaN marks illegal pairs.
+
+        Dispatches to the op's registered ``benchmark_many`` array core
+        when present; otherwise loops over the scalar ``benchmark`` so
+        every op — including externally registered ones — supports the
+        batched offline pipeline.  Results are bit-identical between the
+        two paths (the array cores guarantee it; the parity tests enforce
+        it).
+        """
+        from repro.gpu.noise import DEFAULT_SIGMA
+        from repro.gpu.simulator import IllegalKernelError
+
+        if len(cfgs) != len(shapes):
+            raise ValueError(f"{len(cfgs)} configs vs {len(shapes)} shapes")
+        sigma = DEFAULT_SIGMA if sigma is None else sigma
+        if self.benchmark_many is not None:
+            return self.benchmark_many(
+                device, cfgs, shapes, reps=reps, sigma=sigma
+            )
+        out = np.empty(len(cfgs))
+        for i, (cfg, shape) in enumerate(zip(cfgs, shapes)):
+            try:
+                out[i] = self.benchmark(
+                    device, cfg, shape, reps=reps, sigma=sigma
+                )
+            except IllegalKernelError:
+                out[i] = np.nan
+        return out
 
     def candidate_cache_key(
         self, device: DeviceSpec, shape, space: ParamSpace | None = None
@@ -163,9 +217,14 @@ def _conv_candidates(device: DeviceSpec, shape, space=None) -> list:
 
 def _make_gemm_spec() -> OpSpec:
     from repro.core.config import GemmConfig
-    from repro.core.legality import is_legal_gemm
+    from repro.core.legality import gemm_legal_mask, is_legal_gemm
     from repro.core.types import GemmShape
-    from repro.gpu.simulator import benchmark_gemm, simulate_gemm
+    from repro.gpu.simulator import (
+        benchmark_gemm,
+        benchmark_gemm_many,
+        simulate_gemm,
+        simulate_gemm_many,
+    )
     from repro.sampling.features import (
         GEMM_CONFIG_FEATURES,
         GEMM_SHAPE_FEATURES,
@@ -201,14 +260,22 @@ def _make_gemm_spec() -> OpSpec:
         make_shape_sampler=make_shape_sampler,
         shape_key=shape_key,
         enumerable=True,
+        benchmark_many=benchmark_gemm_many,
+        simulate_many=simulate_gemm_many,
+        legal_mask=gemm_legal_mask,
     )
 
 
 def _make_conv_spec() -> OpSpec:
     from repro.core.config import ConvConfig
-    from repro.core.legality import is_legal_conv
+    from repro.core.legality import conv_legal_mask, is_legal_conv
     from repro.core.types import ConvShape
-    from repro.gpu.simulator import benchmark_conv, simulate_conv
+    from repro.gpu.simulator import (
+        benchmark_conv,
+        benchmark_conv_many,
+        simulate_conv,
+        simulate_conv_many,
+    )
     from repro.sampling.features import (
         CONV_CONFIG_FEATURES,
         CONV_SHAPE_FEATURES,
@@ -244,6 +311,9 @@ def _make_conv_spec() -> OpSpec:
         make_shape_sampler=make_shape_sampler,
         shape_key=shape_key,
         enumerable=False,
+        benchmark_many=benchmark_conv_many,
+        simulate_many=simulate_conv_many,
+        legal_mask=conv_legal_mask,
     )
 
 
@@ -258,10 +328,12 @@ def _make_bgemm_spec() -> OpSpec:
     from repro.core.batched import (
         BatchedGemmShape,
         benchmark_batched_gemm,
+        benchmark_bgemm_many,
         simulate_batched_gemm,
+        simulate_bgemm_many,
     )
     from repro.core.config import GemmConfig
-    from repro.core.legality import is_legal_gemm
+    from repro.core.legality import gemm_legal_mask, is_legal_gemm
     from repro.sampling.features import (
         BGEMM_SHAPE_FEATURES,
         GEMM_CONFIG_FEATURES,
@@ -298,6 +370,9 @@ def _make_bgemm_spec() -> OpSpec:
         make_shape_sampler=make_shape_sampler,
         shape_key=shape_key,
         enumerable=True,
+        benchmark_many=benchmark_bgemm_many,
+        simulate_many=simulate_bgemm_many,
+        legal_mask=gemm_legal_mask,
     )
 
 

@@ -1,0 +1,169 @@
+"""Struct-of-arrays views of (config, shape) batches.
+
+The batched simulator evaluates N ``(config, shape)`` pairs per call.  Its
+array cores want columns, not objects: one int64 array per tuning parameter
+and per shape extent.  These containers are the single conversion point —
+``from_pairs`` walks the Python objects once, everything downstream is
+vectorized numpy.
+
+``dsize`` (element bytes: 2/4/8) doubles as the dtype code: it uniquely
+identifies fp16/fp32/fp64 and is exactly what the resource, traffic and
+throughput models key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ConvConfig, GemmConfig
+from repro.core.types import ConvShape, GemmShape
+
+
+def _column(objs: Sequence, attr: str) -> np.ndarray:
+    return np.array([getattr(o, attr) for o in objs], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class GemmPairArrays:
+    """Parallel columns for N (GemmConfig, GemmShape) pairs."""
+
+    # Tuning parameters (Figure 3's blue parameters).
+    ms: np.ndarray
+    ns: np.ndarray
+    ml: np.ndarray
+    nl: np.ndarray
+    u: np.ndarray
+    ks: np.ndarray
+    kl: np.ndarray
+    kg: np.ndarray
+    vec: np.ndarray
+    db: np.ndarray
+    # Input parameters.
+    m: np.ndarray
+    n: np.ndarray
+    k: np.ndarray
+    dsize: np.ndarray
+    ta: np.ndarray            # bool
+    tb: np.ndarray            # bool
+
+    def __len__(self) -> int:
+        return len(self.ms)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        cfgs: Sequence[GemmConfig],
+        shapes: Sequence[GemmShape],
+    ) -> "GemmPairArrays":
+        if len(cfgs) != len(shapes):
+            raise ValueError(
+                f"{len(cfgs)} configs vs {len(shapes)} shapes"
+            )
+        cols = {p: _column(cfgs, p) for p in GemmConfig.param_names()}
+        return cls(
+            **cols,
+            m=_column(shapes, "m"),
+            n=_column(shapes, "n"),
+            k=_column(shapes, "k"),
+            dsize=np.array([s.dtype.size for s in shapes], dtype=np.int64),
+            ta=np.array([s.ta for s in shapes], dtype=bool),
+            tb=np.array([s.tb for s in shapes], dtype=bool),
+        )
+
+    @property
+    def threads(self) -> np.ndarray:
+        """Threads per block (``GemmConfig.threads``), per pair."""
+        return (self.ml // self.ms) * (self.nl // self.ns) * self.kl
+
+    def config_params(self) -> dict[str, np.ndarray]:
+        """The tuning-parameter columns, keyed like a space point."""
+        return {p: getattr(self, p) for p in GemmConfig.param_names()}
+
+
+@dataclass(frozen=True)
+class ConvPairArrays:
+    """Parallel columns for N (ConvConfig, ConvShape) pairs."""
+
+    kt: np.ndarray
+    pt: np.ndarray
+    qt: np.ndarray
+    nt: np.ndarray
+    kb: np.ndarray
+    pb: np.ndarray
+    qb: np.ndarray
+    nb: np.ndarray
+    u: np.ndarray
+    cs: np.ndarray
+    cl: np.ndarray
+    cg: np.ndarray
+    vec: np.ndarray
+    db: np.ndarray
+    # Input parameters (p/q/crs pre-derived from the shape objects).
+    n: np.ndarray
+    c: np.ndarray
+    k: np.ndarray
+    r: np.ndarray
+    s: np.ndarray
+    p: np.ndarray
+    q: np.ndarray
+    crs: np.ndarray
+    dsize: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.kt)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        cfgs: Sequence[ConvConfig],
+        shapes: Sequence[ConvShape],
+    ) -> "ConvPairArrays":
+        if len(cfgs) != len(shapes):
+            raise ValueError(
+                f"{len(cfgs)} configs vs {len(shapes)} shapes"
+            )
+        cols = {p: _column(cfgs, p) for p in ConvConfig.param_names()}
+        return cls(
+            **cols,
+            n=_column(shapes, "n"),
+            c=_column(shapes, "c"),
+            k=_column(shapes, "k"),
+            r=_column(shapes, "r"),
+            s=_column(shapes, "s"),
+            p=_column(shapes, "p"),
+            q=_column(shapes, "q"),
+            crs=_column(shapes, "crs"),
+            dsize=np.array([s.dtype.size for s in shapes], dtype=np.int64),
+        )
+
+    @property
+    def threads(self) -> np.ndarray:
+        return (
+            (self.kb // self.kt)
+            * (self.pb // self.pt)
+            * (self.qb // self.qt)
+            * (self.nb // self.nt)
+            * self.cl
+        )
+
+    @property
+    def block_m(self) -> np.ndarray:
+        return self.nb * self.pb * self.qb
+
+    @property
+    def block_n(self) -> np.ndarray:
+        return self.kb
+
+    @property
+    def thread_m(self) -> np.ndarray:
+        return self.nt * self.pt * self.qt
+
+    @property
+    def thread_n(self) -> np.ndarray:
+        return self.kt
+
+    def config_params(self) -> dict[str, np.ndarray]:
+        return {p: getattr(self, p) for p in ConvConfig.param_names()}

@@ -11,11 +11,17 @@ work (ILP for arithmetic, MLP for memory).  Kernel time per wave is the
 maximum over the pipes — precisely the paper's
 ``t = max(t_arith * i_arith, t_mem * i_mem)`` generalized to more pipes.
 All rates below are in *warp-instructions per cycle per SM*.
+
+:func:`pipe_times_arrays` is the array core: it prices N waves (each with
+its own instruction mix, residency and data-type) in one vectorized pass.
+The scalar :func:`pipe_times` wraps it with N = 1.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.types import DType
 from repro.gpu.device import DeviceSpec
@@ -28,6 +34,10 @@ BARRIER_CYCLES = 30.0
 ISSUE_FACTOR = 1.4
 #: Independent shared-memory accesses a warp keeps in flight.
 SMEM_PARALLELISM = 4.0
+
+#: Pipe names indexed by the ``limiter_idx`` of :class:`PipeTimesArrays`
+#: (first maximum wins, matching the scalar tuple-order behaviour).
+PIPE_LIMITERS = ("alu", "ldst", "issue")
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,45 +65,115 @@ class PipeTimes:
         return max(pairs, key=lambda p: p[0])[1]
 
 
-def _clamped_rate(peak: float, warps: float, parallelism: float, lat: float) -> float:
+@dataclass(frozen=True, slots=True)
+class PipeTimesArrays:
+    """Struct-of-arrays :class:`PipeTimes` for a batch of waves."""
+
+    alu_cycles: np.ndarray
+    ldst_cycles: np.ndarray
+    issue_cycles: np.ndarray
+    barrier_cycles: np.ndarray
+
+    @property
+    def cycles(self) -> np.ndarray:
+        return (
+            np.maximum(
+                self.alu_cycles,
+                np.maximum(self.ldst_cycles, self.issue_cycles),
+            )
+            + self.barrier_cycles
+        )
+
+    @property
+    def limiter_idx(self) -> np.ndarray:
+        stacked = np.stack(
+            [self.alu_cycles, self.ldst_cycles, self.issue_cycles]
+        )
+        return np.argmax(stacked, axis=0)
+
+    def row(self, i: int) -> PipeTimes:
+        return PipeTimes(
+            alu_cycles=float(self.alu_cycles[i]),
+            ldst_cycles=float(self.ldst_cycles[i]),
+            issue_cycles=float(self.issue_cycles[i]),
+            barrier_cycles=float(self.barrier_cycles[i]),
+        )
+
+
+def _clamped_rate_arrays(peak, warps, parallelism, lat) -> np.ndarray:
     """min(peak, n * parallelism / latency), floored away from zero."""
-    return max(1e-12, min(peak, warps * parallelism / lat))
+    return np.maximum(1e-12, np.minimum(peak, warps * parallelism / lat))
 
 
-def pipe_times(
+def fma_instr_rates(
+    device: DeviceSpec, dsize: np.ndarray, packed: np.ndarray
+) -> np.ndarray:
+    """Vectorized :meth:`DeviceSpec.fma_rate` over element sizes.
+
+    ``dsize`` is the operand byte width (2/4/8 ⇔ fp16/fp32/fp64) and
+    ``packed`` marks kernels using the half2 double-rate path.
+    """
+    base = device.fma_per_sm_per_cycle
+    fp16 = np.where(
+        packed & device.fp16x2, base, base * min(1.0, device.fp16_ratio)
+    )
+    return np.where(
+        dsize == 4, base, np.where(dsize == 2, fp16, base * device.fp64_ratio)
+    )
+
+
+def pipe_times_arrays(
     device: DeviceSpec,
-    counts: BlockCounts,
-    blocks_per_sm: int,
-    warps_per_sm: float,
-    dtype: DType,
-) -> PipeTimes:
-    """Cycles one SM needs to retire ``blocks_per_sm`` resident blocks."""
-    b = blocks_per_sm
-    n = max(warps_per_sm, 1e-9)
+    *,
+    fma: np.ndarray,
+    iop: np.ndarray,
+    ldg: np.ndarray,
+    stg: np.ndarray,
+    atom: np.ndarray,
+    smem_ops: np.ndarray,
+    bar: np.ndarray,
+    mlp: np.ndarray,
+    ilp: np.ndarray,
+    flops_per_fma: np.ndarray,
+    dsize: np.ndarray,
+    blocks_per_sm: np.ndarray,
+    warps_per_sm: np.ndarray,
+) -> PipeTimesArrays:
+    """Cycles each SM needs to retire its resident blocks, for N waves.
+
+    Per-block instruction counts (``fma`` … ``bar``) follow the fields of
+    :class:`~repro.ptx.counts.BlockCounts`; ``blocks_per_sm`` /
+    ``warps_per_sm`` describe each wave's residency, and ``dsize`` selects
+    the per-element FMA throughput.
+    """
+    b = np.asarray(blocks_per_sm, dtype=np.int64)
+    n = np.maximum(warps_per_sm, 1e-9)
 
     # Warp-instruction totals for the resident blocks.
-    w_fma = counts.fma * b / device.warp_size
-    w_iop = counts.iop * b / device.warp_size
-    w_glb = (counts.ldg + counts.stg) * b / device.warp_size
-    w_atm = counts.atom * b / device.warp_size
-    w_smm = counts.smem_ops * b / device.warp_size
+    w_fma = fma * b / device.warp_size
+    w_iop = iop * b / device.warp_size
+    w_glb = (ldg + stg) * b / device.warp_size
+    w_atm = atom * b / device.warp_size
+    w_smm = smem_ops * b / device.warp_size
 
-    packed = counts.flops_per_fma == 4
-    fma_peak = device.fma_rate(dtype, packed) / device.warp_size
+    packed = flops_per_fma == 4
+    fma_peak = fma_instr_rates(device, dsize, packed) / device.warp_size
     alu_peak = device.fma_per_sm_per_cycle / device.warp_size
     ldst_peak = device.ldst_per_sm_per_cycle / device.warp_size
 
     # -- arithmetic pipe ------------------------------------------------
-    fma_rate = _clamped_rate(fma_peak, n, counts.ilp, device.alu_lat)
-    iop_rate = _clamped_rate(alu_peak, n, counts.ilp, device.alu_lat)
+    fma_rate = _clamped_rate_arrays(fma_peak, n, ilp, device.alu_lat)
+    iop_rate = _clamped_rate_arrays(alu_peak, n, ilp, device.alu_lat)
     alu_cycles = w_fma / fma_rate + w_iop / iop_rate
 
     # -- load/store pipe --------------------------------------------------
-    glb_rate = _clamped_rate(ldst_peak, n, counts.mlp, device.mem_lat)
-    atm_rate = _clamped_rate(
-        ldst_peak * device.atomic_bw_frac, n, counts.mlp, device.mem_lat
+    glb_rate = _clamped_rate_arrays(ldst_peak, n, mlp, device.mem_lat)
+    atm_rate = _clamped_rate_arrays(
+        ldst_peak * device.atomic_bw_frac, n, mlp, device.mem_lat
     )
-    smm_rate = _clamped_rate(ldst_peak, n, SMEM_PARALLELISM, device.smem_lat)
+    smm_rate = _clamped_rate_arrays(
+        ldst_peak, n, SMEM_PARALLELISM, device.smem_lat
+    )
     ldst_cycles = w_glb / glb_rate + w_atm / atm_rate + w_smm / smm_rate
 
     # -- scheduler issue cap -----------------------------------------------
@@ -103,11 +183,39 @@ def pipe_times(
 
     # -- barriers: each sync stalls the block; blocks overlap, so the cost
     #    amortizes over the resident blocks but never fully vanishes.
-    barrier_cycles = counts.bar * BARRIER_CYCLES * (1.0 + (b - 1) * 0.15) / max(b, 1)
+    b_floor = np.maximum(b, 1)
+    barrier_cycles = bar * BARRIER_CYCLES * (1.0 + (b - 1) * 0.15) / b_floor
 
-    return PipeTimes(
+    return PipeTimesArrays(
         alu_cycles=alu_cycles,
         ldst_cycles=ldst_cycles,
         issue_cycles=issue_cycles,
-        barrier_cycles=barrier_cycles * b / max(b, 1),
+        barrier_cycles=barrier_cycles * b / b_floor,
     )
+
+
+def pipe_times(
+    device: DeviceSpec,
+    counts: BlockCounts,
+    blocks_per_sm: int,
+    warps_per_sm: float,
+    dtype: DType,
+) -> PipeTimes:
+    """Scalar wrapper over :func:`pipe_times_arrays` (N = 1)."""
+    pipes = pipe_times_arrays(
+        device,
+        fma=np.array([counts.fma]),
+        iop=np.array([counts.iop]),
+        ldg=np.array([counts.ldg]),
+        stg=np.array([counts.stg]),
+        atom=np.array([counts.atom]),
+        smem_ops=np.array([counts.smem_ops]),
+        bar=np.array([counts.bar]),
+        mlp=np.array([counts.mlp]),
+        ilp=np.array([counts.ilp]),
+        flops_per_fma=np.array([counts.flops_per_fma]),
+        dsize=np.array([dtype.size]),
+        blocks_per_sm=np.array([blocks_per_sm]),
+        warps_per_sm=np.array([warps_per_sm]),
+    )
+    return pipes.row(0)

@@ -13,11 +13,18 @@ operand tile are concurrently resident given the launch order, (b) a
 temporal-locality quality factor that grows with the staged depth ``U*KL``,
 and (c) an L2 capacity factor that degrades the hit rate once the resident
 working set overflows the cache.
+
+Like the rest of the simulated GPU, the implementation is an array core
+(:func:`l2_hit_rate_arrays` / :func:`estimate_traffic_arrays`) evaluating N
+launches per call; the scalar functions wrap it with N = 1, so both paths
+are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.gpu.device import DeviceSpec
 
@@ -35,6 +42,115 @@ class TrafficEstimate:
         return self.dram_load_bytes + self.dram_store_bytes
 
 
+@dataclass(frozen=True, slots=True)
+class TrafficArrays:
+    """Struct-of-arrays :class:`TrafficEstimate` for a batch of launches."""
+
+    l2_hit_rate: np.ndarray
+    dram_load_bytes: np.ndarray
+    dram_store_bytes: np.ndarray
+
+    @property
+    def dram_bytes(self) -> np.ndarray:
+        return self.dram_load_bytes + self.dram_store_bytes
+
+    def row(self, i: int) -> TrafficEstimate:
+        return TrafficEstimate(
+            l2_hit_rate=float(self.l2_hit_rate[i]),
+            dram_load_bytes=float(self.dram_load_bytes[i]),
+            dram_store_bytes=float(self.dram_store_bytes[i]),
+        )
+
+
+def l2_hit_rate_arrays(
+    device: DeviceSpec,
+    grid_m: np.ndarray,
+    grid_n: np.ndarray,
+    concurrent_blocks: np.ndarray,
+    a_bytes_frac: np.ndarray,
+    staged_bytes_per_block: np.ndarray,
+    staged_depth: np.ndarray,
+) -> np.ndarray:
+    """Expected fraction of global-load sectors served by L2, per launch.
+
+    ``grid_m x grid_n`` is the output-tile grid of one reduction slice
+    (KG-sliced blocks work on disjoint K ranges and share nothing).
+    ``a_bytes_frac`` weights the A-operand share of load traffic.
+    ``staged_depth`` is the elements of reduction staged per main-loop
+    iteration (``U * KL``); deeper staging narrows the reuse window.
+    """
+    grid_m = np.asarray(grid_m, dtype=np.int64)
+    grid_n = np.asarray(grid_n, dtype=np.int64)
+    r = np.maximum(1, np.minimum(concurrent_blocks, grid_m * grid_n))
+
+    # Blocks are launched row-major over (grid_m, grid_n): the resident set
+    # spans ~r/grid_n rows, fully covering min(grid_n, r) columns.
+    sharers_a = np.minimum(grid_n, r)
+    sharers_b = np.minimum(
+        grid_m, np.maximum(1, r // np.maximum(1, np.minimum(grid_n, r)))
+    )
+    hit_a = 1.0 - 1.0 / sharers_a
+    hit_b = 1.0 - 1.0 / sharers_b
+    hit = a_bytes_frac * hit_a + (1.0 - a_bytes_frac) * hit_b
+
+    # Deeper staging keeps sharers temporally closer to each other.
+    quality = 0.6 + 0.4 * np.minimum(1.0, staged_depth / 16.0)
+
+    # Capacity: once the concurrently staged working set spills past L2,
+    # reuse decays with the overflow ratio.
+    ws = np.maximum(1.0, r * staged_bytes_per_block)
+    l2_bytes = device.l2_kb * 1024.0
+    capacity = np.minimum(1.0, l2_bytes / ws) ** 0.5
+
+    rate = np.maximum(0.0, np.minimum(0.98, hit * quality * capacity))
+    return np.where(r <= 1, 0.0, rate)
+
+
+def estimate_traffic_arrays(
+    device: DeviceSpec,
+    ldg_bytes_per_block: np.ndarray,
+    ideal_ldg_bytes_per_block: np.ndarray,
+    st_bytes_per_block: np.ndarray,
+    grid_m: np.ndarray,
+    grid_n: np.ndarray,
+    kg: np.ndarray,
+    concurrent_blocks: np.ndarray,
+    a_bytes_frac: np.ndarray,
+    staged_bytes_per_block: np.ndarray,
+    staged_depth: np.ndarray,
+) -> TrafficArrays:
+    """Total DRAM traffic for N launches of ``grid_m*grid_n*kg`` blocks each.
+
+    Loads are filtered by the L2 model; stores (and atomic read-modify-write
+    traffic, already inflated by the codegen) stream through.
+    """
+    hit = l2_hit_rate_arrays(
+        device,
+        grid_m=grid_m,
+        grid_n=grid_n,
+        concurrent_blocks=np.maximum(
+            1, np.asarray(concurrent_blocks, dtype=np.int64) // np.maximum(1, kg)
+        ),
+        a_bytes_frac=a_bytes_frac,
+        staged_bytes_per_block=staged_bytes_per_block,
+        staged_depth=staged_depth,
+    )
+    blocks = grid_m * grid_n * kg
+    loads = ldg_bytes_per_block * blocks * (1.0 - hit)
+    # Compulsory floor: every operand element crosses DRAM at least once.
+    # With perfect sharing, A is fetched once per grid row and B once per
+    # grid column; one block's ideal bytes times the larger grid dimension
+    # is a safe lower bound for a KG slice.
+    compulsory = ideal_ldg_bytes_per_block * np.maximum(grid_m, grid_n)
+    loads = np.maximum(loads, compulsory)
+    stores = st_bytes_per_block * blocks
+    return TrafficArrays(
+        l2_hit_rate=hit,
+        dram_load_bytes=loads,
+        dram_store_bytes=stores,
+    )
+
+
 def l2_hit_rate(
     device: DeviceSpec,
     grid_m: int,
@@ -44,36 +160,18 @@ def l2_hit_rate(
     staged_bytes_per_block: float,
     staged_depth: int,
 ) -> float:
-    """Expected fraction of global-load sectors served by L2.
-
-    ``grid_m x grid_n`` is the output-tile grid of one reduction slice
-    (KG-sliced blocks work on disjoint K ranges and share nothing).
-    ``a_bytes_frac`` weights the A-operand share of load traffic.
-    ``staged_depth`` is the elements of reduction staged per main-loop
-    iteration (``U * KL``); deeper staging narrows the reuse window.
-    """
-    r = max(1, min(concurrent_blocks, grid_m * grid_n))
-    if r <= 1:
-        return 0.0
-
-    # Blocks are launched row-major over (grid_m, grid_n): the resident set
-    # spans ~r/grid_n rows, fully covering min(grid_n, r) columns.
-    sharers_a = min(grid_n, r)
-    sharers_b = min(grid_m, max(1, r // max(1, min(grid_n, r))))
-    hit_a = 1.0 - 1.0 / sharers_a
-    hit_b = 1.0 - 1.0 / sharers_b
-    hit = a_bytes_frac * hit_a + (1.0 - a_bytes_frac) * hit_b
-
-    # Deeper staging keeps sharers temporally closer to each other.
-    quality = 0.6 + 0.4 * min(1.0, staged_depth / 16.0)
-
-    # Capacity: once the concurrently staged working set spills past L2,
-    # reuse decays with the overflow ratio.
-    ws = max(1.0, r * staged_bytes_per_block)
-    l2_bytes = device.l2_kb * 1024.0
-    capacity = min(1.0, l2_bytes / ws) ** 0.5
-
-    return max(0.0, min(0.98, hit * quality * capacity))
+    """Scalar wrapper over :func:`l2_hit_rate_arrays` (N = 1)."""
+    return float(
+        l2_hit_rate_arrays(
+            device,
+            grid_m=np.array([grid_m]),
+            grid_n=np.array([grid_n]),
+            concurrent_blocks=np.array([concurrent_blocks]),
+            a_bytes_frac=np.array([a_bytes_frac]),
+            staged_bytes_per_block=np.array([staged_bytes_per_block]),
+            staged_depth=np.array([staged_depth]),
+        )[0]
+    )
 
 
 def estimate_traffic(
@@ -89,31 +187,18 @@ def estimate_traffic(
     staged_bytes_per_block: float,
     staged_depth: int,
 ) -> TrafficEstimate:
-    """Total DRAM traffic for a launch of ``grid_m*grid_n*kg`` blocks.
-
-    Loads are filtered by the L2 model; stores (and atomic read-modify-write
-    traffic, already inflated by the codegen) stream through.
-    """
-    hit = l2_hit_rate(
+    """Scalar wrapper over :func:`estimate_traffic_arrays` (N = 1)."""
+    traffic = estimate_traffic_arrays(
         device,
-        grid_m=grid_m,
-        grid_n=grid_n,
-        concurrent_blocks=max(1, concurrent_blocks // max(1, kg)),
-        a_bytes_frac=a_bytes_frac,
-        staged_bytes_per_block=staged_bytes_per_block,
-        staged_depth=staged_depth,
+        ldg_bytes_per_block=np.array([ldg_bytes_per_block]),
+        ideal_ldg_bytes_per_block=np.array([ideal_ldg_bytes_per_block]),
+        st_bytes_per_block=np.array([st_bytes_per_block]),
+        grid_m=np.array([grid_m]),
+        grid_n=np.array([grid_n]),
+        kg=np.array([kg]),
+        concurrent_blocks=np.array([concurrent_blocks]),
+        a_bytes_frac=np.array([a_bytes_frac]),
+        staged_bytes_per_block=np.array([staged_bytes_per_block]),
+        staged_depth=np.array([staged_depth]),
     )
-    blocks = grid_m * grid_n * kg
-    loads = ldg_bytes_per_block * blocks * (1.0 - hit)
-    # Compulsory floor: every operand element crosses DRAM at least once.
-    # With perfect sharing, A is fetched once per grid row and B once per
-    # grid column; one block's ideal bytes times the larger grid dimension
-    # is a safe lower bound for a KG slice.
-    compulsory = ideal_ldg_bytes_per_block * max(grid_m, grid_n)
-    loads = max(loads, compulsory)
-    stores = st_bytes_per_block * blocks
-    return TrafficEstimate(
-        l2_hit_rate=hit,
-        dram_load_bytes=loads,
-        dram_store_bytes=stores,
-    )
+    return traffic.row(0)

@@ -6,11 +6,20 @@ shared-memory pressure, which bounds how many blocks an SM can host, which
 bounds latency hiding.  This module reproduces the standard occupancy
 computation (per-block limits on threads, registers, shared memory, and the
 hard block-count cap) with the usual allocation-granularity rounding.
+
+The implementation is an *array core*: :func:`occupancy_arrays` evaluates N
+kernels' resource vectors against one device in a single vectorized pass
+(struct-of-arrays in, struct-of-arrays out), and the scalar
+:func:`occupancy_for` is a thin wrapper over it with N = 1 — so the batched
+offline pipeline and the per-kernel path share one implementation and are
+bit-identical by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.legality import ResourceUsage
 from repro.gpu.device import DeviceSpec
@@ -20,6 +29,10 @@ from repro.gpu.device import DeviceSpec
 _REG_ALLOC_UNIT = 256
 #: Shared-memory allocation granularity in bytes.
 _SMEM_ALLOC_UNIT = 256
+
+#: Resource names in the order the limits are compared (ties go to the
+#: earliest entry, matching the scalar dict-insertion-order behaviour).
+LIMITERS = ("threads", "blocks", "registers", "shared memory")
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,37 +49,93 @@ class Occupancy:
         return self.blocks_per_sm > 0
 
 
-def occupancy_for(device: DeviceSpec, res: ResourceUsage) -> Occupancy:
-    """Blocks and warps an SM can keep resident for a kernel's resources."""
-    warps = res.warps
-    threads = warps * device.warp_size  # thread slots allocate whole warps
+@dataclass(frozen=True, slots=True)
+class OccupancyArrays:
+    """Struct-of-arrays :class:`Occupancy` for a batch of kernels."""
 
-    limits: dict[str, int] = {}
-    limits["threads"] = device.max_threads_per_sm // threads if threads else 0
-    limits["blocks"] = device.max_blocks_per_sm
+    blocks_per_sm: np.ndarray   # int64
+    warps_per_sm: np.ndarray    # int64
+    occupancy: np.ndarray       # float64
+    limiter_idx: np.ndarray     # int64, index into LIMITERS
 
-    regs_per_warp = _round_up(
-        res.regs_per_thread * device.warp_size, _REG_ALLOC_UNIT
+    @property
+    def active(self) -> np.ndarray:
+        return self.blocks_per_sm > 0
+
+    def limiter_name(self, i: int) -> str:
+        if self.blocks_per_sm[i] <= 0:
+            return "does not fit"
+        return LIMITERS[int(self.limiter_idx[i])]
+
+    def row(self, i: int) -> Occupancy:
+        return Occupancy(
+            blocks_per_sm=int(self.blocks_per_sm[i]),
+            warps_per_sm=int(self.warps_per_sm[i]),
+            occupancy=float(self.occupancy[i]),
+            limiter=self.limiter_name(i),
+        )
+
+
+def occupancy_arrays(
+    device: DeviceSpec,
+    threads: np.ndarray,
+    regs_per_thread: np.ndarray,
+    smem_bytes: np.ndarray,
+) -> OccupancyArrays:
+    """Blocks and warps an SM can keep resident, for N kernels at once.
+
+    Inputs are parallel int arrays of per-block resource usage (the fields
+    of :class:`~repro.core.legality.ResourceUsage`).
+    """
+    threads = np.asarray(threads, dtype=np.int64)
+    regs_per_thread = np.asarray(regs_per_thread, dtype=np.int64)
+    smem_bytes = np.asarray(smem_bytes, dtype=np.int64)
+
+    warps = -(-threads // 32)  # ResourceUsage.warps
+    thread_slots = warps * device.warp_size  # whole-warp allocation
+
+    lim_threads = np.where(
+        thread_slots > 0,
+        device.max_threads_per_sm // np.maximum(thread_slots, 1),
+        0,
     )
+    lim_blocks = np.full_like(lim_threads, device.max_blocks_per_sm)
+
+    regs_per_warp = _round_up(regs_per_thread * device.warp_size, _REG_ALLOC_UNIT)
     regs_per_block = regs_per_warp * warps
-    limits["registers"] = (
-        device.regfile_per_sm // regs_per_block if regs_per_block else 0
+    lim_regs = np.where(
+        regs_per_block > 0,
+        device.regfile_per_sm // np.maximum(regs_per_block, 1),
+        0,
     )
 
-    smem = _round_up(max(res.smem_bytes, 1), _SMEM_ALLOC_UNIT)
-    limits["shared memory"] = (device.smem_per_sm_kb * 1024) // smem
+    smem = _round_up(np.maximum(smem_bytes, 1), _SMEM_ALLOC_UNIT)
+    lim_smem = (device.smem_per_sm_kb * 1024) // smem
 
-    limiter, blocks = min(limits.items(), key=lambda kv: kv[1])
-    blocks = max(0, blocks)
+    limits = np.stack([lim_threads, lim_blocks, lim_regs, lim_smem])
+    limiter_idx = np.argmin(limits, axis=0)  # first minimum wins, as scalar
+    blocks = np.maximum(0, np.min(limits, axis=0))
+
     resident_warps = blocks * warps
     max_warps = device.max_threads_per_sm // device.warp_size
-    return Occupancy(
+    return OccupancyArrays(
         blocks_per_sm=blocks,
         warps_per_sm=resident_warps,
         occupancy=resident_warps / max_warps,
-        limiter=limiter if blocks else "does not fit",
+        limiter_idx=limiter_idx,
     )
 
 
-def _round_up(x: int, unit: int) -> int:
+def occupancy_for(device: DeviceSpec, res: ResourceUsage) -> Occupancy:
+    """Scalar wrapper over :func:`occupancy_arrays` (N = 1)."""
+    occ = occupancy_arrays(
+        device,
+        np.array([res.threads]),
+        np.array([res.regs_per_thread]),
+        np.array([res.smem_bytes]),
+    )
+    return occ.row(0)
+
+
+def _round_up(x: np.ndarray, unit: int) -> np.ndarray:
     return -(-x // unit) * unit

@@ -10,33 +10,77 @@ kernel's time and the diagnostic quantities the paper reports in §8.1
 ``benchmark_gemm`` / ``benchmark_conv`` add deterministic measurement noise
 and are what the auto-tuner's data-generation and re-ranking stages call:
 they play the role of actually launching the kernel.
+
+The whole chain is built as an *array core*: ``simulate_gemm_many`` /
+``simulate_conv_many`` (and the generic :func:`simulate_many` /
+:func:`benchmark_many` dispatchers) evaluate N ``(config, shape)`` pairs in
+one struct-of-arrays pass — this is what the offline pipeline (dataset
+generation, shortlist re-ranking) runs on.  The scalar functions are thin
+N = 1 wrappers over the same core, so batched and per-kernel results are
+bit-identical by construction, deterministic noise included.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import ConvConfig, GemmConfig
 from repro.core.legality import (
+    ResourceArrays,
     ResourceUsage,
-    conv_resources,
-    gemm_resources,
-    gemm_violations,
+    conv_legal_mask,
+    conv_resources_arrays,
     conv_violations,
+    gemm_legal_mask,
+    gemm_resources_arrays,
+    gemm_violations,
 )
-from repro.core.types import ConvShape, DType, GemmShape, ceil_div
+from repro.core.soa import ConvPairArrays, GemmPairArrays
+from repro.core.types import ConvShape, DType, GemmShape
 from repro.gpu.device import DeviceSpec
-from repro.gpu.latency import pipe_times
-from repro.gpu.memory import TrafficEstimate, estimate_traffic
-from repro.gpu.noise import DEFAULT_SIGMA, averaged_noise_factor
-from repro.gpu.occupancy import Occupancy, occupancy_for
-from repro.ptx.conv_codegen import ConvKernel
-from repro.ptx.counts import KernelCounts
-from repro.ptx.gemm_codegen import GemmKernel
+from repro.gpu.latency import pipe_times_arrays
+from repro.gpu.memory import TrafficArrays, TrafficEstimate, estimate_traffic_arrays
+from repro.gpu.noise import (
+    DEFAULT_SIGMA,
+    averaged_noise_factor,
+    averaged_noise_factors,
+)
+from repro.gpu.occupancy import Occupancy, OccupancyArrays, occupancy_arrays
+from repro.ptx.batch_counts import (
+    LaunchArrays,
+    conv_launch_arrays,
+    gemm_launch_arrays,
+)
 
 
 class IllegalKernelError(ValueError):
     """Raised when a config outside X (the legal set) is simulated."""
+
+
+#: Bottleneck names indexed by ``KernelStatsArrays.limiter_idx``: the three
+#: issue pipes of the latency model plus device-wide DRAM bandwidth.
+LIMITERS = ("alu", "ldst", "issue", "dram")
+_DRAM_LIMITER = 3
+
+
+def measurement_key(device: DeviceSpec, op: str, cfg, shape) -> str:
+    """The deterministic-noise key of one measurement.
+
+    Every benchmark entry point — scalar or batched, any op — must derive
+    its noise from this exact string: it is what makes a batched
+    measurement bit-identical to the per-kernel one, and what keeps
+    repeated measurements of the same (device, config, shape) consistent.
+    """
+    return f"{device.name}|{op}|{cfg.as_dict()}|{shape}"
+
+
+def measurement_keys(device: DeviceSpec, op: str, cfgs, shapes) -> list[str]:
+    return [
+        measurement_key(device, op, cfg, shape)
+        for cfg, shape in zip(cfgs, shapes)
+    ]
 
 
 @dataclass(frozen=True)
@@ -71,21 +115,88 @@ class KernelStats:
         return self.traffic.dram_bytes / (self.time_ms * 1e6)
 
 
-def _wave_time_ms(
-    device: DeviceSpec,
-    counts: KernelCounts,
-    blocks_in_wave: int,
-    blocks_per_sm_cap: int,
-    dram_bytes_per_block: float,
-    dtype: DType,
-) -> tuple[float, str]:
-    """Time for one wave of ``blocks_in_wave`` concurrent blocks."""
-    busy_sms = min(device.sms, blocks_in_wave)
-    b_eff = ceil_div(blocks_in_wave, busy_sms)
-    b_eff = min(b_eff, blocks_per_sm_cap)
-    warps = b_eff * ceil_div(counts.threads_per_block, device.warp_size)
+@dataclass(frozen=True)
+class KernelStatsArrays:
+    """Struct-of-arrays :class:`KernelStats` for a batch of launches.
 
-    pipes = pipe_times(device, counts.block, b_eff, warps, dtype)
+    ``legal`` marks rows whose config is inside X *and* fits on the device;
+    illegal rows carry NaN times (the batched analogue of
+    :class:`IllegalKernelError`).
+    """
+
+    device_name: str
+    time_ms: np.ndarray
+    useful_flops: np.ndarray
+    padded_flops: np.ndarray
+    occupancy: OccupancyArrays
+    resources: ResourceArrays
+    traffic: TrafficArrays
+    limiter_idx: np.ndarray
+    waves: np.ndarray
+    grid_size: np.ndarray
+    legal: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.time_ms)
+
+    @property
+    def tflops(self) -> np.ndarray:
+        """Useful TFLOPS per launch (NaN on illegal rows)."""
+        return self.useful_flops / self.time_ms / 1e9
+
+    def limiter_name(self, i: int) -> str:
+        return LIMITERS[int(self.limiter_idx[i])]
+
+    def row(self, i: int) -> KernelStats:
+        """Materialize one row as a scalar :class:`KernelStats`."""
+        return KernelStats(
+            device_name=self.device_name,
+            time_ms=float(self.time_ms[i]),
+            useful_flops=int(self.useful_flops[i]),
+            padded_flops=int(self.padded_flops[i]),
+            occupancy=self.occupancy.row(i),
+            resources=ResourceUsage(
+                threads=int(self.resources.threads[i]),
+                regs_per_thread=int(self.resources.regs_per_thread[i]),
+                smem_bytes=int(self.resources.smem_bytes[i]),
+            ),
+            traffic=self.traffic.row(i),
+            limiter=self.limiter_name(i),
+            waves=float(self.waves[i]),
+            grid_size=int(self.grid_size[i]),
+        )
+
+
+def _wave_time_arrays(
+    device: DeviceSpec,
+    launch: LaunchArrays,
+    blocks_in_wave: np.ndarray,
+    blocks_per_sm_cap: np.ndarray,
+    dram_bytes_per_block: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Time (ms) and limiter index for one wave of concurrent blocks, per row."""
+    counts = launch.counts
+    busy_sms = np.minimum(device.sms, blocks_in_wave)
+    b_eff = -(-blocks_in_wave // busy_sms)
+    b_eff = np.minimum(b_eff, blocks_per_sm_cap)
+    warps = b_eff * -(-launch.threads_per_block // device.warp_size)
+
+    pipes = pipe_times_arrays(
+        device,
+        fma=counts.fma,
+        iop=counts.iop,
+        ldg=counts.ldg,
+        stg=counts.stg,
+        atom=counts.atom,
+        smem_ops=counts.smem_ops,
+        bar=counts.bar,
+        mlp=counts.mlp,
+        ilp=counts.ilp,
+        flops_per_fma=counts.flops_per_fma,
+        dsize=launch.dsize,
+        blocks_per_sm=b_eff,
+        warps_per_sm=warps,
+    )
     clock_hz = device.boost_mhz * 1e6
     t_sm_ms = pipes.cycles / clock_hz * 1e3
 
@@ -96,87 +207,155 @@ def _wave_time_ms(
     # Pipeline ramp: the first loads of a wave see full memory latency.
     t_ramp_ms = device.mem_lat / clock_hz * 1e3
 
-    if t_dram_ms > t_sm_ms:
-        return t_dram_ms + t_ramp_ms, "dram"
-    return t_sm_ms + t_ramp_ms, pipes.limiter
+    dram_bound = t_dram_ms > t_sm_ms
+    t = np.where(dram_bound, t_dram_ms, t_sm_ms) + t_ramp_ms
+    limiter = np.where(dram_bound, _DRAM_LIMITER, pipes.limiter_idx)
+    return t, limiter
 
 
-def _simulate(
+def _simulate_arrays(
     device: DeviceSpec,
-    counts: KernelCounts,
-    res: ResourceUsage,
-    grid_mn: tuple[int, int],
-    kg: int,
-    useful_flops: int,
-    padded_flops: int,
-    staged_bytes: float,
-    staged_depth: int,
-    dtype: DType,
-    a_bytes_frac: float = 0.5,
-) -> KernelStats:
-    occ = occupancy_for(device, res)
-    if not occ.active:
-        raise IllegalKernelError(
-            f"kernel does not fit on {device.name}: {occ.limiter}"
-        )
+    launch: LaunchArrays,
+    res: ResourceArrays,
+    legal: np.ndarray,
+) -> KernelStatsArrays:
+    """The array core: occupancy → traffic → wave schedule, N launches at once.
 
-    grid_size = counts.grid_size
-    concurrent = occ.blocks_per_sm * device.sms
-
-    block = counts.block
-    traffic = estimate_traffic(
-        device,
-        ldg_bytes_per_block=block.ldg_bytes,
-        ideal_ldg_bytes_per_block=block.ideal_ldg_bytes,
-        st_bytes_per_block=block.st_bytes,
-        grid_m=grid_mn[0],
-        grid_n=grid_mn[1],
-        kg=kg,
-        concurrent_blocks=concurrent,
-        a_bytes_frac=a_bytes_frac,
-        staged_bytes_per_block=staged_bytes,
-        staged_depth=staged_depth,
+    ``legal`` is the caller's config-legality mask; rows that additionally
+    fail to fit on the device (inactive occupancy) are cleared from it, and
+    every cleared row reports NaN time.
+    """
+    occ = occupancy_arrays(
+        device, res.threads, res.regs_per_thread, res.smem_bytes
     )
-    dram_bytes_per_block = traffic.dram_bytes / max(1, grid_size)
+    legal = legal & occ.active
 
-    full_waves, rem = divmod(grid_size, concurrent)
-    total_ms = 0.0
-    limiter = "alu"
-    if full_waves:
-        t, limiter = _wave_time_ms(
-            device, counts, concurrent, occ.blocks_per_sm,
-            dram_bytes_per_block, dtype,
-        )
-        total_ms += t * full_waves
-    if rem:
-        t, lim_p = _wave_time_ms(
-            device, counts, rem, occ.blocks_per_sm,
-            dram_bytes_per_block, dtype,
-        )
-        total_ms += t
-        if not full_waves:
-            limiter = lim_p
+    grid_size = launch.grid_size
+    concurrent = occ.blocks_per_sm * device.sms
+    # Inactive rows are masked out at the end; clamp their divisors so the
+    # vectorized arithmetic stays well-defined.
+    conc = np.maximum(concurrent, 1)
 
-    total_ms += device.kernel_launch_us * 1e-3
-    waves = grid_size / concurrent
+    counts = launch.counts
+    traffic = estimate_traffic_arrays(
+        device,
+        ldg_bytes_per_block=counts.ldg_bytes,
+        ideal_ldg_bytes_per_block=counts.ideal_ldg_bytes,
+        st_bytes_per_block=counts.st_bytes,
+        grid_m=launch.grid_m,
+        grid_n=launch.grid_n,
+        kg=launch.kg,
+        concurrent_blocks=concurrent,
+        a_bytes_frac=launch.a_bytes_frac,
+        staged_bytes_per_block=launch.staged_bytes,
+        staged_depth=launch.staged_depth,
+    )
+    dram_bytes_per_block = traffic.dram_bytes / np.maximum(1, grid_size)
 
-    return KernelStats(
+    return _schedule_waves(
+        device, launch, res, occ, traffic, legal,
+        grid_size=grid_size,
+        concurrent=conc,
+        dram_bytes_per_block=dram_bytes_per_block,
+        useful_flops=launch.useful_flops,
+        padded_flops=launch.padded_flops,
+    )
+
+
+def _schedule_waves(
+    device: DeviceSpec,
+    launch: LaunchArrays,
+    res: ResourceArrays,
+    occ: OccupancyArrays,
+    traffic: TrafficArrays,
+    legal: np.ndarray,
+    *,
+    grid_size: np.ndarray,
+    concurrent: np.ndarray,
+    dram_bytes_per_block: np.ndarray,
+    useful_flops: np.ndarray,
+    padded_flops: np.ndarray,
+) -> KernelStatsArrays:
+    """Price full waves + the remainder wave and assemble the stats batch."""
+    full_waves, rem = np.divmod(grid_size, concurrent)
+    t_full, lim_full = _wave_time_arrays(
+        device, launch, concurrent, occ.blocks_per_sm, dram_bytes_per_block
+    )
+    t_rem, lim_rem = _wave_time_arrays(
+        device, launch, np.maximum(rem, 1), occ.blocks_per_sm,
+        dram_bytes_per_block,
+    )
+    has_full = full_waves > 0
+    has_rem = rem > 0
+    total_ms = np.where(has_full, t_full * full_waves, 0.0) + np.where(
+        has_rem, t_rem, 0.0
+    )
+    total_ms = total_ms + device.kernel_launch_us * 1e-3
+    limiter = np.where(has_full, lim_full, np.where(has_rem, lim_rem, 0))
+
+    return KernelStatsArrays(
         device_name=device.name,
-        time_ms=total_ms,
+        time_ms=np.where(legal, total_ms, np.nan),
         useful_flops=useful_flops,
         padded_flops=padded_flops,
         occupancy=occ,
         resources=res,
         traffic=traffic,
-        limiter=limiter,
-        waves=waves,
+        limiter_idx=limiter,
+        waves=grid_size / concurrent,
         grid_size=grid_size,
+        legal=legal,
     )
 
 
 # ----------------------------------------------------------------------
 # GEMM
 # ----------------------------------------------------------------------
+
+def simulate_gemm_many(
+    device: DeviceSpec,
+    cfgs,
+    shapes,
+    *,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+    check_legality: bool = True,
+) -> KernelStatsArrays:
+    """Noise-free model evaluation of N GEMM kernels in one array pass.
+
+    Rows whose config is illegal for its shape's dtype (or does not fit on
+    the device) come back with ``legal=False`` and NaN time instead of the
+    scalar path's :class:`IllegalKernelError`.
+    """
+    soa = GemmPairArrays.from_pairs(cfgs, shapes)
+    legal = _legal_mask_by_dsize(
+        device, soa.config_params(), soa.dsize, gemm_legal_mask, check_legality
+    )
+    launch = gemm_launch_arrays(
+        device, soa, bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2
+    )
+    res = gemm_resources_arrays(soa.config_params(), soa.dsize)
+    return _simulate_arrays(device, launch, res, legal)
+
+
+def benchmark_gemm_many(
+    device: DeviceSpec,
+    cfgs,
+    shapes,
+    *,
+    reps: int = 1,
+    sigma: float = DEFAULT_SIGMA,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+) -> np.ndarray:
+    """Measured TFLOPS for N GEMM kernels (deterministic noise, NaN = illegal)."""
+    stats = simulate_gemm_many(
+        device, cfgs, shapes,
+        bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
+    )
+    keys = measurement_keys(device, "gemm", cfgs, shapes)
+    return stats.tflops * averaged_noise_factors(keys, reps, sigma)
+
 
 def simulate_gemm(
     device: DeviceSpec,
@@ -187,36 +366,22 @@ def simulate_gemm(
     allow_fp16x2: bool = True,
     check_legality: bool = True,
 ) -> KernelStats:
-    """Noise-free model evaluation of a GEMM kernel."""
+    """Noise-free model evaluation of a GEMM kernel (N = 1 wrapper)."""
     if check_legality:
         violations = gemm_violations(cfg, shape.dtype, device)
         if violations:
             raise IllegalKernelError("; ".join(violations))
-    kernel = GemmKernel(
-        cfg=cfg,
-        shape=shape,
-        device=device,
-        bounds_mode=bounds_mode,
-        allow_fp16x2=allow_fp16x2,
+    stats = simulate_gemm_many(
+        device, [cfg], [shape],
+        bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
+        check_legality=False,
     )
-    eff = kernel.effective_shape
-    counts = kernel.kernel_counts()
-    res = gemm_resources(cfg, shape.dtype)
-    gm, gn, _ = cfg.grid(eff)
-    staged_bytes = cfg.db * (cfg.ml + cfg.nl) * cfg.u * cfg.kl * shape.dtype.size
-    return _simulate(
-        device,
-        counts,
-        res,
-        grid_mn=(gm, gn),
-        kg=cfg.kg,
-        useful_flops=shape.flops,
-        padded_flops=cfg.padded_flops(eff),
-        staged_bytes=staged_bytes,
-        staged_depth=cfg.u * cfg.kl,
-        dtype=shape.dtype,
-        a_bytes_frac=cfg.ml / (cfg.ml + cfg.nl),
-    )
+    if not stats.legal[0]:
+        raise IllegalKernelError(
+            f"kernel does not fit on {device.name}: "
+            f"{stats.occupancy.limiter_name(0)}"
+        )
+    return stats.row(0)
 
 
 def benchmark_gemm(
@@ -238,13 +403,53 @@ def benchmark_gemm(
         device, cfg, shape,
         bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
     )
-    key = f"{device.name}|gemm|{cfg.as_dict()}|{shape}"
+    key = measurement_key(device, "gemm", cfg, shape)
     return stats.tflops * averaged_noise_factor(key, reps, sigma)
 
 
 # ----------------------------------------------------------------------
 # CONV
 # ----------------------------------------------------------------------
+
+def simulate_conv_many(
+    device: DeviceSpec,
+    cfgs,
+    shapes,
+    *,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+    check_legality: bool = True,
+) -> KernelStatsArrays:
+    """Noise-free model evaluation of N implicit-GEMM convolution kernels."""
+    soa = ConvPairArrays.from_pairs(cfgs, shapes)
+    legal = _legal_mask_by_dsize(
+        device, soa.config_params(), soa.dsize, conv_legal_mask, check_legality
+    )
+    launch = conv_launch_arrays(
+        device, soa, bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2
+    )
+    res = conv_resources_arrays(soa.config_params(), soa.dsize)
+    return _simulate_arrays(device, launch, res, legal)
+
+
+def benchmark_conv_many(
+    device: DeviceSpec,
+    cfgs,
+    shapes,
+    *,
+    reps: int = 1,
+    sigma: float = DEFAULT_SIGMA,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+) -> np.ndarray:
+    """Measured TFLOPS for N convolution kernels (NaN = illegal)."""
+    stats = simulate_conv_many(
+        device, cfgs, shapes,
+        bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
+    )
+    keys = measurement_keys(device, "conv", cfgs, shapes)
+    return stats.tflops * averaged_noise_factors(keys, reps, sigma)
+
 
 def simulate_conv(
     device: DeviceSpec,
@@ -255,40 +460,22 @@ def simulate_conv(
     allow_fp16x2: bool = True,
     check_legality: bool = True,
 ) -> KernelStats:
-    """Noise-free model evaluation of an implicit-GEMM convolution kernel."""
+    """Noise-free model evaluation of one convolution kernel (N = 1 wrapper)."""
     if check_legality:
         violations = conv_violations(cfg, shape.dtype, device)
         if violations:
             raise IllegalKernelError("; ".join(violations))
-    kernel = ConvKernel(
-        cfg=cfg,
-        shape=shape,
-        device=device,
-        bounds_mode=bounds_mode,
-        allow_fp16x2=allow_fp16x2,
+    stats = simulate_conv_many(
+        device, [cfg], [shape],
+        bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
+        check_legality=False,
     )
-    counts = kernel.kernel_counts()
-    res = conv_resources(cfg, shape.dtype)
-    gk, gp, gq, gn, _ = cfg.grid(shape)
-    # Implicit-GEMM grid: NPQ tiles x K tiles.
-    grid_m = gp * gq * gn
-    grid_n = gk
-    staged_bytes = (
-        cfg.db * (cfg.block_m + cfg.block_n) * cfg.u * cfg.cl * shape.dtype.size
-    )
-    return _simulate(
-        device,
-        counts,
-        res,
-        grid_mn=(grid_m, grid_n),
-        kg=cfg.cg,
-        useful_flops=shape.flops,
-        padded_flops=cfg.padded_flops(shape),
-        staged_bytes=staged_bytes,
-        staged_depth=cfg.u * cfg.cl,
-        dtype=shape.dtype,
-        a_bytes_frac=cfg.block_m / (cfg.block_m + cfg.block_n),
-    )
+    if not stats.legal[0]:
+        raise IllegalKernelError(
+            f"kernel does not fit on {device.name}: "
+            f"{stats.occupancy.limiter_name(0)}"
+        )
+    return stats.row(0)
 
 
 def benchmark_conv(
@@ -306,5 +493,67 @@ def benchmark_conv(
         device, cfg, shape,
         bounds_mode=bounds_mode, allow_fp16x2=allow_fp16x2,
     )
-    key = f"{device.name}|conv|{cfg.as_dict()}|{shape}"
+    key = measurement_key(device, "conv", cfg, shape)
     return stats.tflops * averaged_noise_factor(key, reps, sigma)
+
+
+# ----------------------------------------------------------------------
+# Generic batched entry points (dispatch through the op registry)
+# ----------------------------------------------------------------------
+
+def simulate_many(device: DeviceSpec, op, cfgs, shapes, **kwargs):
+    """Batched noise-free evaluation for any registered op.
+
+    Ops exposing a vectorized path (``gemm``/``conv``/``bgemm``) run it;
+    there is no loop fallback here because a :class:`KernelStatsArrays`
+    cannot be stitched from scalar rows cheaply — use
+    :func:`benchmark_many` (which does fall back) when only measurements
+    are needed.
+    """
+    from repro.core.ops import get_op
+
+    spec = get_op(op)
+    if spec.simulate_many is None:
+        raise ValueError(
+            f"op {spec.name!r} registers no batched simulate path"
+        )
+    return spec.simulate_many(device, cfgs, shapes, **kwargs)
+
+
+def benchmark_many(
+    device: DeviceSpec,
+    op,
+    cfgs,
+    shapes,
+    *,
+    reps: int = 1,
+    sigma: float = DEFAULT_SIGMA,
+) -> np.ndarray:
+    """Measured TFLOPS for N (config, shape) pairs of any registered op.
+
+    Dispatches to the op's ``benchmark_many`` slot when registered, else
+    loops over the scalar benchmark; either way illegal pairs yield NaN.
+    """
+    from repro.core.ops import get_op
+
+    return get_op(op).benchmark_pairs(
+        device, cfgs, shapes, reps=reps, sigma=sigma
+    )
+
+
+def _legal_mask_by_dsize(
+    device: DeviceSpec,
+    params,
+    dsize: np.ndarray,
+    mask_fn,
+    check_legality: bool,
+) -> np.ndarray:
+    """Run a per-dtype legality mask over a mixed-dtype batch."""
+    if not check_legality:
+        return np.ones(len(dsize), dtype=bool)
+    legal = np.zeros(len(dsize), dtype=bool)
+    for size in np.unique(dsize):
+        sel = dsize == size
+        sub = {name: col[sel] for name, col in params.items()}
+        legal[sel] = mask_fn(device, sub, DType(int(size)))
+    return legal

@@ -5,16 +5,22 @@ model, and re-evaluate them on the target GPU to smooth out the inherent
 noise of our predictive model."  The model's argmax can be wrong in two
 ways — model error and measurement noise — and re-benchmarking a short list
 fixes both at negligible cost relative to exhaustive on-device search.
+
+The whole shortlist is benchmarked in *one* batched simulator call
+(``OpSpec.benchmark_pairs``), not config-by-config; candidates the
+simulator rejects as illegal are counted and surfaced
+(:class:`RerankReport.dropped`) instead of silently vanishing.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.ops import OpSpec, get_op
 from repro.gpu.device import DeviceSpec
-from repro.gpu.simulator import IllegalKernelError
 from repro.inference.search import Prediction
 
 
@@ -36,6 +42,52 @@ class RankedKernel:
     source: str = "reranked"
 
 
+@dataclass
+class RerankReport:
+    """Everything one re-ranking pass did.
+
+    ``dropped`` counts shortlist candidates the simulator refused as
+    illegal (outside X, or not fitting on the device).  The search space
+    should preclude these, so a non-zero count is a signal worth
+    surfacing — :func:`rerank` turns it into a warning.
+    """
+
+    ranked: list[RankedKernel]
+    dropped: int
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.ranked) + self.dropped
+
+
+def rerank_with_report(
+    device: DeviceSpec,
+    shape,
+    candidates: Sequence[Prediction],
+    *,
+    op: str | OpSpec = "gemm",
+    reps: int = 3,
+) -> RerankReport:
+    """Benchmark the whole shortlist in one batched call; best measured first."""
+    spec = get_op(op)
+    cfgs = [cand.config for cand in candidates]
+    measured = spec.benchmark_pairs(
+        device, cfgs, [shape] * len(cfgs), reps=reps
+    )
+    ranked = [
+        RankedKernel(
+            config=cand.config,
+            predicted_tflops=cand.predicted_tflops,
+            measured_tflops=float(m),
+        )
+        for cand, m in zip(candidates, measured)
+        if not math.isnan(m)
+    ]
+    dropped = len(cfgs) - len(ranked)
+    ranked.sort(key=lambda r: -r.measured_tflops)
+    return RerankReport(ranked=ranked, dropped=dropped)
+
+
 def rerank(
     device: DeviceSpec,
     shape,
@@ -44,25 +96,23 @@ def rerank(
     op: str | OpSpec = "gemm",
     reps: int = 3,
 ) -> list[RankedKernel]:
-    """Benchmark each candidate on the device; best measured first."""
-    bench = get_op(op).benchmark
-    ranked: list[RankedKernel] = []
-    for cand in candidates:
-        try:
-            measured = bench(device, cand.config, shape, reps=reps)
-        except IllegalKernelError:
-            continue  # the search space should preclude this; stay safe
-        ranked.append(
-            RankedKernel(
-                config=cand.config,
-                predicted_tflops=cand.predicted_tflops,
-                measured_tflops=measured,
-            )
+    """Benchmark each candidate on the device; best measured first.
+
+    Illegal candidates are dropped from the ranking but no longer
+    silently: the drop count is reported through a ``RuntimeWarning``
+    (use :func:`rerank_with_report` to get it programmatically).
+    """
+    report = rerank_with_report(device, shape, candidates, op=op, reps=reps)
+    if report.dropped:
+        warnings.warn(
+            f"rerank dropped {report.dropped} of {report.evaluated} "
+            "shortlist candidates as illegal kernels",
+            RuntimeWarning,
+            stacklevel=2,
         )
-    if not ranked:
+    if not report.ranked:
         raise RuntimeError("no candidate survived re-ranking")
-    ranked.sort(key=lambda r: -r.measured_tflops)
-    return ranked
+    return report.ranked
 
 
 def best_after_rerank(

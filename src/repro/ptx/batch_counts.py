@@ -1,0 +1,358 @@
+"""Vectorized counts extraction: tiling parameters -> instruction counts, N at a time.
+
+The code generators (:mod:`repro.ptx.gemm_codegen`,
+:mod:`repro.ptx.conv_codegen`) compute one kernel's exact per-block
+instruction mix from its tiling parameters.  The offline pipeline prices
+hundreds of thousands of such kernels; this module re-derives the same
+accounting on struct-of-arrays inputs so one call covers a whole batch.
+
+Every expression below mirrors its scalar counterpart line by line — same
+operations, same order, same integer/float promotion — so the batched
+counts are bit-identical to ``GemmKernel.block_counts()`` /
+``ConvKernel.block_counts()``.  The parity tests in
+``tests/test_simulator_batched.py`` hold both sides to that standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.soa import ConvPairArrays, GemmPairArrays
+from repro.gpu.device import DeviceSpec
+from repro.ptx.counts import BlockCountsArrays
+from repro.ptx.gemm_codegen import BOUNDS_MODES, _SECTOR_BYTES
+
+
+@dataclass(frozen=True)
+class LaunchArrays:
+    """Everything the batched simulator needs about N kernel launches."""
+
+    counts: BlockCountsArrays
+    grid_m: np.ndarray
+    grid_n: np.ndarray
+    kg: np.ndarray
+    grid_size: np.ndarray
+    threads_per_block: np.ndarray
+    useful_flops: np.ndarray
+    padded_flops: np.ndarray
+    staged_bytes: np.ndarray
+    staged_depth: np.ndarray
+    a_bytes_frac: np.ndarray
+    dsize: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.grid_size)
+
+
+def _ceil_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return -(-a // b)
+
+
+def _smem_vec_arrays(frag: np.ndarray, dsize: np.ndarray) -> np.ndarray:
+    """Widest shared-memory vector width for fragments of ``frag`` elems."""
+    widest = np.maximum(1, 16 // dsize)
+    cap = np.minimum(frag, widest)
+    v = np.ones_like(frag)
+    for _ in range(3):  # widest <= 8 elements: at most three doublings
+        nxt = v * 2
+        grow = (nxt <= cap) & (frag % nxt == 0)
+        v = np.where(grow, nxt, v)
+    return v
+
+
+def coalescing_multipliers(
+    run_elems: np.ndarray, dsize: np.ndarray, device: DeviceSpec
+) -> np.ndarray:
+    """Vectorized :func:`repro.ptx.gemm_codegen.coalescing_multiplier`."""
+    eff = np.minimum(1.0, run_elems * dsize / _SECTOR_BYTES)
+    return np.minimum(device.coalesce_penalty, 1.0 / np.maximum(eff, 1e-9))
+
+
+def _check_bounds_mode(bounds_mode: str) -> None:
+    if bounds_mode not in BOUNDS_MODES:
+        raise ValueError(f"unknown bounds mode {bounds_mode!r}")
+
+
+def gemm_launch_arrays(
+    device: DeviceSpec,
+    soa: GemmPairArrays,
+    *,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+) -> LaunchArrays:
+    """Batched ``GemmKernel.kernel_counts()`` plus launch-level quantities."""
+    _check_bounds_mode(bounds_mode)
+    ms, ns, ml, nl, u = soa.ms, soa.ns, soa.ml, soa.nl, soa.u
+    ks, kl, kg, vec, db = soa.ks, soa.kl, soa.kg, soa.vec, soa.db
+    dsize = soa.dsize
+    threads = soa.threads
+
+    # Effective shape: padded mode rounds M, N up to block-tile multiples.
+    if bounds_mode == "padded":
+        m_eff = _ceil_div(soa.m, ml) * ml
+        n_eff = _ceil_div(soa.n, nl) * nl
+    else:
+        m_eff, n_eff = soa.m, soa.n
+    k = soa.k
+
+    kb = _ceil_div(k, kg)                  # K handled per block
+    iters = _ceil_div(kb, kl * u)          # per-slice main-loop trips
+
+    # -- main loop, per thread, per iteration --------------------------
+    packed = (
+        allow_fp16x2
+        & np.bool_(device.fp16x2)
+        & (dsize == 2)
+        & (vec >= 2)
+        & (ns % 2 == 0)
+    )
+    fma_iter = ms * ns * u
+    fma_iter = np.where(packed, fma_iter // 2, fma_iter)
+    flops_per_fma = np.where(packed, 4, 2)
+
+    sva = _smem_vec_arrays(ms, dsize)
+    svb = _smem_vec_arrays(ns, dsize)
+    lds_iter = u * (ms // sva + ns // svb)
+
+    stage_elems = (ml + nl) * u            # per slice-iteration
+    ldg_iter = stage_elems * kl // (threads * vec)
+    # Memory-level parallelism is set by the vectorized staging pattern;
+    # checked mode's branches serialize accesses (§8.3), so the scalar
+    # expansion below must not raise it and make checked mode faster.
+    mlp_iter = ldg_iter
+    if bounds_mode == "checked":
+        ldg_iter = ldg_iter * vec
+    sts_a = (ml * u * kl) // threads
+    sts_b = (nl * u * kl) // threads
+    sts_iter = sts_a // np.where(soa.ta, 1, vec) + (
+        sts_b // np.where(soa.tb, vec, 1)
+    )
+
+    iop_iter = 2 * ldg_iter + 4
+    if bounds_mode == "predicated":
+        iop_iter = iop_iter + np.maximum(
+            1, (0.15 * ldg_iter).astype(np.int64)
+        )
+    elif bounds_mode == "checked":
+        iop_iter = iop_iter + 5 * ldg_iter + 4
+
+    bar_iter = np.where(db == 2, 1, 2)
+
+    # -- per-thread totals over the main loop --------------------------
+    fma = fma_iter * iters
+    lds = lds_iter * iters
+    ldg = ldg_iter * iters
+    sts = sts_iter * iters
+    iop = iop_iter * iters + 40            # +prologue index setup
+    bar = bar_iter * iters
+
+    # -- KL shared-tree reduction epilogue ------------------------------
+    acc = ms * ns
+    kl_split = kl > 1
+    sts = sts + np.where(kl_split, acc, 0)
+    lds = lds + np.where(kl_split, acc * (kl - 1) // kl, 0)
+    fma = fma + np.where(kl_split, acc * (kl - 1) // kl, 0)
+    bar = bar + np.where(
+        kl_split,
+        np.maximum(1, np.log2(np.maximum(kl, 1)).astype(np.int64)),
+        0,
+    )
+
+    # -- output epilogue -------------------------------------------------
+    out_per_thread = np.maximum(1, acc // kl)
+    kg_split = kg > 1
+    atom = np.where(kg_split, out_per_thread, 0)
+    stg = np.where(kg_split, 0, np.maximum(1, out_per_thread // vec))
+    iop = iop + 2 * (atom + stg)
+
+    # -- traffic ---------------------------------------------------------
+    run_a = np.where(soa.ta, ml, u)
+    run_b = np.where(soa.tb, u, nl)
+    ideal_a = ml * kb * dsize
+    ideal_b = nl * kb * dsize
+    mult_a = coalescing_multipliers(run_a, dsize, device)
+    mult_b = coalescing_multipliers(run_b, dsize, device)
+    ldg_bytes = ideal_a * mult_a + ideal_b * mult_b
+    ideal_bytes = (ideal_a + ideal_b).astype(np.float64)
+    st_bytes = ml * nl * dsize * np.where(kg_split, 2.0, 1.0)
+
+    mlp = np.maximum(1.0, mlp_iter.astype(np.float64)) * np.where(
+        db == 2, 1.5, 1.0
+    )
+    ilp = np.minimum(ms * ns * ks, 48).astype(np.float64)
+
+    counts = BlockCountsArrays(
+        fma=fma * threads,
+        iop=iop * threads,
+        ldg=ldg * threads,
+        stg=stg * threads,
+        atom=atom * threads,
+        lds=lds * threads,
+        sts=sts * threads,
+        bar=bar,
+        ldg_bytes=ldg_bytes,
+        ideal_ldg_bytes=ideal_bytes,
+        st_bytes=st_bytes,
+        flops_per_fma=flops_per_fma,
+        mlp=mlp,
+        ilp=ilp,
+    )
+
+    gm = _ceil_div(m_eff, ml)
+    gn = _ceil_div(n_eff, nl)
+    return LaunchArrays(
+        counts=counts,
+        grid_m=gm,
+        grid_n=gn,
+        kg=kg,
+        grid_size=gm * gn * kg,
+        threads_per_block=threads,
+        useful_flops=2 * soa.m * soa.n * k,
+        padded_flops=2 * gm * ml * gn * nl * k,
+        staged_bytes=db * (ml + nl) * u * kl * dsize,
+        staged_depth=u * kl,
+        a_bytes_frac=ml / (ml + nl),
+        dsize=dsize,
+    )
+
+
+def conv_launch_arrays(
+    device: DeviceSpec,
+    soa: ConvPairArrays,
+    *,
+    bounds_mode: str = "predicated",
+    allow_fp16x2: bool = True,
+) -> LaunchArrays:
+    """Batched ``ConvKernel.kernel_counts()`` plus launch-level quantities."""
+    _check_bounds_mode(bounds_mode)
+    u, cs, cl, cg, vec, db = soa.u, soa.cs, soa.cl, soa.cg, soa.vec, soa.db
+    dsize = soa.dsize
+    threads = soa.threads
+    tm, tn = soa.thread_m, soa.thread_n
+    bm, bn = soa.block_m, soa.block_n
+
+    crs_b = _ceil_div(soa.crs, cg)
+    iters = _ceil_div(crs_b, cl * u)
+
+    packed = (
+        allow_fp16x2
+        & np.bool_(device.fp16x2)
+        & (dsize == 2)
+        & (vec >= 2)
+        & (soa.kt % 2 == 0)
+    )
+    fma_iter = tm * tn * u
+    fma_iter = np.where(packed, fma_iter // 2, fma_iter)
+    flops_per_fma = np.where(packed, 4, 2)
+
+    widest = np.maximum(1, 16 // dsize)
+    sva = np.maximum(1, np.minimum(tm, widest))
+    svb = np.maximum(1, np.minimum(tn, widest))
+    lds_iter = u * (_ceil_div(tm, sva) + _ceil_div(tn, svb))
+
+    stage_elems = (bm + bn) * u * cl
+    ldg_iter = np.maximum(1, stage_elems // (threads * vec))
+    # Indirection-table lookup per staged I element (shared load + iadd).
+    i_stage_per_thread = np.maximum(1, (bm * u * cl) // threads)
+    lds_iter = lds_iter + i_stage_per_thread
+    sts_iter = np.maximum(1, stage_elems // threads)  # scrambled: scalar stores
+
+    iop_iter = 2 * ldg_iter + i_stage_per_thread + 4
+    if bounds_mode == "predicated":
+        iop_iter = iop_iter + np.maximum(
+            1, (0.2 * ldg_iter).astype(np.int64)
+        )
+    elif bounds_mode == "checked":
+        iop_iter = iop_iter + 4 * ldg_iter + 2
+
+    bar_iter = np.where(db == 2, 1, 2)
+
+    fma = fma_iter * iters
+    lds = lds_iter * iters
+    ldg = ldg_iter * iters
+    sts = sts_iter * iters
+    iop = iop_iter * iters + 60
+    bar = bar_iter * iters
+
+    # Indirection-table build: U*CL entries of (c, r, s) decomposition,
+    # ~4 integer ops and one shared store each, spread across the block.
+    table_entries = u * cl
+    iop = iop + np.maximum(1, 4 * table_entries // threads)
+    sts = sts + np.maximum(1, table_entries // threads)
+
+    acc = tm * tn
+    cl_split = cl > 1
+    sts = sts + np.where(cl_split, acc, 0)
+    lds = lds + np.where(cl_split, acc * (cl - 1) // cl, 0)
+    fma = fma + np.where(cl_split, acc * (cl - 1) // cl, 0)
+    # int.bit_length() - 1 == floor(log2) for positive values.
+    bar = bar + np.where(
+        cl_split,
+        np.maximum(
+            1, np.floor(np.log2(np.maximum(cl, 1))).astype(np.int64)
+        ),
+        0,
+    )
+
+    out_per_thread = np.maximum(1, acc // cl)
+    cg_split = cg > 1
+    atom = np.where(cg_split, out_per_thread, 0)
+    stg = np.where(cg_split, 0, np.maximum(1, out_per_thread // vec))
+    iop = iop + 2 * (atom + stg)
+
+    # Traffic.  I is C x H x W x N (batch-contiguous), F is C x R x S x K
+    # (channel-contiguous), O is K x P x Q x N (batch-contiguous).
+    run_i = np.where(soa.n > 1, soa.nb, soa.qb)
+    run_f = soa.kb
+    ideal_i = bm * crs_b * dsize
+    ideal_f = bn * crs_b * dsize
+    mult_i = coalescing_multipliers(run_i, dsize, device)
+    mult_f = coalescing_multipliers(run_f, dsize, device)
+    ldg_bytes = ideal_i * mult_i + ideal_f * mult_f
+    ideal_bytes = (ideal_i + ideal_f).astype(np.float64)
+    st_bytes = bm * bn * dsize * np.where(cg_split, 2.0, 1.0)
+
+    mlp = np.maximum(1.0, ldg_iter.astype(np.float64)) * np.where(
+        db == 2, 1.5, 1.0
+    )
+    ilp = np.minimum(acc * cs, 48).astype(np.float64)
+
+    counts = BlockCountsArrays(
+        fma=fma * threads,
+        iop=iop * threads,
+        ldg=ldg * threads,
+        stg=stg * threads,
+        atom=atom * threads,
+        lds=lds * threads,
+        sts=sts * threads,
+        bar=bar,
+        ldg_bytes=ldg_bytes,
+        ideal_ldg_bytes=ideal_bytes,
+        st_bytes=st_bytes,
+        flops_per_fma=flops_per_fma,
+        mlp=mlp,
+        ilp=ilp,
+    )
+
+    gk = _ceil_div(soa.k, soa.kb)
+    gp = _ceil_div(soa.p, soa.pb)
+    gq = _ceil_div(soa.q, soa.qb)
+    gn = _ceil_div(soa.n, soa.nb)
+    # Implicit-GEMM grid: NPQ tiles x K tiles.
+    covered = gk * soa.kb * gp * soa.pb * gq * soa.qb * gn * soa.nb
+    return LaunchArrays(
+        counts=counts,
+        grid_m=gp * gq * gn,
+        grid_n=gk,
+        kg=cg,
+        grid_size=gk * gp * gq * gn * cg,
+        threads_per_block=threads,
+        useful_flops=2 * soa.k * soa.p * soa.q * soa.n * soa.c * soa.r * soa.s,
+        padded_flops=2 * covered * soa.crs,
+        staged_bytes=db * (bm + bn) * u * cl * dsize,
+        staged_depth=u * cl,
+        a_bytes_frac=bm / (bm + bn),
+        dsize=dsize,
+    )

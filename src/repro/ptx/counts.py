@@ -10,7 +10,9 @@ a textual kernel for inspection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,6 +91,60 @@ class BlockCounts:
             flops_per_fma=self.flops_per_fma,
             mlp=self.mlp,
             ilp=self.ilp,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class BlockCountsArrays:
+    """Struct-of-arrays :class:`BlockCounts` for a batch of kernels.
+
+    Produced by the vectorized counts extraction
+    (:mod:`repro.ptx.batch_counts`) and consumed by the batched simulator:
+    one int64/float64 column per :class:`BlockCounts` field, all parallel.
+    """
+
+    fma: np.ndarray
+    iop: np.ndarray
+    ldg: np.ndarray
+    stg: np.ndarray
+    atom: np.ndarray
+    lds: np.ndarray
+    sts: np.ndarray
+    bar: np.ndarray
+    ldg_bytes: np.ndarray
+    ideal_ldg_bytes: np.ndarray
+    st_bytes: np.ndarray
+    flops_per_fma: np.ndarray
+    mlp: np.ndarray
+    ilp: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.fma)
+
+    @property
+    def flops(self) -> np.ndarray:
+        return self.fma * self.flops_per_fma
+
+    @property
+    def smem_ops(self) -> np.ndarray:
+        return self.lds + self.sts
+
+    def row(self, i: int) -> BlockCounts:
+        return BlockCounts(
+            fma=int(self.fma[i]),
+            iop=int(self.iop[i]),
+            ldg=int(self.ldg[i]),
+            stg=int(self.stg[i]),
+            atom=int(self.atom[i]),
+            lds=int(self.lds[i]),
+            sts=int(self.sts[i]),
+            bar=int(self.bar[i]),
+            ldg_bytes=float(self.ldg_bytes[i]),
+            ideal_ldg_bytes=float(self.ideal_ldg_bytes[i]),
+            st_bytes=float(self.st_bytes[i]),
+            flops_per_fma=int(self.flops_per_fma[i]),
+            mlp=float(self.mlp[i]),
+            ilp=float(self.ilp[i]),
         )
 
 

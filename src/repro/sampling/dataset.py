@@ -183,6 +183,57 @@ def _make_accept(device: DeviceSpec, op: str | OpSpec, dtype: DType):
     return lambda pt: spec.is_legal(spec.config_from_point(pt), dtype, device)
 
 
+#: Rejection-sampling effort cap, per requested sample (mirrors
+#: CategoricalModel.sample_legal's max_tries).
+_MAX_DRAWS_PER_SAMPLE = 1000
+
+
+def _sample_legal_configs(
+    device: DeviceSpec,
+    spec: OpSpec,
+    model: CategoricalModel,
+    dtype: DType,
+    count: int,
+    rng: np.random.Generator,
+) -> list:
+    """``count`` legal configs of one dtype via batched rejection sampling.
+
+    Draws struct-of-arrays batches from the generative model and filters
+    them through the op's vectorized legality mask; falls back to per-point
+    :meth:`~repro.sampling.generative.CategoricalModel.sample_legal` when
+    either side lacks the batched API.
+    """
+    if spec.legal_mask is None or not hasattr(model, "sample_batch"):
+        accept = _make_accept(device, spec, dtype)
+        return [
+            spec.config_from_point(model.sample_legal(accept, rng))
+            for _ in range(count)
+        ]
+    out: list = []
+    draws = 0
+    max_draws = max(10_000, _MAX_DRAWS_PER_SAMPLE * count)
+    while len(out) < count and draws < max_draws:
+        batch_n = min(max(256, 4 * (count - len(out))), 65_536)
+        cols = model.sample_batch(batch_n, rng)
+        draws += batch_n
+        mask = spec.legal_mask(device, cols, dtype)
+        names = tuple(cols)
+        for j in np.flatnonzero(mask):
+            out.append(
+                spec.config_from_point(
+                    {name: int(cols[name][j]) for name in names}
+                )
+            )
+            if len(out) == count:
+                break
+    if len(out) < count:
+        raise RuntimeError(
+            f"only {len(out)}/{count} legal samples in {draws} draws — "
+            "acceptance collapsed?"
+        )
+    return out
+
+
 def generate_dataset(
     device: DeviceSpec,
     op: str | OpSpec,
@@ -194,12 +245,24 @@ def generate_dataset(
     sigma: float = DEFAULT_SIGMA,
     reps: int = 1,
     dtypes: Sequence[DType] | None = None,
+    batched: bool = True,
 ) -> Dataset:
     """Benchmark ``n`` random legal kernels of ``op`` on the simulated device.
 
     Everything op-specific — the shape sampler, the tuning space behind the
     generative model, legality, the simulator benchmark and the feature
     encoding — comes from the op's :class:`~repro.core.ops.OpSpec`.
+
+    The default path is *sample shapes, then batch-evaluate*: all ``n``
+    shapes are drawn first, configs are batch-rejection-sampled per dtype
+    through the op's vectorized legality mask, and one
+    ``OpSpec.benchmark_pairs`` call prices the whole batch through the
+    array-core simulator.  ``batched=False`` runs the legacy per-sample
+    loop instead, whose RNG consumption order (shape, then config, per
+    sample) is preserved exactly — a fixed seed reproduces pre-batching
+    datasets bit for bit.  Both paths are deterministic for a fixed seed;
+    they draw the same distribution but consume the RNG in different
+    orders, so their datasets differ sample-by-sample.
     """
     spec = get_op(op)
     dtypes = spec.default_dtypes if dtypes is None else tuple(dtypes)
@@ -208,11 +271,77 @@ def generate_dataset(
         device, op=spec, dtypes=dtypes, rng=rng
     )
     feature_names = spec.feature_names
+    if not batched:
+        return _generate_dataset_loop(
+            device, spec, n, rng,
+            samplers=samplers, shape_sampler=shape_sampler,
+            sigma=sigma, reps=reps,
+        )
+
+    shapes = [shape_sampler(rng) for _ in range(n)]
+    configs: list = [None] * n
+    by_dtype: dict[DType, list[int]] = {}
+    for i, shape in enumerate(shapes):
+        by_dtype.setdefault(shape.dtype, []).append(i)
+    for dt, idxs in by_dtype.items():
+        cfgs = _sample_legal_configs(
+            device, spec, samplers[dt], dt, len(idxs), rng
+        )
+        for i, cfg in zip(idxs, cfgs):
+            configs[i] = cfg
+
+    if n == 0:
+        return Dataset(
+            np.empty((0, len(feature_names))), np.empty(0), feature_names
+        )
+    tflops = spec.benchmark_pairs(
+        device, configs, shapes, reps=reps, sigma=sigma
+    )
+    bad = np.isnan(tflops)
+    if bad.any():
+        raise RuntimeError(
+            f"{int(bad.sum())} sampled configs were illegal under the "
+            "batched simulator — legality mask and simulator disagree"
+        )
+    xs = np.concatenate(
+        [
+            spec.config_matrix(configs, False),
+            np.stack([spec.shape_vector(s, False) for s in shapes]),
+        ],
+        axis=1,
+    )
+    ys = np.log2(np.maximum(tflops, 1e-6))
+    return Dataset(xs, ys, feature_names)
+
+
+def _generate_dataset_loop(
+    device: DeviceSpec,
+    spec: OpSpec,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    samplers: dict[DType, CategoricalModel],
+    shape_sampler: Callable[[np.random.Generator], object],
+    sigma: float,
+    reps: int,
+) -> Dataset:
+    """Legacy per-sample path: one shape, one config, one benchmark per trip.
+
+    Kept as the reference the batched path is benchmarked against, and for
+    samplers without a batch API.  The acceptance closures are built once
+    per dtype up front rather than once per sample.
+    """
+    feature_names = spec.feature_names
+    accepts: dict[DType, Callable] = {}
     xs = np.empty((n, len(feature_names)))
     ys = np.empty(n)
     for i in range(n):
         shape = shape_sampler(rng)
-        accept = _make_accept(device, spec, shape.dtype)
+        accept = accepts.get(shape.dtype)
+        if accept is None:
+            accept = accepts.setdefault(
+                shape.dtype, _make_accept(device, spec, shape.dtype)
+            )
         point = samplers[shape.dtype].sample_legal(accept, rng)
         cfg = spec.config_from_point(point)
         tflops = spec.benchmark(device, cfg, shape, reps=reps, sigma=sigma)
@@ -231,12 +360,13 @@ def generate_gemm_dataset(
     sigma: float = DEFAULT_SIGMA,
     reps: int = 1,
     dtypes: Sequence[DType] = (DType.FP32, DType.FP16, DType.FP64),
+    batched: bool = True,
 ) -> Dataset:
     """Benchmark ``n`` random legal GEMM kernels on the simulated device."""
     return generate_dataset(
         device, "gemm", n, rng,
         samplers=samplers, shape_sampler=shape_sampler,
-        sigma=sigma, reps=reps, dtypes=dtypes,
+        sigma=sigma, reps=reps, dtypes=dtypes, batched=batched,
     )
 
 
@@ -250,10 +380,11 @@ def generate_conv_dataset(
     sigma: float = DEFAULT_SIGMA,
     reps: int = 1,
     dtypes: Sequence[DType] = (DType.FP32, DType.FP16),
+    batched: bool = True,
 ) -> Dataset:
     """Benchmark ``n`` random legal CONV kernels on the simulated device."""
     return generate_dataset(
         device, "conv", n, rng,
         samplers=samplers, shape_sampler=shape_sampler,
-        sigma=sigma, reps=reps, dtypes=dtypes,
+        sigma=sigma, reps=reps, dtypes=dtypes, batched=batched,
     )

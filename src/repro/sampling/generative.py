@@ -114,6 +114,25 @@ class CategoricalModel:
             out[name] = int(self._values[name][idx])
         return out
 
+    def sample_batch(
+        self, n: int, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Draw ``n`` configurations at once, struct-of-arrays.
+
+        Returns one int64 column per parameter (rows are independent draws
+        from the factored model) — the shape the vectorized legality masks
+        consume.  One ``rng.choice`` call per parameter replaces ``n * N``
+        scalar draws, which is what makes batched rejection sampling in
+        the dataset generator an order of magnitude faster than per-point
+        :meth:`sample_legal`.
+        """
+        out: dict[str, np.ndarray] = {}
+        for name in self._names:
+            p = self.probabilities(name)
+            idx = rng.choice(len(p), size=n, p=p)
+            out[name] = np.asarray(self._values[name], dtype=np.int64)[idx]
+        return out
+
     def sample_legal(
         self,
         accept: Callable[[Mapping[str, int]], bool],
