@@ -9,11 +9,14 @@ shape-feature vector and runs the remaining layers chunk-wise;
 cache-resident chunk.
 
 This bench times all three paths over the full GEMM candidate set and
-asserts the pre-scaled path is at least 2x faster per repeated query.
+asserts the pre-scaled path is at least 2x faster per repeated query
+(REPRO_BENCH_SMOKE=1 relaxes the floor to 1.5x for noisy CI runners).
 Model quality is irrelevant to latency, so the fit is trained at a tiny
-budget.
+budget.  With ``--json`` the numbers land in ``BENCH_search_latency.json``
+(repo root and benchmarks/results/) for cross-PR trend tracking.
 """
 
+import os
 import time
 
 import numpy as np
@@ -23,6 +26,9 @@ from repro.gpu.device import TESLA_P100
 from repro.inference.search import ExhaustiveSearch, Prediction
 from repro.mlp.crossval import fit_regressor
 from repro.sampling.dataset import fit_generative_models, generate_dataset
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SPEEDUP_FLOOR = 1.5 if SMOKE else 2.0
 
 QUERY_SHAPES = [
     GemmShape(2048, 2048, 2048, DType.FP32, False, True),
@@ -94,15 +100,30 @@ def test_bench_search_latency(results_recorder):
         f"  pre-scaled top_k_batch               : {batch_ms:8.2f} ms/query"
         f"  ({seed_ms / batch_ms:.2f}x)",
     ])
-    results_recorder("bench_search_latency", text)
+    results_recorder(
+        "search_latency",
+        text,
+        data={
+            "device": "Tesla P100",
+            "op": "gemm",
+            "smoke": SMOKE,
+            "n_candidates": n_candidates,
+            "n_query_shapes": len(QUERY_SHAPES),
+            "seed_ms_per_query": seed_ms,
+            "prescaled_ms_per_query": fast_ms,
+            "batch_ms_per_query": batch_ms,
+            "prescaled_speedup": seed_ms / fast_ms,
+            "batch_speedup": seed_ms / batch_ms,
+        },
+    )
 
-    assert seed_ms / fast_ms >= 2.0
+    assert seed_ms / fast_ms >= SPEEDUP_FLOOR
     assert batch_ms <= fast_ms * 1.2  # batching never loses
 
 
 if __name__ == "__main__":
     class _Echo:
-        def __call__(self, exp_id, text):
+        def __call__(self, exp_id, text, data=None):
             print(text)
 
     test_bench_search_latency(_Echo())

@@ -23,6 +23,11 @@ from repro.gpu.device import GTX_980_TI, TESLA_P100
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Machine-readable BENCH_*.json also lands at the repo root — the
+#: canonical location trend tooling diffs across PRs (results/ keeps a
+#: copy so the CI artifact stays one directory).
+REPO_ROOT = Path(__file__).parent.parent
+
 N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "12000"))
 N_CONV_SAMPLES = int(os.environ.get("REPRO_BENCH_CONV_SAMPLES", "8000"))
 
@@ -47,9 +52,9 @@ def record(exp_id: str, text: str, data: dict | None = None) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
     if data is not None and record.emit_json:
-        (RESULTS_DIR / f"BENCH_{exp_id}.json").write_text(
-            json.dumps(data, indent=2, sort_keys=True) + "\n"
-        )
+        payload = json.dumps(data, indent=2, sort_keys=True) + "\n"
+        (RESULTS_DIR / f"BENCH_{exp_id}.json").write_text(payload)
+        (REPO_ROOT / f"BENCH_{exp_id}.json").write_text(payload)
     print(f"\n{text}\n")
 
 

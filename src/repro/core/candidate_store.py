@@ -1,0 +1,213 @@
+"""On-disk store of enumerated candidate sets (the cold-start killer).
+
+Enumerating a tuning space — even vectorized — and generating per-bucket
+CONV candidates is work a fresh process should not repeat: the surviving
+tuning-parameter *columns* fully determine the candidate list and its
+log-feature matrix (bit-for-bit; see
+:meth:`repro.inference.search.CandidateRecord.materialize`).  This module
+persists exactly those columns, one ``.npz`` per cache key, in a
+directory next to the :class:`~repro.core.profile_cache.ProfileCache`.
+
+Two kinds of record round-trip:
+
+* ``enum`` — a full (op, device, dtype, space) enumeration from
+  :func:`repro.inference.search.legal_configs`;
+* ``conv-bucket`` — a per-pow2-bucket CONV candidate set from
+  :func:`repro.inference.conv_search.conv_candidates_batch`.
+
+``load()`` seeds the in-process caches with params-only records (config
+objects stay lazy until first use), so a warmed directory makes cold
+start perform **zero** product-space enumeration.  ``save()`` writes any
+cache entry not yet on disk; records are immutable, so existing files are
+never rewritten.  The :class:`~repro.service.engine.Engine` loads the
+store on construction and saves it on ``warmup()`` / ``close()``.
+
+Staleness is guarded three ways: files from another store ``_VERSION``
+are ignored, records whose columns no longer cover the op's config
+schema are skipped at load, and every record carries the space value
+sets it was enumerated from — the caches re-enumerate on mismatch
+rather than serving a pre-edit candidate set.
+
+The candidate caches are process-global (they are keyed by device /
+dtype / space, not by engine), so ``save()`` persists everything the
+process has enumerated — two engines sharing a process may write each
+other's (valid) records, which is intended: the store is a shared
+artifact, like the caches behind it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Hashable, Mapping
+
+import numpy as np
+
+_KIND_ENUM = "enum"
+_KIND_CONV = "conv-bucket"
+
+#: Store format version.  Bump it whenever the record layout *or the
+#: legality semantics* change: files with another version are ignored and
+#: regenerate.  (Space-value edits need no bump — every record carries
+#: the value sets it was enumerated from, and the caches re-enumerate on
+#: mismatch.)
+_VERSION = 1
+
+
+def _encode_space(space_params: tuple | None) -> list | None:
+    if space_params is None:
+        return None
+    return [[name, list(vals)] for name, vals in space_params]
+
+
+def _decode_space(encoded: list | None) -> tuple | None:
+    if encoded is None:
+        return None
+    return tuple((name, tuple(vals)) for name, vals in encoded)
+
+
+def _slug(part: object) -> str:
+    return re.sub(r"[^a-z0-9_.]+", "-", str(part).lower()).strip("-")
+
+
+class CandidateStore:
+    """A directory of ``.npz`` candidate-set records keyed like the caches."""
+
+    def __init__(self, directory: str | Path):
+        self._dir = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def files(self) -> list[Path]:
+        if not self._dir.is_dir():
+            return []
+        return sorted(self._dir.glob("*.npz"))
+
+    def __len__(self) -> int:
+        return len(self.files())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _filename(kind: str, key: Hashable) -> str:
+        parts = "--".join(_slug(p) for p in key)
+        return f"{kind}--{parts}.npz"
+
+    def _write(
+        self,
+        path: Path,
+        kind: str,
+        key: Hashable,
+        op: str,
+        params: Mapping[str, np.ndarray],
+        space_params: tuple | None,
+    ) -> None:
+        """Atomic write: a crash mid-save never leaves a torn record."""
+        meta = json.dumps(
+            {
+                "version": _VERSION,
+                "kind": kind,
+                "op": op,
+                "key": list(key),
+                "space": _encode_space(space_params),
+            }
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self._dir, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez(f, __meta__=np.array(meta), **params)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """Seed the in-process candidate caches from disk.
+
+        Returns the number of records seeded (keys already cached in
+        memory keep their entry).  Unreadable files are skipped — the
+        corresponding set simply re-enumerates and is re-saved later.
+        """
+        from repro.core.ops import get_op, registered_ops
+        from repro.inference.conv_search import seed_bucket_record
+        from repro.inference.search import seed_enum_record
+
+        seeded = 0
+        for path in self.files():
+            try:
+                with np.load(path, allow_pickle=False) as z:
+                    meta = json.loads(str(z["__meta__"]))
+                    params = {
+                        name: z[name] for name in z.files if name != "__meta__"
+                    }
+            except (OSError, ValueError, KeyError,
+                    zipfile.BadZipFile) as exc:
+                import warnings
+
+                warnings.warn(
+                    f"skipping unreadable candidate record {path}: {exc}",
+                    stacklevel=2,
+                )
+                continue
+            if meta.get("version") != _VERSION:
+                continue
+            op = meta.get("op", meta["key"][0])
+            if op not in registered_ops():
+                continue  # op from another process/run; nothing to seed
+            spec = get_op(op)
+            if not set(spec.config_type.param_names()) <= set(params):
+                continue  # columns predate a config-schema change
+            key = tuple(meta["key"])
+            space_params = _decode_space(meta.get("space"))
+            if meta.get("kind") == _KIND_CONV:
+                seeded += seed_bucket_record(key, params, space_params)
+            else:
+                seeded += seed_enum_record(key, op, params, space_params)
+        return seeded
+
+    def save(self) -> int:
+        """Persist every in-memory candidate set not yet on disk."""
+        from repro.core.ops import get_op, registered_ops
+        from repro.core.soa import config_columns
+        from repro.inference.conv_search import bucket_cache_snapshot
+        from repro.inference.search import enum_cache_snapshot
+
+        records = [
+            (_KIND_ENUM, key, rec)
+            for key, rec in enum_cache_snapshot().items()
+        ]
+        records += [
+            (_KIND_CONV, key, rec)
+            for key, rec in bucket_cache_snapshot().items()
+        ]
+        written = 0
+        for kind, key, rec in records:
+            if rec.op not in registered_ops():
+                continue  # transient op (e.g. a test spec since removed)
+            path = self._dir / self._filename(kind, key)
+            if path.exists():
+                continue
+            params = rec.params
+            if params is None:
+                # Scalar-path record: recover the columns from the objects.
+                if not rec.configs:
+                    continue
+                spec = get_op(rec.op)
+                params = config_columns(
+                    rec.configs, spec.config_type.param_names()
+                )
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._write(path, kind, key, rec.op, params, rec.space_params)
+            written += 1
+        return written

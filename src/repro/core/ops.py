@@ -9,7 +9,10 @@ bundles the per-operation ingredients that pipeline consumes:
 * the tuning :class:`~repro.core.space.ParamSpace` the generative model
   samples from, and the legality predicate carving X out of X̂;
 * feature extractors mapping configs/shapes to the MLP's design matrix;
-* a candidate enumerator for the runtime search;
+* a candidate supply for the runtime search — scalar (``candidates``)
+  plus the array-native ``candidates_batch`` slot returning configs and
+  their log-feature matrix from one cached, vectorized pass, with
+  ``candidate_key`` defining the cache bucket for per-shape generators;
 * the simulator benchmark functions standing in for kernel launches —
   scalar and, for ops that register one, batched (``benchmark_many``
   evaluates N (config, shape) pairs per call through the array-core
@@ -79,6 +82,23 @@ class OpSpec:
     #: Vectorized legality: ``legal_mask(device, params, dtype) -> bool[]``
     #: over a name->column mapping (one row per candidate config).
     legal_mask: Callable[..., np.ndarray] | None = None
+    #: Array-native candidate supply:
+    #: ``candidates_batch(device, shape, space=None) -> (configs, matrix)``
+    #: returns the candidate list *and* its log-feature matrix in one call
+    #: (vectorized enumeration / generation + shared caching behind it).
+    #: Ops without one fall back to the scalar ``candidates`` generator
+    #: plus a per-search ``config_matrix`` build.
+    candidates_batch: Callable[..., tuple[list, np.ndarray]] | None = None
+    #: Overrides :meth:`candidate_cache_key` for non-enumerable ops whose
+    #: candidate set depends on the shape only through a coarser bucket
+    #: (CONV: the pow2 extents its tile factorization actually reads), so
+    #: searches share one candidate set across all shapes of a bucket.
+    candidate_key: Callable[..., Hashable] | None = None
+    #: Vectorized feature extraction over struct-of-arrays columns:
+    #: ``config_matrix_from_params(params, log=True) -> ndarray``,
+    #: bit-identical to ``config_matrix`` over the same configs.  Set only
+    #: by ops whose config features are exactly the raw tuning parameters.
+    config_matrix_from_params: Callable[..., np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +171,8 @@ class OpSpec:
         if self.enumerable:
             sp = space or self.space
             return (self.name, device.name, shape.dtype.name, sp.name)
+        if self.candidate_key is not None:
+            return self.candidate_key(device, shape, space)
         return (self.name, device.name, shape)
 
     def profile_key(self, device_name: str, shape) -> str:
@@ -209,10 +231,41 @@ def _gemm_candidates(device: DeviceSpec, shape, space=None) -> list:
     return legal_configs(device, shape.dtype, "gemm", space)[0]
 
 
+def _gemm_candidates_batch(
+    device: DeviceSpec, shape, space=None
+) -> tuple[list, np.ndarray]:
+    from repro.inference.search import legal_configs
+
+    return legal_configs(device, shape.dtype, "gemm", space)
+
+
 def _conv_candidates(device: DeviceSpec, shape, space=None) -> list:
     from repro.inference.conv_search import conv_candidates
 
     return conv_candidates(device, shape)
+
+
+def _conv_candidates_batch(
+    device: DeviceSpec, shape, space=None
+) -> tuple[list, np.ndarray]:
+    from repro.inference.conv_search import conv_candidates_batch
+
+    return conv_candidates_batch(device, shape)
+
+
+def _conv_candidate_key(device: DeviceSpec, shape, space=None) -> Hashable:
+    from repro.inference.conv_search import conv_bucket_key
+
+    return conv_bucket_key(device, shape)
+
+
+def _params_matrix(feature_names: tuple[str, ...]) -> Callable:
+    from repro.sampling.features import config_matrix_from_params
+
+    def build(params, log: bool = True) -> np.ndarray:
+        return config_matrix_from_params(params, feature_names, log)
+
+    return build
 
 
 def _make_gemm_spec() -> OpSpec:
@@ -263,6 +316,8 @@ def _make_gemm_spec() -> OpSpec:
         benchmark_many=benchmark_gemm_many,
         simulate_many=simulate_gemm_many,
         legal_mask=gemm_legal_mask,
+        candidates_batch=_gemm_candidates_batch,
+        config_matrix_from_params=_params_matrix(GEMM_CONFIG_FEATURES),
     )
 
 
@@ -314,6 +369,9 @@ def _make_conv_spec() -> OpSpec:
         benchmark_many=benchmark_conv_many,
         simulate_many=simulate_conv_many,
         legal_mask=conv_legal_mask,
+        candidates_batch=_conv_candidates_batch,
+        candidate_key=_conv_candidate_key,
+        config_matrix_from_params=_params_matrix(CONV_CONFIG_FEATURES),
     )
 
 
@@ -373,6 +431,8 @@ def _make_bgemm_spec() -> OpSpec:
         benchmark_many=benchmark_bgemm_many,
         simulate_many=simulate_bgemm_many,
         legal_mask=gemm_legal_mask,
+        candidates_batch=_gemm_candidates_batch,
+        config_matrix_from_params=_params_matrix(GEMM_CONFIG_FEATURES),
     )
 
 

@@ -13,6 +13,7 @@ throughput models key on.
 
 from __future__ import annotations
 
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -24,6 +25,93 @@ from repro.core.types import ConvShape, GemmShape
 
 def _column(objs: Sequence, attr: str) -> np.ndarray:
     return np.array([getattr(o, attr) for o in objs], dtype=np.int64)
+
+
+def config_columns(
+    configs: Sequence, param_names: tuple[str, ...] | None = None
+) -> dict[str, np.ndarray]:
+    """Tuning-parameter columns (one int64 array each) for N configs.
+
+    The inverse of :func:`configs_from_columns`; used when a candidate set
+    produced by the scalar path must be persisted in array form.
+    """
+    if param_names is None:
+        param_names = type(configs[0]).param_names()
+    return {n: _column(configs, n) for n in param_names}
+
+
+def configs_from_columns(
+    config_type: type, params: dict[str, np.ndarray]
+) -> list:
+    """Materialize config objects from struct-of-arrays columns.
+
+    Columns are consumed in ``param_names`` (= dataclass field) order, so
+    the positional constructor applies; ``tolist`` hands the constructor
+    native ints.  Row ``i`` equals ``config_type.from_dict(point_i)`` for
+    the corresponding space point.
+    """
+    names = config_type.param_names()
+    cols = [np.asarray(params[n]).tolist() for n in names]
+    return [config_type(*row) for row in zip(*cols)]
+
+
+class LazyConfigList(_SequenceABC):
+    """An immutable config sequence materialized per index from columns.
+
+    A candidate set can run to ~10^5 rows, but the runtime search only
+    ever *touches* its top-k slice — building every frozen dataclass up
+    front costs more than the whole vectorized enumeration.  This view
+    keeps the struct-of-arrays columns (shared with the cache record, no
+    copy) and constructs a config exactly when one is indexed.  Equality
+    against any sequence compares element-wise, so parity tests see a
+    plain list of configs.
+    """
+
+    __slots__ = ("_type", "_cols", "_items")
+
+    def __init__(self, config_type: type, params: dict[str, np.ndarray]):
+        self._type = config_type
+        self._cols = tuple(
+            np.asarray(params[n]) for n in config_type.param_names()
+        )
+        self._items: list | None = None
+
+    def __len__(self) -> int:
+        return len(self._cols[0]) if self._cols else 0
+
+    def __getitem__(self, i):
+        if self._items is not None:
+            return self._items[i]
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        return self._type(*(int(c[i]) for c in self._cols))
+
+    def __iter__(self):
+        # Full traversals (feature builds, filters, parity compares) are
+        # memoized so repeat passes don't reconstruct every object;
+        # point lookups above stay allocation-free.
+        if self._items is None:
+            cols = [c.tolist() for c in self._cols]
+            self._items = [self._type(*row) for row in zip(*cols)]
+        return iter(self._items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, _SequenceABC):
+            return NotImplemented
+        return len(self) == len(other) and all(
+            a == b for a, b in zip(self, other)
+        )
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    __hash__ = None  # mutable-compare semantics, like list
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyConfigList({self._type.__name__}, n={len(self)})"
+        )
 
 
 @dataclass(frozen=True)

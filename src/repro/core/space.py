@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
+import numpy as np
+
 from repro.core.config import ConvConfig, GemmConfig
 
 
@@ -45,6 +47,20 @@ class ParamSpace:
         names = self.names
         for combo in itertools.product(*(v for _, v in self.params)):
             yield dict(zip(names, combo))
+
+    def grid(self) -> dict[str, np.ndarray]:
+        """The full X̂ as struct-of-arrays columns, one int64 array per
+        parameter, in exactly :meth:`iter_points` order (row-major product).
+
+        This is the array-native form the vectorized candidate pipeline
+        consumes: ``spec.legal_mask`` filters all of X̂ in one call instead
+        of one ``is_legal`` per point.
+        """
+        arrays = np.meshgrid(
+            *(np.asarray(v, dtype=np.int64) for _, v in self.params),
+            indexing="ij",
+        )
+        return {n: a.reshape(-1) for n, a in zip(self.names, arrays)}
 
     def contains(self, point: Mapping[str, int]) -> bool:
         return all(point.get(n) in vals for n, vals in self.params)

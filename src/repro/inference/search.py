@@ -26,21 +26,18 @@ pushing many query shapes through each cache-resident chunk of ``H0``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.ops import OpSpec, get_op
+from repro.core.soa import LazyConfigList
 from repro.core.space import ParamSpace
 from repro.core.types import DType
 from repro.gpu.device import DeviceSpec
 from repro.mlp.crossval import FitResult
-
-#: Enumerated candidate sets + their log-feature matrices, shared by every
-#: search over the same (op, device, dtype, space).  Keyed by
-#: OpSpec.candidate_cache_key, so only dtype-enumerable ops land here.
-_LEGAL_CACHE: dict[Hashable, tuple[list, np.ndarray]] = {}
 
 #: Rows per chunk of the folded evaluation: intermediates stay cache-resident
 #: (8192 x 64 float64 = 4 MiB) instead of streaming through DRAM.
@@ -49,6 +46,219 @@ _CHUNK_ROWS = 8192
 #: Cap on (query shapes x candidates) prediction elements materialized at
 #: once by top_k_batch (32M float64 = 256 MiB).
 _BATCH_BLOCK_ELEMS = 32_000_000
+
+
+# ----------------------------------------------------------------------
+# Candidate records and the once-per-key cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CandidateRecord:
+    """One cached candidate set, in array and (lazily) object form.
+
+    ``params`` holds the surviving tuning-parameter columns of the
+    vectorized enumeration — the persistable form the on-disk candidate
+    store round-trips.  ``configs``/``matrix`` are materialized from the
+    columns on first use (or populated directly by the scalar fallback,
+    in which case ``params`` may be None).  ``space_params`` remembers
+    the value sets the set was enumerated from, so a record persisted
+    before a :class:`~repro.core.space.ParamSpace` edit is detected as
+    stale and re-enumerated instead of silently served.
+    """
+
+    op: str
+    params: dict[str, np.ndarray] | None = None
+    matrix: np.ndarray | None = None
+    configs: list | None = None
+    space_params: tuple | None = None
+
+    @property
+    def ready(self) -> bool:
+        return self.configs is not None and self.matrix is not None
+
+    def materialize(self) -> "CandidateRecord":
+        """Build configs + log-feature matrix from the stored columns.
+
+        Bit-identical to the scalar path: the columns preserve
+        ``iter_points`` ordering and the matrix applies the same float64
+        log transform (``tests`` and ``bench_cold_start`` assert it).
+        The configs sequence is a :class:`LazyConfigList` — objects are
+        constructed only for the rows a search actually touches (its
+        top-k slice), never for the whole 10^5-row set.
+        """
+        spec = get_op(self.op)
+        if self.matrix is None and self.params is not None:
+            builder = spec.config_matrix_from_params
+            if builder is not None:
+                self.matrix = builder(self.params, log=True)
+        if self.configs is None:
+            self.configs = LazyConfigList(spec.config_type, self.params)
+        if self.matrix is None:  # op without a columns-native builder
+            self.matrix = spec.config_matrix(self.configs, log=True)
+        return self
+
+
+class KeyedRecordCache:
+    """A thread-safe map of :class:`CandidateRecord` built once per key.
+
+    Concurrent callers of the same key elect one builder (per-key locks);
+    different keys build in parallel.  ``seed`` publishes a params-only
+    record (e.g. loaded from the on-disk candidate store) without racing
+    an in-flight enumeration.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records: dict[Hashable, CandidateRecord] = {}
+        self._key_locks: dict[Hashable, threading.Lock] = {}
+
+    def get(
+        self,
+        key: Hashable,
+        build: Callable[[], CandidateRecord],
+        validate: Callable[[CandidateRecord], bool] | None = None,
+    ) -> CandidateRecord:
+        with self._lock:
+            rec = self._records.get(key)
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        if rec is not None and rec.ready and (
+            validate is None or validate(rec)
+        ):
+            return rec
+        with key_lock:
+            with self._lock:
+                rec = self._records.get(key)
+            if rec is not None and validate is not None and not validate(rec):
+                rec = None  # stale (e.g. space contents changed): rebuild
+            if rec is not None and not rec.ready:
+                try:
+                    rec.materialize()
+                except Exception as exc:
+                    # A seeded record that cannot materialize (e.g. a
+                    # stale on-disk schema) must not poison the key.
+                    import warnings
+
+                    warnings.warn(
+                        f"discarding unusable candidate record {key}: "
+                        f"{exc}",
+                        stacklevel=3,
+                    )
+                    rec = None
+            if rec is None:
+                rec = build().materialize()
+            with self._lock:
+                self._records[key] = rec
+            return rec
+
+    def peek(self, key: Hashable) -> CandidateRecord | None:
+        """The ready record for ``key``, or None — never builds."""
+        with self._lock:
+            rec = self._records.get(key)
+        return rec if rec is not None and rec.ready else None
+
+    def seed(self, key: Hashable, record: CandidateRecord) -> bool:
+        """Publish a record if the key is absent; returns True if kept."""
+        with self._lock:
+            if key in self._records:
+                return False
+            self._records[key] = record
+            return True
+
+    def snapshot(self) -> dict[Hashable, CandidateRecord]:
+        with self._lock:
+            return dict(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._key_locks.clear()
+
+
+#: Enumerated candidate sets + their log-feature matrices, shared by every
+#: search over the same (op, device, dtype, space).  Keyed by
+#: OpSpec.candidate_cache_key, so only dtype-enumerable ops land here.
+_LEGAL_CACHE = KeyedRecordCache()
+
+
+def _enum_key(
+    spec: OpSpec, device: DeviceSpec, dtype: DType, space: ParamSpace
+) -> tuple[str, str, str, str]:
+    return (spec.name, device.name, dtype.name, space.name)
+
+
+def _check_enumerable(spec: OpSpec) -> None:
+    if not spec.enumerable:
+        raise ValueError(
+            f"{spec.name.upper()} candidates are generated per query "
+            "shape by the op's candidate generator, not enumerated per "
+            "dtype"
+        )
+
+
+def _scalar_enumeration(
+    spec: OpSpec, device: DeviceSpec, dtype: DType, space: ParamSpace
+) -> tuple[list, np.ndarray]:
+    """Reference path: walk X̂ point by point through scalar ``is_legal``."""
+    configs: list = []
+    for point in space.iter_points():
+        cfg = spec.config_from_point(point)
+        if spec.is_legal(cfg, dtype, device):
+            configs.append(cfg)
+    return configs, spec.config_matrix(configs, log=True)
+
+
+def _enumerate_record(
+    spec: OpSpec, device: DeviceSpec, dtype: DType, space: ParamSpace
+) -> CandidateRecord:
+    """Enumerate X for one (op, device, dtype, space) as a record.
+
+    Array-native when the op registers ``legal_mask``: materialize X̂ as
+    struct-of-arrays columns (:meth:`ParamSpace.grid`), apply the mask
+    once, and keep only the surviving columns — config objects and the
+    feature matrix are derived from them afterwards.  Ops without a mask
+    (or whose space doesn't cover the config fields) fall back to the
+    scalar walk.
+    """
+    names = set(space.names)
+    vectorizable = (
+        spec.legal_mask is not None
+        and set(spec.config_type.param_names()) <= names
+    )
+    if not vectorizable:
+        configs, matrix = _scalar_enumeration(spec, device, dtype, space)
+        return CandidateRecord(
+            op=spec.name, params=None, matrix=matrix, configs=configs,
+            space_params=space.params,
+        )
+    cols = space.grid()
+    mask = np.asarray(spec.legal_mask(device, cols, dtype), dtype=bool)
+    idx = np.flatnonzero(mask)
+    params = {n: np.ascontiguousarray(c[idx]) for n, c in cols.items()}
+    return CandidateRecord(
+        op=spec.name, params=params, space_params=space.params
+    )
+
+
+def legal_record(
+    device: DeviceSpec,
+    dtype: DType,
+    op: str | OpSpec = "gemm",
+    space: ParamSpace | None = None,
+) -> CandidateRecord:
+    """The cached (or freshly enumerated) record for (op, device, dtype)."""
+    spec = get_op(op)
+    _check_enumerable(spec)
+    space = space or spec.space
+    key = _enum_key(spec, device, dtype, space)
+    return _LEGAL_CACHE.get(
+        key,
+        lambda: _enumerate_record(spec, device, dtype, space),
+        # A record persisted before this space's value sets changed must
+        # not be served under the new definition.
+        validate=lambda r: (
+            r.space_params is None or r.space_params == space.params
+        ),
+    )
 
 
 def legal_configs(
@@ -60,35 +270,63 @@ def legal_configs(
     """All legal configs for (device, dtype) plus their log-feature matrix.
 
     Only ops whose candidate set is shape-independent (``enumerable``) can
-    be enumerated here.  Cached: the enumeration walks the full product
-    space once (a few seconds for GEMM's ~2M points) and is reused by
-    every later search.
+    be enumerated here.  Vectorized and cached: one ``legal_mask`` pass
+    over the gridded product space (tens of milliseconds for GEMM's ~2M
+    points, vs seconds for the scalar walk) is shared by every later
+    search, and thread-safe — concurrent callers enumerate each key once.
     """
+    rec = legal_record(device, dtype, op, space)
+    return rec.configs, rec.matrix
+
+
+def legal_configs_reference(
+    device: DeviceSpec,
+    dtype: DType,
+    op: str | OpSpec = "gemm",
+    space: ParamSpace | None = None,
+) -> tuple[list, np.ndarray]:
+    """Uncached scalar enumeration — the parity/benchmark reference."""
     spec = get_op(op)
-    if not spec.enumerable:
-        raise ValueError(
-            f"{spec.name.upper()} candidates are generated per query "
-            "shape by the op's candidate generator, not enumerated per "
-            "dtype"
-        )
-    space = space or spec.space
-    key = (spec.name, device.name, dtype.name, space.name)
-    if key in _LEGAL_CACHE:
-        return _LEGAL_CACHE[key]
+    _check_enumerable(spec)
+    return _scalar_enumeration(spec, device, dtype, space or spec.space)
 
-    configs: list = []
-    for point in space.iter_points():
-        cfg = spec.config_from_point(point)
-        if spec.is_legal(cfg, dtype, device):
-            configs.append(cfg)
-    matrix = spec.config_matrix(configs, log=True)
 
-    _LEGAL_CACHE[key] = (configs, matrix)
-    return _LEGAL_CACHE[key]
+def seed_enum_record(
+    key: Hashable,
+    op: str,
+    params: Mapping[str, np.ndarray],
+    space_params: tuple | None = None,
+) -> bool:
+    """Publish a stored enumeration (candidate-store load); True if kept."""
+    record = CandidateRecord(
+        op=op, params=dict(params), space_params=space_params
+    )
+    return _LEGAL_CACHE.seed(tuple(key), record)
+
+
+def enum_cache_snapshot() -> dict[Hashable, CandidateRecord]:
+    """Current enumeration records (for the on-disk candidate store)."""
+    return _LEGAL_CACHE.snapshot()
+
+
+def cached_matrix_for(configs: list) -> np.ndarray | None:
+    """The log-feature matrix already cached for this exact configs list.
+
+    Ops whose scalar ``candidates`` delegates to another op's
+    :func:`legal_configs` (bgemm-style) return the cached list itself;
+    matching by identity recovers its matrix without an O(n) rebuild.
+    """
+    for rec in _LEGAL_CACHE.snapshot().values():
+        if rec.configs is configs:
+            return rec.matrix
+    return None
 
 
 def clear_cache() -> None:
+    from repro.inference import conv_search
+
     _LEGAL_CACHE.clear()
+    conv_search.clear_bucket_cache()
 
 
 @dataclass
@@ -287,19 +525,34 @@ class ExhaustiveSearch:
         key = self._spec.candidate_cache_key(self._device, shape, self._space)
         cs = self._sets.get(key)
         if cs is None:
-            configs = self._spec.candidates(self._device, shape, self._space)
-            # An op delegating to another's enumeration (bgemm -> gemm)
-            # caches under the delegate's key, so match by identity.
-            cached = next(
-                (v for v in _LEGAL_CACHE.values() if v[0] is configs), None
-            )
-            if cached is not None:
-                matrix = cached[1]  # enumerable op: matrix already built
+            if self._spec.candidates_batch is not None:
+                # Array-native supply: list + log-feature matrix in one
+                # call, cached module-wide behind the op's candidate key.
+                configs, matrix = self._spec.candidates_batch(
+                    self._device, shape, self._space
+                )
             else:
-                matrix = self._spec.config_matrix(configs, log=True)
-                if self._spec.enumerable:
-                    # Publish so later searches skip the rebuild.
-                    _LEGAL_CACHE[key] = (configs, matrix)
+                # Enumerable ops share one candidate set module-wide, so
+                # a later search instance must not rebuild the feature
+                # matrix the first one already paid for.
+                rec = (
+                    _LEGAL_CACHE.peek(key) if self._spec.enumerable
+                    else None
+                )
+                if rec is not None:
+                    configs, matrix = rec.configs, rec.matrix
+                else:
+                    configs = self._spec.candidates(
+                        self._device, shape, self._space
+                    )
+                    matrix = cached_matrix_for(configs)
+                    if matrix is None:
+                        matrix = self._spec.config_matrix(configs, log=True)
+                    if self._spec.enumerable:
+                        _LEGAL_CACHE.seed(key, CandidateRecord(
+                            op=self._spec.name, matrix=matrix,
+                            configs=configs,
+                        ))
             cs = _CandidateSet(configs=configs, cfg_matrix=matrix)
             self._sets[key] = cs
         if cs.h0 is None and self._folded is not None:

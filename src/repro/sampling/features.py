@@ -11,7 +11,7 @@ reproduces the paper's no-log ablation (Table 2, bracketed column).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -38,6 +38,23 @@ def _log_positive(x: np.ndarray) -> np.ndarray:
     mask = out > 0
     out[mask] = np.log2(out[mask])
     return out
+
+
+def config_matrix_from_params(
+    params: Mapping[str, np.ndarray],
+    feature_names: Sequence[str],
+    log: bool = True,
+) -> np.ndarray:
+    """Config-feature matrix straight from struct-of-arrays columns.
+
+    Bit-identical to ``*_config_matrix`` over the equivalent config
+    objects (same float64 conversion, same log transform) without ever
+    materializing them — the array-native path of the candidate pipeline.
+    """
+    raw = np.column_stack(
+        [np.asarray(params[n]) for n in feature_names]
+    ).astype(np.float64)
+    return _log_positive(raw) if log else raw
 
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,12 @@ whole pipeline:
   group through :meth:`Isaac.top_k_batch`, amortizing the model pass the
   way a deployment warms its cache for a whole network
   (:meth:`Engine.warmup`);
+* **candidate store** — enumerated candidate sets (the vectorized
+  product-space survivors, plus per-bucket CONV generations) persist as
+  ``.npz`` records next to the profile cache; :meth:`Engine.open` seeds
+  the in-process caches from it, so a warmed deployment cold-starts
+  without enumerating any product space (saved on :meth:`warmup` /
+  :meth:`close`);
 * **concurrency** — :meth:`query` / :meth:`query_many` are thread-safe:
   per-tuner locks serialize the (stateful) exhaustive search, duplicate
   in-flight shapes are deduplicated so N concurrent queries for one shape
@@ -41,6 +47,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro.core.candidate_store import CandidateStore
 from repro.core.ops import OpSpec, get_op
 from repro.core.profile_cache import ProfileCache
 from repro.core.tuner import Isaac, TuneReport
@@ -181,6 +188,7 @@ class Engine:
         *,
         model_dir: str | Path | None = None,
         profile_cache: ProfileCache | str | Path | None = None,
+        candidate_store: CandidateStore | str | Path | None = None,
         lru_capacity: int = 4096,
         max_workers: int | None = None,
     ):
@@ -188,6 +196,13 @@ class Engine:
         if isinstance(profile_cache, (str, Path)):
             profile_cache = ProfileCache(profile_cache)
         self._profiles = profile_cache
+        if isinstance(candidate_store, (str, Path)):
+            candidate_store = CandidateStore(candidate_store)
+        self._candidates = candidate_store
+        if self._candidates is not None:
+            # Seed the in-process candidate caches: a warmed store means
+            # this engine never re-enumerates a product space.
+            self._candidates.load()
         self._lru = _LruCache(lru_capacity)
         self._stats = EngineStats()
 
@@ -218,6 +233,7 @@ class Engine:
         model_dir: str | Path,
         *,
         profile_cache: ProfileCache | str | Path | None = None,
+        candidate_store: CandidateStore | str | Path | None = None,
         **kwargs,
     ) -> "Engine":
         """An engine over a directory of saved fits.
@@ -225,7 +241,9 @@ class Engine:
         Every ``*.npz`` with an ``Isaac.save`` sidecar is indexed; the
         tuner itself is loaded on first query for its (device, op) and
         kept hot.  Unless overridden, tuned-kernel profiles persist in
-        ``<model_dir>/profiles.json``.
+        ``<model_dir>/profiles.json`` and enumerated candidate sets in
+        ``<model_dir>/candidates/`` (loaded now, so a warmed store makes
+        cold start skip product-space enumeration entirely).
         """
         model_dir = Path(model_dir)
         if not model_dir.is_dir():
@@ -235,7 +253,14 @@ class Engine:
             )
         if profile_cache is None:
             profile_cache = model_dir / "profiles.json"
-        return cls(model_dir=model_dir, profile_cache=profile_cache, **kwargs)
+        if candidate_store is None:
+            candidate_store = model_dir / "candidates"
+        return cls(
+            model_dir=model_dir,
+            profile_cache=profile_cache,
+            candidate_store=candidate_store,
+            **kwargs,
+        )
 
     def _scan_model_dir(self) -> None:
         import json
@@ -637,6 +662,9 @@ class Engine:
                     seen.add(key)
                     requests.append(req)
         replies = self.query_many(requests)
+        # Searches populate the candidate caches; persist them so the next
+        # process cold-starts off the store instead of re-enumerating.
+        self.save_candidates()
         return sum(1 for r in replies if r.source == "search")
 
     def op_for_shape(self, shape: Any, *, device: str | None = None) -> str:
@@ -673,6 +701,12 @@ class Engine:
         with self._cache_lock:
             self._profiles.save()
 
+    def save_candidates(self) -> int:
+        """Persist enumerated candidate sets to the store (if configured)."""
+        if self._candidates is None:
+            return 0
+        return self._candidates.save()
+
     def close(self) -> None:
         """Stop serving, drain in-flight searches, then flush; idempotent.
 
@@ -699,6 +733,7 @@ class Engine:
             for event in events:
                 event.wait()
         self.save_profiles()
+        self.save_candidates()
 
     def __enter__(self) -> "Engine":
         return self

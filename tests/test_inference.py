@@ -1,5 +1,8 @@
 """Tests for exhaustive search, top-k re-ranking and CONV candidates."""
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -9,11 +12,17 @@ from repro.core.types import ConvShape, DType, GemmShape
 from repro.gpu.device import GTX_980_TI, TESLA_P100
 from repro.gpu.simulator import benchmark_gemm
 from repro.inference.conv_search import (
+    conv_bucket_key,
     conv_candidates,
+    conv_candidates_batch,
     conv_config_from_gemm,
     factorize_tile,
 )
-from repro.inference.search import ExhaustiveSearch, legal_configs
+from repro.inference.search import (
+    ExhaustiveSearch,
+    legal_configs,
+    legal_configs_reference,
+)
 from repro.inference.topk import best_after_rerank, rerank
 from repro.mlp.crossval import fit_regressor
 from repro.sampling.dataset import generate_gemm_dataset
@@ -38,6 +47,47 @@ class TestLegalConfigs:
     def test_conv_requires_per_shape_path(self):
         with pytest.raises(ValueError, match="CONV"):
             legal_configs(GTX_980_TI, DType.FP32, "conv")
+
+    def test_vectorized_matches_scalar_reference(self, tiny_space):
+        """Grid + legal_mask must equal the point-by-point walk, bit for
+        bit and in identical (iter_points) order."""
+        configs, matrix = legal_configs(
+            GTX_980_TI, DType.FP32, "gemm", tiny_space
+        )
+        ref_configs, ref_matrix = legal_configs_reference(
+            GTX_980_TI, DType.FP32, "gemm", tiny_space
+        )
+        assert configs == ref_configs
+        assert np.array_equal(matrix, ref_matrix)
+
+    def test_concurrent_enumeration_builds_once(self, tiny_space,
+                                                monkeypatch):
+        """Racing threads on one cold key elect a single enumerator."""
+        import repro.inference.search as search
+
+        search.clear_cache()
+        calls: list[int] = []
+        barrier = threading.Barrier(6)
+        orig = search._enumerate_record
+
+        def counting(spec, device, dtype, space):
+            calls.append(1)
+            return orig(spec, device, dtype, space)
+
+        monkeypatch.setattr(search, "_enumerate_record", counting)
+
+        def query():
+            barrier.wait()
+            return search.legal_configs(
+                GTX_980_TI, DType.FP32, "gemm", tiny_space
+            )
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = [f.result() for f in
+                       [pool.submit(query) for _ in range(6)]]
+        assert len(calls) == 1
+        assert all(r[0] is results[0][0] for r in results)
+        search.clear_cache()
 
 
 @pytest.fixture(scope="module")
@@ -183,3 +233,79 @@ class TestConvFactorization:
         cands = conv_candidates(GTX_980_TI, self.SHAPE, max_candidates=300)
         keys = {tuple(c.as_dict().values()) for c in cands}
         assert len(keys) == len(cands)
+
+
+class TestConvBuckets:
+    """The vectorized CONV supply and its pow2-bucket cache."""
+
+    SHAPE = ConvShape.from_output(n=4, p=14, q=14, k=64, c=128, r=3, s=3)
+
+    def test_batch_matches_scalar_bit_for_bit(self):
+        from repro.inference.conv_search import clear_bucket_cache
+        from repro.sampling.features import conv_config_matrix
+
+        clear_bucket_cache()
+        batch_cfgs, batch_mat = conv_candidates_batch(
+            GTX_980_TI, self.SHAPE
+        )
+        scalar_cfgs = conv_candidates(GTX_980_TI, self.SHAPE)
+        assert batch_cfgs == scalar_cfgs
+        assert np.array_equal(
+            batch_mat, conv_config_matrix(scalar_cfgs, log=True)
+        )
+
+    def test_key_reads_pow2_extents_and_dtype_only(self):
+        # Same next_pow2(n) / next_pow2(q): p, k, c, r, s are free.
+        a = ConvShape.from_output(n=4, p=14, q=14, k=64, c=128, r=3, s=3)
+        b = ConvShape.from_output(n=3, p=64, q=16, k=32, c=16, r=1, s=1)
+        assert conv_bucket_key(GTX_980_TI, a) == conv_bucket_key(
+            GTX_980_TI, b
+        )
+        for other in (
+            ConvShape.from_output(n=8, p=14, q=14, k=64, c=128, r=3, s=3),
+            ConvShape.from_output(n=4, p=14, q=32, k=64, c=128, r=3, s=3),
+            ConvShape.from_output(
+                n=4, p=14, q=14, k=64, c=128, r=3, s=3, dtype=DType.FP16
+            ),
+        ):
+            assert conv_bucket_key(GTX_980_TI, other) != conv_bucket_key(
+                GTX_980_TI, a
+            )
+        assert conv_bucket_key(TESLA_P100, a) != conv_bucket_key(
+            GTX_980_TI, a
+        )
+
+    def test_same_bucket_shares_candidate_set(self):
+        same = ConvShape.from_output(n=3, p=20, q=13, k=32, c=64, r=3, s=3)
+        first, _ = conv_candidates_batch(GTX_980_TI, self.SHAPE)
+        second, _ = conv_candidates_batch(GTX_980_TI, same)
+        assert second is first  # cache hit, not a regeneration
+
+    def test_different_buckets_generate_independently(self):
+        bigger_n = ConvShape.from_output(
+            n=32, p=14, q=14, k=64, c=128, r=3, s=3
+        )
+        a, _ = conv_candidates_batch(GTX_980_TI, self.SHAPE)
+        b, _ = conv_candidates_batch(GTX_980_TI, bigger_n)
+        assert a is not b
+        # A different batch extent really changes the factorization.
+        assert a != b
+
+    def test_cached_equals_freshly_generated(self):
+        from repro.inference.conv_search import clear_bucket_cache
+
+        cached, cached_mat = conv_candidates_batch(GTX_980_TI, self.SHAPE)
+        clear_bucket_cache()
+        fresh, fresh_mat = conv_candidates_batch(GTX_980_TI, self.SHAPE)
+        assert cached is not fresh
+        assert cached == fresh
+        assert np.array_equal(cached_mat, fresh_mat)
+
+    def test_search_groups_bucket_shapes_together(self, tiny_fit):
+        """ExhaustiveSearch keys CONV candidate sets by bucket, so shapes
+        in one bucket share the candidate set (and its h0 fold)."""
+        search = ExhaustiveSearch(tiny_fit, TESLA_P100, "conv")
+        same = ConvShape.from_output(n=3, p=9, q=13, k=32, c=64, r=3, s=3)
+        a = search.candidates(self.SHAPE)
+        b = search.candidates(same)
+        assert a[0] is b[0]

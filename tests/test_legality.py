@@ -1,5 +1,6 @@
 """Unit and property tests for repro.core.legality."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -160,3 +161,40 @@ class TestConvLegality:
         assert is_legal_conv(cfg, DType.FP32, GTX_980_TI) == (
             conv_violations(cfg, DType.FP32, GTX_980_TI) == []
         )
+
+
+class TestLegalMaskParity:
+    """``OpSpec.legal_mask`` must agree pointwise with scalar ``is_legal``.
+
+    The vectorized candidate enumeration silently depends on this: the
+    grid + mask path replaces the point-by-point walk for every
+    registered op, so any divergence would change candidate sets.
+    """
+
+    @pytest.mark.parametrize("op_name", ["gemm", "conv", "bgemm"])
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_mask_matches_scalar_pointwise(self, op_name, data):
+        from repro.core.ops import get_op
+
+        spec = get_op(op_name)
+        n = data.draw(st.integers(min_value=1, max_value=16))
+        points = [
+            {
+                name: data.draw(st.sampled_from(vals))
+                for name, vals in spec.space.params
+            }
+            for _ in range(n)
+        ]
+        cols = {
+            name: np.array([p[name] for p in points], dtype=np.int64)
+            for name in spec.space.names
+        }
+        for device in (GTX_980_TI, TESLA_P100):
+            for dtype in (DType.FP32, DType.FP16):
+                mask = spec.legal_mask(device, cols, dtype)
+                scalar = [
+                    spec.is_legal(spec.config_from_point(p), dtype, device)
+                    for p in points
+                ]
+                assert [bool(m) for m in mask] == scalar

@@ -1,5 +1,6 @@
 """Unit tests for repro.core.space."""
 
+import numpy as np
 import pytest
 
 from repro.core.config import GemmConfig
@@ -52,6 +53,27 @@ class TestParamSpace:
             for name, vals in space.params:
                 for v in vals:
                     assert v & (v - 1) == 0, f"{space.name}.{name}={v}"
+
+    def test_grid_matches_iter_points_order(self):
+        space = ParamSpace(
+            "t", (("a", (1, 2)), ("b", (4, 8, 16)), ("c", (1, 2)))
+        )
+        cols = space.grid()
+        assert set(cols) == {"a", "b", "c"}
+        assert all(c.dtype == np.int64 for c in cols.values())
+        assert all(len(c) == space.size for c in cols.values())
+        # Row i of the grid is exactly the i-th point of iter_points.
+        rows = list(zip(*(cols[n].tolist() for n in space.names)))
+        points = [
+            tuple(p[n] for n in space.names) for p in space.iter_points()
+        ]
+        assert rows == points
+
+    def test_grid_covers_full_product_space(self):
+        cols = GEMM_SPACE.grid()
+        assert len(cols["ms"]) == GEMM_SPACE.size
+        for name, vals in GEMM_SPACE.params:
+            assert set(np.unique(cols[name])) == set(vals)
 
 
 class TestTable1Space:
