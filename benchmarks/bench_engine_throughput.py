@@ -15,9 +15,13 @@ and asserts:
 * total Engine throughput is at least 2x the per-request loop.
 
 Model quality is irrelevant to dispatch cost, so tuners are trained at a
-tiny budget.
+tiny budget (REPRO_BENCH_SMOKE=1 shrinks it further for CI; the floor is
+unchanged — dispatch amortization does not depend on fit quality).  With
+``--json`` the numbers land in ``BENCH_engine_throughput.json`` at the
+repo root.
 """
 
+import os
 import time
 
 import numpy as np
@@ -28,6 +32,7 @@ from repro.core.types import ConvShape, DType, GemmShape
 from repro.gpu.device import TESLA_P100
 from repro.service.engine import Engine, KernelRequest
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 K = 20
 REPS = 2
 PASSES = 2
@@ -68,9 +73,9 @@ def _mixed_workload(rng: np.random.Generator) -> list[KernelRequest]:
 def test_bench_engine_throughput(results_recorder):
     rng = np.random.default_rng(42)
     tuners = {
-        "gemm": _tiny_tuner("gemm", 2000, 0),
-        "conv": _tiny_tuner("conv", 1200, 1),
-        "bgemm": _tiny_tuner("bgemm", 1200, 2),
+        "gemm": _tiny_tuner("gemm", 700 if SMOKE else 2000, 0),
+        "conv": _tiny_tuner("conv", 500 if SMOKE else 1200, 1),
+        "bgemm": _tiny_tuner("bgemm", 500 if SMOKE else 1200, 2),
     }
     requests = _mixed_workload(rng)
 
@@ -123,6 +128,7 @@ def test_bench_engine_throughput(results_recorder):
         "\n".join(lines),
         data={
             "requests": len(requests),
+            "smoke": SMOKE,
             "passes": PASSES,
             "loop_s": loop_s,
             "engine_s": engine_s,

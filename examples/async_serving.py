@@ -1,0 +1,107 @@
+"""Async serving: 64 clients, one AsyncEngine, micro-batched dispatch.
+
+Simulates what a deployment actually sees — independent clients asking
+overlapping "which kernel?" questions — and serves them through the
+:class:`repro.AsyncEngine` front door: cache hits answer inline,
+duplicate in-flight shapes coalesce onto one search, and the remaining
+misses accumulate per shard for a 2 ms window before flushing through
+one batched model pass.  The run ends with the per-shard stats surface
+(batch-size histogram, flush reasons, p50/p95 latency) and a
+demonstration of admission control: with a tiny ``max_pending``, excess
+concurrent misses fail fast with :class:`repro.BackpressureError`
+instead of growing an unbounded backlog.
+
+Run:  python examples/async_serving.py
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro import (
+    AsyncEngine,
+    BackpressureError,
+    DType,
+    Engine,
+    GemmShape,
+    KernelRequest,
+)
+
+CONCURRENCY = 64
+N_REQUESTS = 96
+N_DISTINCT = 16
+
+
+def make_engine() -> Engine:
+    engine = Engine()
+    print("tuning gemm at a demo budget...")
+    report = engine.tune("pascal", "gemm", dtypes=(DType.FP32,),
+                         n_samples=4_000, seed=0, save=False)
+    print(f"  {report}")
+    return engine
+
+
+def workload(rng: np.random.Generator) -> list[KernelRequest]:
+    """Zipf-ish traffic: a few hot shapes, a long tail, shuffled."""
+    pool = [
+        GemmShape(int(2 ** rng.integers(6, 11)),
+                  int(2 ** rng.integers(4, 9)),
+                  int(2 ** rng.integers(6, 12)),
+                  DType.FP32, False, True)
+        for _ in range(N_DISTINCT)
+    ]
+    weights = 1.0 / np.arange(1, N_DISTINCT + 1)
+    weights /= weights.sum()
+    picks = rng.choice(N_DISTINCT, size=N_REQUESTS, p=weights)
+    return [KernelRequest("gemm", pool[i], k=40, reps=3) for i in picks]
+
+
+async def serve(engine: AsyncEngine,
+                requests: list[KernelRequest]) -> None:
+    work = iter(requests)
+
+    async def client() -> int:
+        served = 0
+        for request in work:
+            await engine.query(request)
+            served += 1
+        return served
+
+    t0 = time.perf_counter()
+    served = await asyncio.gather(*(client() for _ in range(CONCURRENCY)))
+    dt = time.perf_counter() - t0
+    print(f"\n{sum(served)} requests, {CONCURRENCY} clients: "
+          f"{dt:.2f}s ({sum(served) / dt:.0f} req/s)")
+    print(engine.stats().describe())
+
+
+async def backpressure_demo(inner: Engine,
+                            requests: list[KernelRequest]) -> None:
+    """A saturated front door refuses instead of buffering forever."""
+    async with AsyncEngine(inner, max_pending=2, window_ms=20.0) as tiny:
+        fresh = [
+            KernelRequest("gemm",
+                          GemmShape(48 * (i + 1), 48, 480, DType.FP32),
+                          k=10, reps=2)
+            for i in range(8)
+        ]
+        results = await asyncio.gather(
+            *(tiny.query(r) for r in fresh), return_exceptions=True
+        )
+        refused = sum(isinstance(r, BackpressureError) for r in results)
+        print(f"\nbackpressure: {len(fresh)} concurrent misses, "
+              f"max_pending=2 -> {len(fresh) - refused} served, "
+              f"{refused} refused fast (retry-after material)")
+
+
+async def main() -> None:
+    inner = make_engine()
+    requests = workload(np.random.default_rng(0))
+    async with AsyncEngine(inner, window_ms=2.0, max_batch=32) as engine:
+        await serve(engine, requests)
+    await backpressure_demo(inner, requests)
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -19,6 +19,9 @@ The public API mirrors the paper's pipeline (Figure 1):
 * **the engine** — :class:`~repro.service.engine.Engine` is the
   concurrent front door: it loads saved fits, caches answers (in-memory
   LRU over the on-disk profile cache) and batches mixed-op queries;
+  :class:`~repro.service.async_engine.AsyncEngine` adds asyncio
+  micro-batching (per-shard 2 ms windows, coalescing, backpressure) for
+  service-rate traffic;
 * **baselines & evaluation** — :mod:`repro.baselines`,
   :mod:`repro.workloads` and :mod:`repro.harness` regenerate every table
   and figure of the paper's evaluation.
@@ -40,6 +43,7 @@ from repro.core.config import ConvConfig, GemmConfig
 from repro.core.profile_cache import ProfileCache
 from repro.core.tuner import Isaac, TuneReport
 from repro.core.types import ConvShape, DType, GemmShape
+from repro.service.async_engine import AsyncEngine, BackpressureError
 from repro.service.engine import Engine, KernelReply, KernelRequest
 from repro.gpu.device import GTX_980_TI, TESLA_P100, DeviceSpec, get_device
 from repro.gpu.simulator import (
@@ -56,6 +60,8 @@ from repro.gpu.simulator import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "AsyncEngine",
+    "BackpressureError",
     "ConvConfig",
     "ConvShape",
     "DType",

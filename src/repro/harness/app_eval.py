@@ -9,7 +9,10 @@ front door: the step's distinct shapes are answered in one batched
 ``query_many`` call (repeated shapes within a step hit the engine cache —
 the profile-cache effect: an application sees each distinct shape once
 per deployment).  A bare :class:`~repro.core.tuner.Isaac` is accepted for
-convenience and wrapped in a throwaway engine.
+convenience and wrapped in a throwaway engine, and an
+:class:`~repro.service.async_engine.AsyncEngine` routes the same batch
+through the micro-batching shards (via its background-loop sync bridge)
+— answers are config-identical either way.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.core.tuner import Isaac
 from repro.core.types import GemmShape
 from repro.gpu.device import get_device
 from repro.gpu.simulator import simulate_conv, simulate_gemm
+from repro.service.async_engine import AsyncEngine
 from repro.service.engine import Engine, KernelRequest
 from repro.workloads.networks import NetworkStep
 
@@ -69,7 +73,7 @@ def _baseline_time_ms(device, shape, gemm_lib, conv_lib) -> float:
 
 
 def run_network_step(
-    engine: Engine | Isaac,
+    engine: Engine | Isaac | AsyncEngine,
     step: NetworkStep,
     *,
     k: int = 60,
@@ -79,7 +83,8 @@ def run_network_step(
     """Tune every kernel of the step; compare against the baseline library.
 
     ``engine`` is the serving :class:`Engine` (or a tuned ``Isaac``,
-    which is wrapped).  All distinct shapes go through one batched
+    which is wrapped, or an :class:`AsyncEngine`, dispatched through its
+    sync bridge).  All distinct shapes go through one batched
     ``query_many`` dispatch; ``device`` selects among multi-device
     engines.
     """
@@ -99,18 +104,20 @@ def run_network_step(
     conv_lib = CuDNNLike(device_spec)
 
     distinct = list(dict.fromkeys(shape for _, shape in step.kernels))
-    replies = engine.query_many(
-        [
-            KernelRequest(
-                op=engine.op_for_shape(shape, device=device),
-                shape=shape,
-                device=device,
-                k=k,
-                reps=reps,
-            )
-            for shape in distinct
-        ]
-    )
+    requests = [
+        KernelRequest(
+            op=engine.op_for_shape(shape, device=device),
+            shape=shape,
+            device=device,
+            k=k,
+            reps=reps,
+        )
+        for shape in distinct
+    ]
+    if isinstance(engine, AsyncEngine):
+        replies = engine.query_many_sync(requests)
+    else:
+        replies = engine.query_many(requests)
     chosen = {
         shape: (reply.config, reply.request.op)
         for shape, reply in zip(distinct, replies)

@@ -14,12 +14,19 @@ Two families of commands share one binary:
       repro-experiments tune   --models m/ --device pascal --op gemm
       repro-experiments query  --models m/ --op gemm --shape 2560x16x2560
       repro-experiments warmup --models m/ --network rnn
+      repro-experiments serve  --models m/ --network rnn --concurrency 64
 
   ``tune`` fits one (device, op) pair and saves it into the model
   directory; ``query`` answers one shape (cache -> batched search) and
-  ``warmup`` pre-populates the cache for a whole network graph.  Both
+  ``warmup`` pre-populates the cache for a whole network graph.  The
   serving verbs run the engine as a context manager, so the in-memory
   cache is flushed to the on-disk profile cache atomically on exit.
+
+  ``serve`` drives the :class:`~repro.service.async_engine.AsyncEngine`
+  front door: N concurrent clients replay a network's kernel queries
+  through the time-windowed micro-batching shards, and the run reports
+  throughput plus per-shard batch/latency stats (the service-rate path;
+  see docs/architecture.md "Async serving").
 """
 
 from __future__ import annotations
@@ -46,7 +53,7 @@ _REGISTRY = {
     "sec83": lambda a: ex.run_sec83(),
 }
 
-_SERVICE_COMMANDS = ("tune", "query", "warmup")
+_SERVICE_COMMANDS = ("tune", "query", "warmup", "serve")
 
 
 # ----------------------------------------------------------------------
@@ -161,13 +168,108 @@ def _service_parser() -> argparse.ArgumentParser:
     warmup.add_argument("-k", type=int, default=60)
     warmup.add_argument("--reps", type=int, default=3)
 
+    serve = sub.add_parser(
+        "serve",
+        help="replay a network's queries through the async "
+        "micro-batching front door at a given concurrency",
+    )
+    common(serve)
+    serve.add_argument(
+        "--network", required=True,
+        choices=[*_networks(), "all"],
+    )
+    serve.add_argument("--passes", type=int, default=2,
+                       help="how many times each client stream repeats "
+                       "the network's kernels (repeats hit the cache)")
+    serve.add_argument("--concurrency", type=int, default=64,
+                       help="number of concurrent client tasks")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batching window per shard")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admission-control bound on in-flight misses")
+    serve.add_argument("-k", type=int, default=60)
+    serve.add_argument("--reps", type=int, default=3)
+
     return parser
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` verb: drive the AsyncEngine with concurrent clients."""
+    import asyncio
+
+    from repro.service.async_engine import AsyncEngine, BackpressureError
+    from repro.service.engine import KernelRequest
+
+    names = list(_networks()) if args.network == "all" else [args.network]
+    steps = [_networks()[name]() for name in names]
+
+    async def main() -> None:
+        async with AsyncEngine.open(
+            args.models,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+        ) as engine:
+            requests = [
+                KernelRequest(
+                    op=engine.op_for_shape(shape, device=args.device),
+                    shape=shape,
+                    device=args.device,
+                    k=args.k,
+                    reps=args.reps,
+                )
+                for _ in range(args.passes)
+                for step in steps
+                for _label, shape in step.kernels
+            ]
+            work = iter(enumerate(requests))
+            replies: list = [None] * len(requests)
+
+            async def client() -> None:
+                for i, req in work:
+                    while True:
+                        try:
+                            replies[i] = await engine.query(req)
+                            break
+                        except BackpressureError as exc:
+                            if not exc.transient:
+                                raise  # shard bound: a config error
+                            # Saturated: do what a real client should —
+                            # back off one batching window and retry
+                            # (rejects show up in the stats report).
+                            await asyncio.sleep(
+                                max(args.window_ms, 1.0) / 1e3
+                            )
+
+            t0 = time.time()
+            await asyncio.gather(
+                *(client() for _ in range(args.concurrency))
+            )
+            dt = time.time() - t0
+
+            by_source: dict[str, int] = {}
+            for reply in replies:
+                by_source[reply.source] = by_source.get(reply.source, 0) + 1
+            print(
+                f"served {len(requests)} requests "
+                f"({', '.join(s.name for s in steps)} x {args.passes}) "
+                f"with {args.concurrency} clients in {dt:.2f}s "
+                f"({len(requests) / dt:.0f} req/s) {by_source}"
+            )
+            print(engine.stats().describe())
+
+    asyncio.run(main())
+    return 0
 
 
 def _run_service(argv: list[str]) -> int:
     from repro.service.engine import Engine, KernelRequest
 
     args = _service_parser().parse_args(argv)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "tune":
         dtypes = None

@@ -147,6 +147,19 @@ class KeyedRecordCache:
             if rec is None:
                 rec = build().materialize()
             with self._lock:
+                # A seed may have published while we built (seed takes
+                # only the outer lock).  Never replace a live ready
+                # record: callers that already hold it must stay
+                # canonical, and candidate sets are big enough that two
+                # copies per key is a real cost.
+                current = self._records.get(key)
+                if (
+                    current is not None
+                    and current is not rec
+                    and current.ready
+                    and (validate is None or validate(current))
+                ):
+                    return current
                 self._records[key] = rec
             return rec
 

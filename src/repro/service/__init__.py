@@ -1,12 +1,23 @@
-"""Service layer: the concurrent front door over the tuning pipeline.
+"""Service layer: the concurrent front doors over the tuning pipeline.
 
 :class:`~repro.service.engine.Engine` owns model loading, two-level
 result caching and batched dispatch for every registered (device, op)
 tuner, so clients issue :class:`~repro.service.engine.KernelRequest`
 objects instead of hand-wiring ``Isaac`` + ``ExhaustiveSearch`` +
 ``ProfileCache`` per pair.
+
+:class:`~repro.service.async_engine.AsyncEngine` is the asyncio front
+door on top: per-shard time-windowed micro-batching, request coalescing,
+admission control (:class:`~repro.service.async_engine.BackpressureError`)
+and graceful drain — for serving independent request streams at rate.
 """
 
+from repro.service.async_engine import (
+    AsyncEngine,
+    AsyncEngineStats,
+    BackpressureError,
+    ShardStats,
+)
 from repro.service.engine import (
     Engine,
     EngineError,
@@ -16,9 +27,13 @@ from repro.service.engine import (
 )
 
 __all__ = [
+    "AsyncEngine",
+    "AsyncEngineStats",
+    "BackpressureError",
     "Engine",
     "EngineError",
     "EngineStats",
     "KernelReply",
     "KernelRequest",
+    "ShardStats",
 ]

@@ -1,0 +1,773 @@
+"""AsyncEngine: time-windowed dynamic micro-batching over the Engine.
+
+The sync :class:`~repro.service.engine.Engine` already batches requests —
+but only the ones a single caller hands it together in one
+:meth:`~repro.service.engine.Engine.query_many` call.  A service does not
+see traffic that way: requests arrive one at a time from thousands of
+independent clients, and mapping each onto a thread means every miss pays
+a *full* model pass while the per-tuner lock serializes them anyway.
+
+:class:`AsyncEngine` is the asyncio front door that turns independent
+request streams back into batches:
+
+* **sharding** — misses are routed to a per-(device, op, dtype, k, reps)
+  shard, the exact grouping :meth:`Isaac.top_k_batch` can answer in one
+  model pass;
+* **dynamic micro-batching** — each shard's worker task accumulates
+  requests for a configurable window (default 2 ms) or until a maximum
+  batch size, then flushes the whole batch through the engine's batched
+  search path on a worker thread.  Under load, batches fill instantly;
+  when idle, a lone request waits at most one window;
+* **coalescing** — duplicate in-flight shapes attach to the leader's
+  future before they ever occupy queue space (on top of the engine's own
+  thread-level dedup);
+* **admission control** — a global pending bound plus bounded per-shard
+  queues; when the service is saturated, submits fail fast with
+  :class:`BackpressureError` instead of growing an unbounded backlog;
+* **graceful drain** — :meth:`aclose` stops admissions, lets every shard
+  flush what it already accepted (those batches are marked ``drain``),
+  then flushes the engine's caches to disk;
+* **stats** — per-shard queue depth, batch-size histogram, flush-reason
+  counts and a p50/p95/max latency reservoir (:meth:`stats`).
+
+Answers are *config-identical* to ``Engine.query`` and to
+``Isaac.best_kernel``: the front door only changes when and with whom a
+request reaches the search, never what the search returns
+(``tests/test_engine_equivalence.py`` holds that bar, and
+``benchmarks/bench_serving_async.py`` holds the >=3x throughput bar at
+concurrency 64).
+
+Async use (servers, tests)::
+
+    async with AsyncEngine.open("models/") as engine:
+        reply = await engine.query(KernelRequest("gemm", shape))
+
+Sync use (harness, legacy callers) — a background event-loop thread::
+
+    engine = AsyncEngine(sync_engine).start()
+    replies = engine.query_many_sync(requests)
+    engine.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import Counter, deque
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.ops import OpSpec
+from repro.service.engine import (
+    Engine,
+    EngineError,
+    KernelReply,
+    KernelRequest,
+)
+
+
+class BackpressureError(EngineError):
+    """The service is saturated; the request was refused, not queued.
+
+    Raised by :meth:`AsyncEngine.query` when the global pending bound or
+    the target shard's queue is full.  Clients should treat it like HTTP
+    503: back off and retry, or shed the request.
+
+    ``transient`` distinguishes load (queues full — draining, retry
+    after a window) from configuration (the shard bound hit — permanent
+    until the service is reconfigured; retrying cannot help).
+    """
+
+    def __init__(self, message: str, *, transient: bool = True):
+        super().__init__(message)
+        self.transient = transient
+
+
+#: Sentinel a draining shard worker stops on (after flushing the backlog).
+_CLOSE = object()
+
+
+@dataclass
+class _Pending:
+    """One admitted cache miss waiting for its shard to flush."""
+
+    request: KernelRequest
+    key: str
+    future: asyncio.Future
+    t_submit: float
+
+
+class _Shard:
+    """One (device, op, dtype, k, reps) queue + its worker task + stats.
+
+    ``lock`` guards the stats containers only: mutation happens on the
+    event loop, but :meth:`AsyncEngine.stats` may read from any thread
+    (including after a shutdown race), so reservoir/counter access is
+    locked rather than relying on loop affinity.
+    """
+
+    __slots__ = (
+        "key", "queue", "worker", "lock", "submitted", "batches",
+        "reasons", "sizes", "latencies",
+    )
+
+    def __init__(self, key: tuple, maxsize: int):
+        self.key = key
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize)
+        self.worker: asyncio.Task | None = None
+        self.lock = threading.Lock()
+        self.submitted = 0
+        self.batches = 0
+        self.reasons = Counter()      # "window" | "full" | "drain"
+        self.sizes = Counter()        # batch size -> count
+        self.latencies: deque[float] = deque(maxlen=4096)
+
+
+def _percentile_ms(sorted_s: list[float], q: float) -> float:
+    if not sorted_s:
+        return float("nan")
+    return sorted_s[int(q * (len(sorted_s) - 1))] * 1e3
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's counters (a point-in-time snapshot)."""
+
+    shard: tuple                 # (device, op, dtype, k, reps)
+    queue_depth: int
+    submitted: int
+    batches: int
+    flush_reasons: dict[str, int]
+    batch_sizes: dict[int, int]
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+
+    @property
+    def mean_batch(self) -> float:
+        n = sum(self.batch_sizes.values())
+        if n == 0:
+            return float("nan")
+        return sum(s * c for s, c in self.batch_sizes.items()) / n
+
+
+@dataclass(frozen=True)
+class AsyncEngineStats:
+    """Service-level counters plus one :class:`ShardStats` per shard."""
+
+    submitted: int
+    cache_hits: int
+    coalesced: int
+    rejected: int
+    batch_failures: int
+    pending: int
+    shards: tuple[ShardStats, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"submitted={self.submitted} cache_hits={self.cache_hits} "
+            f"coalesced={self.coalesced} rejected={self.rejected} "
+            f"pending={self.pending}"
+        ]
+        for s in self.shards:
+            dev, op, dtype, k, reps = s.shard
+            lines.append(
+                f"  [{op}/{dtype} k={k} reps={reps} @ {dev}] "
+                f"depth={s.queue_depth} batches={s.batches} "
+                f"mean_batch={s.mean_batch:.1f} "
+                f"reasons={dict(s.flush_reasons)} "
+                f"p50={s.p50_ms:.1f}ms p95={s.p95_ms:.1f}ms "
+                f"max={s.max_ms:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+class AsyncEngine:
+    """Asyncio front door with per-shard dynamic micro-batching.
+
+    Parameters
+    ----------
+    engine:
+        The sync :class:`Engine` doing the actual serving.  ``None``
+        builds a private one from ``engine_kwargs`` (then owned: closed
+        by :meth:`aclose`).  Passing an engine you constructed leaves its
+        lifetime to you unless ``own_engine=True``.
+    window_ms:
+        How long the first request of a batch waits for company.
+    max_batch:
+        Flush early once a batch reaches this size.
+    max_pending:
+        Global bound on admitted-but-unanswered misses; beyond it,
+        :meth:`query` raises :class:`BackpressureError`.
+    max_queue:
+        Per-shard queue bound (second line of admission control).
+    max_shards:
+        Bound on live shards.  ``k``/``reps`` are client-controlled
+        parts of the shard key, and every shard owns a worker task, a
+        queue and a latency reservoir for the engine's lifetime — the
+        bound stops a client sweeping those knobs from leaking one of
+        each per distinct tuple.  Exceeding it raises a *non-transient*
+        :class:`BackpressureError`.
+    max_workers:
+        Threads flushing batches (defaults to one per CPU up to 4).
+        Distinct shards flush concurrently; one shard flushes one batch
+        at a time (the per-tuner lock would serialize it anyway).
+    """
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        *,
+        window_ms: float = 2.0,
+        max_batch: int = 32,
+        max_pending: int = 1024,
+        max_queue: int = 256,
+        max_shards: int = 64,
+        max_workers: int | None = None,
+        own_engine: bool | None = None,
+        **engine_kwargs,
+    ):
+        if engine is None:
+            engine = Engine(**engine_kwargs)
+            own_engine = True if own_engine is None else own_engine
+        elif engine_kwargs:
+            raise TypeError(
+                "engine_kwargs are only accepted when AsyncEngine builds "
+                f"its own Engine, got {sorted(engine_kwargs)}"
+            )
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_pending <= 0:
+            raise ValueError(
+                f"max_pending must be positive, got {max_pending}"
+            )
+        if max_queue <= 0:
+            # asyncio.Queue(0) means *unbounded*; refuse rather than
+            # silently disable the per-shard admission bound.
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if max_shards <= 0:
+            raise ValueError(
+                f"max_shards must be positive, got {max_shards}"
+            )
+        self._engine = engine
+        self._own_engine = bool(own_engine)
+        self._window_s = window_ms / 1e3
+        self._max_batch = max_batch
+        self._max_pending = max_pending
+        self._max_queue = max_queue
+        self._max_shards = max_shards
+        self._max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._start_lock = threading.Lock()
+        self._shards: dict[tuple, _Shard] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending = 0
+        self._closed = False
+        self._drained = False
+
+        self._n_submitted = 0
+        self._n_cache_hits = 0
+        self._n_coalesced = 0
+        self._n_rejected = 0
+        self._n_batch_failures = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        model_dir: str | Path,
+        *,
+        window_ms: float = 2.0,
+        max_batch: int = 32,
+        max_pending: int = 1024,
+        max_queue: int = 256,
+        max_shards: int = 64,
+        max_workers: int | None = None,
+        **engine_kwargs,
+    ) -> "AsyncEngine":
+        """An owned front door over ``Engine.open(model_dir)``."""
+        return cls(
+            Engine.open(model_dir, **engine_kwargs),
+            window_ms=window_ms,
+            max_batch=max_batch,
+            max_pending=max_pending,
+            max_queue=max_queue,
+            max_shards=max_shards,
+            max_workers=max_workers,
+            own_engine=True,
+        )
+
+    @property
+    def engine(self) -> Engine:
+        """The sync engine underneath (model store, caches, stats)."""
+        return self._engine
+
+    # Thin delegations so harness code can treat either front door alike.
+    def devices(self) -> tuple[str, ...]:
+        return self._engine.devices()
+
+    def ops(self, device: str | None = None) -> tuple[str, ...]:
+        return self._engine.ops(device)
+
+    def op_for_shape(self, shape: Any, *, device: str | None = None) -> str:
+        return self._engine.op_for_shape(shape, device=device)
+
+    # ------------------------------------------------------------------
+    # The async serving path
+    # ------------------------------------------------------------------
+    async def query(self, request: KernelRequest) -> KernelReply:
+        """Answer one request: cache -> coalesce -> shard micro-batch.
+
+        Cache hits are answered inline on the event loop (no thread hop,
+        no queueing).  Misses join their shard's current batch; duplicate
+        in-flight shapes await the leader's future.  Raises
+        :class:`BackpressureError` when saturated.
+        """
+        if self._closed:
+            raise EngineError("async engine is closed")
+        loop = self._bind_loop()
+        request, spec, key = self._engine.resolve(request)
+        self._n_submitted += 1
+
+        reply = self._engine.probe_cache(request, spec, key)
+        if reply is not None:
+            self._n_cache_hits += 1
+            return reply
+
+        leader = self._inflight.get(key)
+        if leader is not None:
+            self._n_coalesced += 1
+            reply = await asyncio.shield(leader)
+            # The leader's reply carries the leader's request envelope.
+            return replace(reply, request=request)
+
+        if self._pending >= self._max_pending:
+            self._n_rejected += 1
+            raise BackpressureError(
+                f"{self._pending} requests pending (bound "
+                f"{self._max_pending}); request refused"
+            )
+        future: asyncio.Future = loop.create_future()
+        shard = self._shard_for(request, spec)
+        item = _Pending(request, key, future, loop.time())
+        try:
+            shard.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self._n_rejected += 1
+            raise BackpressureError(
+                f"shard {shard.key} queue full "
+                f"({shard.queue.maxsize} deep); request refused"
+            ) from None
+        self._inflight[key] = future
+        self._pending += 1
+        shard.submitted += 1
+        return await asyncio.shield(future)
+
+    async def query_many(
+        self, requests: Sequence[KernelRequest]
+    ) -> list[KernelReply]:
+        """Concurrent :meth:`query` for every request; replies align.
+
+        A batch API: callers asked for every answer, so submissions that
+        hit admission control wait one batching window and retry instead
+        of failing the whole batch (matching ``Engine.query_many``,
+        which cannot fail that way).  Per-request fail-fast backpressure
+        remains :meth:`query`'s contract.
+        """
+
+        async def with_retry(request: KernelRequest) -> KernelReply:
+            while True:
+                try:
+                    return await self.query(request)
+                except BackpressureError as exc:
+                    if not exc.transient:  # shard bound: retry can't help
+                        raise
+                    await asyncio.sleep(max(self._window_s, 1e-3))
+
+        return list(
+            await asyncio.gather(*(with_retry(r) for r in requests))
+        )
+
+    # ------------------------------------------------------------------
+    # Shards and their workers
+    # ------------------------------------------------------------------
+    def _shard_for(self, request: KernelRequest, spec: OpSpec) -> _Shard:
+        # One shard per batchable unit — KernelRequest.group_key is the
+        # same grouping the sync batching planner flushes through one
+        # top_k_batch pass, shared so the two can never diverge.
+        key = request.group_key()
+        shard = self._shards.get(key)
+        if shard is None:
+            if len(self._shards) >= self._max_shards:
+                # k/reps are client-controlled: without a bound, a
+                # client sweeping them would leak one worker task +
+                # queue + reservoir per distinct tuple, forever.
+                self._n_rejected += 1
+                raise BackpressureError(
+                    f"{len(self._shards)} shards live (bound "
+                    f"{self._max_shards}); request for new shard {key} "
+                    "refused",
+                    transient=False,
+                )
+            shard = _Shard(key, self._max_queue)
+            shard.worker = self._loop.create_task(self._worker(shard))
+            self._shards[key] = shard
+        return shard
+
+    async def _worker(self, shard: _Shard) -> None:
+        """Accumulate one shard's batches and flush them, forever.
+
+        One batch at a time per shard: while a flush runs on its worker
+        thread, the event loop keeps admitting requests into the queue,
+        so the next batch is already forming.
+        """
+        loop = self._loop
+        while True:
+            item = await shard.queue.get()
+            if item is _CLOSE:
+                return
+            batch = [item]
+            draining = False
+            deadline = loop.time() + self._window_s
+            while len(batch) < self._max_batch:
+                remaining = deadline - loop.time()
+                try:
+                    if remaining <= 0:
+                        nxt = shard.queue.get_nowait()
+                    else:
+                        nxt = await asyncio.wait_for(
+                            shard.queue.get(), remaining
+                        )
+                except (asyncio.QueueEmpty, asyncio.TimeoutError):
+                    break
+                if nxt is _CLOSE:
+                    draining = True
+                    break
+                batch.append(nxt)
+            if draining:
+                # Nothing can sit behind the sentinel: aclose() enqueues
+                # it only after admissions stop, so consuming it means
+                # this batch is the shard's last.
+                reason = "drain"
+            elif len(batch) >= self._max_batch:
+                reason = "full"
+            else:
+                reason = "window"
+            await self._flush(shard, batch, reason)
+            if draining:
+                return
+
+    async def _flush(
+        self, shard: _Shard, batch: list[_Pending], reason: str
+    ) -> None:
+        """One micro-batch through the engine's batched search path."""
+        loop = self._loop
+        requests = [p.request for p in batch]
+        try:
+            replies = await loop.run_in_executor(
+                self._get_executor(), self._engine.query_many, requests
+            )
+        except Exception:
+            # A poisoned batch (one illegal request) must not take its
+            # neighbours down: fall back to per-request resolution —
+            # dispatched concurrently, so recovering a big batch does
+            # not stall the shard for max_batch serial round-trips —
+            # and only the genuinely bad requests fail.
+            self._n_batch_failures += 1
+
+            async def recover(p: _Pending):
+                try:
+                    reply = await loop.run_in_executor(
+                        self._get_executor(), self._engine.query,
+                        p.request,
+                    )
+                except Exception as exc:
+                    return p, None, exc
+                return p, reply, None
+
+            for p, reply, exc in await asyncio.gather(
+                *(recover(p) for p in batch)
+            ):
+                self._settle(shard, p, reply, exc)
+        else:
+            for p, reply in zip(batch, replies):
+                self._settle(shard, p, reply, None)
+        with shard.lock:
+            shard.batches += 1
+            shard.reasons[reason] += 1
+            shard.sizes[len(batch)] += 1
+
+    def _settle(
+        self,
+        shard: _Shard,
+        p: _Pending,
+        reply: KernelReply | None,
+        exc: BaseException | None,
+    ) -> None:
+        if self._inflight.get(p.key) is p.future:
+            del self._inflight[p.key]
+        self._pending -= 1
+        with shard.lock:
+            shard.latencies.append(self._loop.time() - p.t_submit)
+        if p.future.done():  # e.g. cancelled by a dying caller
+            return
+        if exc is not None:
+            p.future.set_exception(exc)
+        else:
+            p.future.set_result(reply)
+
+    def _get_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            import os
+
+            workers = self._max_workers or min(4, (os.cpu_count() or 2))
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-async-engine",
+            )
+        return self._executor
+
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            # First use binds the serving loop; under _start_lock so a
+            # concurrent start()/auto-start cannot bind a second loop
+            # and strand one side's submissions.
+            with self._start_lock:
+                if self._loop is None:
+                    self._loop = loop
+        if loop is not self._loop:
+            raise EngineError(
+                "AsyncEngine is bound to another event loop; create one "
+                "front door per loop (or use start() + query_sync)"
+            )
+        return loop
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> AsyncEngineStats:
+        """A consistent snapshot of service + per-shard counters.
+
+        Safe from any thread: if the serving loop (background bridge or
+        caller-owned) is running and we are not on it, the snapshot is
+        taken *on* the loop so counters and reservoirs are never read
+        mid-update.
+        """
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                running = asyncio.get_running_loop()
+            except RuntimeError:
+                running = None
+            if running is not loop:
+                try:
+                    return asyncio.run_coroutine_threadsafe(
+                        self._snapshot_async(), loop
+                    ).result(timeout=1.0)
+                except (FuturesTimeoutError, RuntimeError):
+                    # The loop stopped (close() raced us) or is blocked;
+                    # the direct read below is still safe — the shard
+                    # stats containers are lock-guarded.
+                    pass
+        return self._snapshot()
+
+    async def _snapshot_async(self) -> AsyncEngineStats:
+        return self._snapshot()
+
+    def _snapshot(self) -> AsyncEngineStats:
+        shards = []
+        for shard in list(self._shards.values()):
+            with shard.lock:
+                lat = sorted(shard.latencies)
+                reasons = dict(shard.reasons)
+                sizes = dict(shard.sizes)
+                batches = shard.batches
+            shards.append(ShardStats(
+                shard=shard.key,
+                queue_depth=shard.queue.qsize(),
+                submitted=shard.submitted,
+                batches=batches,
+                flush_reasons=reasons,
+                batch_sizes=sizes,
+                p50_ms=_percentile_ms(lat, 0.50),
+                p95_ms=_percentile_ms(lat, 0.95),
+                max_ms=lat[-1] * 1e3 if lat else float("nan"),
+            ))
+        return AsyncEngineStats(
+            submitted=self._n_submitted,
+            cache_hits=self._n_cache_hits,
+            coalesced=self._n_coalesced,
+            rejected=self._n_rejected,
+            batch_failures=self._n_batch_failures,
+            pending=self._pending,
+            shards=tuple(shards),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Graceful drain: refuse new work, flush the backlog, flush disk.
+
+        Everything admitted before ``aclose`` is answered (those batches
+        flush with reason ``drain``); then the executor stops and, for an
+        owned engine, ``Engine.close()`` persists profiles + candidates.
+        Idempotent.  Must run on the engine's bound loop (from sync code
+        use :meth:`close`); the guard raises *before* the engine refuses
+        new work, and finalization is in a ``finally`` so a failed drain
+        can never skip the disk flush.
+        """
+        if self._loop is not None:
+            try:
+                running = asyncio.get_running_loop()
+            except RuntimeError:
+                running = None
+            if running is not None and running is not self._loop:
+                raise EngineError(
+                    "aclose() must run on the engine's bound event "
+                    "loop; from sync code use close()"
+                )
+        self._closed = True
+        if self._drained:
+            return
+        try:
+            for shard in list(self._shards.values()):
+                await shard.queue.put(_CLOSE)
+            workers = [s.worker for s in self._shards.values() if s.worker]
+            if workers:
+                await asyncio.gather(*workers)
+        finally:
+            self._drained = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            if self._own_engine:
+                self._engine.close()
+
+    async def __aenter__(self) -> "AsyncEngine":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Sync bridge: a background event-loop thread
+    # ------------------------------------------------------------------
+    def start(self) -> "AsyncEngine":
+        """Run the front door on a private background event loop.
+
+        For sync callers (the harness, the CLI, legacy scripts): after
+        ``start()``, :meth:`query_sync` / :meth:`query_many_sync` submit
+        from any thread and :meth:`close` drains and stops the loop.
+        """
+        with self._start_lock:
+            if self._loop is not None:
+                raise EngineError(
+                    "AsyncEngine already bound to an event loop"
+                )
+            self._spawn_loop_locked()
+        return self
+
+    def _spawn_loop_locked(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-async-engine-loop",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _bridge_submit(self, coro):
+        """Schedule a coroutine on the background loop; races with
+        :meth:`close` are serialized by ``_start_lock``, so a submission
+        either lands before the loop stops (its callback runs — FIFO —
+        and resolves the future, if only with an error) or observes the
+        closed engine and fails cleanly, never hangs."""
+        with self._start_lock:
+            if self._closed:
+                coro.close()
+                raise EngineError("async engine is closed")
+            if self._thread is None:
+                if self._loop is not None:
+                    coro.close()
+                    raise EngineError(
+                        "AsyncEngine is bound to a caller-owned event "
+                        "loop; use the async API there"
+                    )
+                self._spawn_loop_locked()
+            return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def query_sync(
+        self, request: KernelRequest, timeout: float | None = None
+    ) -> KernelReply:
+        """Blocking :meth:`query` via the background loop (auto-started)."""
+        return self._bridge_submit(self.query(request)).result(timeout)
+
+    def query_many_sync(
+        self,
+        requests: Sequence[KernelRequest],
+        timeout: float | None = None,
+    ) -> list[KernelReply]:
+        """Blocking :meth:`query_many` via the background loop."""
+        return self._bridge_submit(
+            self.query_many(list(requests))
+        ).result(timeout)
+
+    def close(self) -> None:
+        """Sync drain + shutdown (for background-loop / never-started use).
+
+        Inside a caller-owned running loop use ``await aclose()``
+        instead.  Holds ``_start_lock`` for the whole teardown, so a
+        racing :meth:`query_sync` either submits before the loop stops
+        (and gets an answer or a clean error) or waits and is refused.
+        """
+        if self._loop is not None and self._loop.is_running():
+            try:
+                running = asyncio.get_running_loop()
+            except RuntimeError:
+                running = None
+            if running is self._loop:
+                raise EngineError(
+                    "close() called from inside the event loop; use "
+                    "`await aclose()`"
+                )
+        with self._start_lock:
+            if self._thread is not None:
+                asyncio.run_coroutine_threadsafe(
+                    self.aclose(), self._loop
+                ).result()
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join()
+                self._loop.close()
+                self._thread = None
+                return
+            if self._loop is not None and self._loop.is_running():
+                raise EngineError(
+                    "a caller-owned event loop is still serving; "
+                    "`await aclose()` there instead"
+                )
+            # Never served from a loop: nothing to drain.
+            self._closed = True
+            self._drained = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            if self._own_engine:
+                self._engine.close()
+
+    def __enter__(self) -> "AsyncEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

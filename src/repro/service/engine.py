@@ -83,6 +83,17 @@ class KernelRequest:
     k: int = 100
     reps: int = 3
 
+    def group_key(self) -> tuple:
+        """The batchable-unit key for a *resolved* request.
+
+        Requests sharing this tuple can be answered by one
+        :meth:`Isaac.top_k_batch` pass — it is the grouping of the sync
+        engine's batching planner and of the async engine's shards, kept
+        in one place so the two can never diverge.
+        """
+        return (self.device, self.op, self.shape.dtype.name, self.k,
+                self.reps)
+
 
 @dataclass(frozen=True)
 class KernelReply:
@@ -436,6 +447,30 @@ class Engine:
             )
 
     # ------------------------------------------------------------------
+    # Hooks for the asyncio front door (service/async_engine.py)
+    # ------------------------------------------------------------------
+    def resolve(self, request: KernelRequest) -> tuple[KernelRequest, OpSpec, str]:
+        """Canonicalized request, its :class:`OpSpec` and its cache key.
+
+        The cache key identifies a (device, op, shape) result — ``k`` and
+        ``reps`` are search-time knobs, not part of result identity — so
+        front doors (e.g. :class:`~repro.service.async_engine.AsyncEngine`)
+        can coalesce duplicate traffic before it ever reaches a queue.
+        """
+        return self._resolve(request)
+
+    def probe_cache(
+        self, request: KernelRequest, spec: OpSpec, key: str
+    ) -> KernelReply | None:
+        """Serve one resolved request from the two cache levels only.
+
+        Returns None on a full miss (no search is started).  Thread-safe;
+        hits count in :meth:`stats` exactly like :meth:`query` hits.
+        """
+        with self._cache_lock:
+            return self._cached_reply_locked(request, spec, key)
+
+    # ------------------------------------------------------------------
     # Single query (with in-flight deduplication)
     # ------------------------------------------------------------------
     def query(self, request: KernelRequest) -> KernelReply:
@@ -531,10 +566,8 @@ class Engine:
         # Pass 2 — group our misses for batched dispatch.
         groups: dict[tuple, list[str]] = {}
         for key, idxs in owned.items():
-            req, spec, _ = resolved[idxs[0]]
-            gkey = (req.device, spec.name, req.shape.dtype.name,
-                    req.k, req.reps)
-            groups.setdefault(gkey, []).append(key)
+            req, _spec, _ = resolved[idxs[0]]
+            groups.setdefault(req.group_key(), []).append(key)
 
         try:
             self._run_groups(groups, owned, resolved, replies)

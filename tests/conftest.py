@@ -112,3 +112,19 @@ def trained_gemm_tuner() -> Isaac:
     tuner = Isaac(TESLA_P100, op="gemm", dtypes=(DType.FP32,))
     tuner.tune(n_samples=2_500, seed=7, epochs=25, generative_target=200)
     return tuner
+
+
+@pytest.fixture(scope="session")
+def small_conv_tuner() -> Isaac:
+    """A tiny-budget P100 fp32 CONV tuner (engine / equivalence tests)."""
+    tuner = Isaac(TESLA_P100, op="conv", dtypes=(DType.FP32,))
+    tuner.tune(n_samples=700, seed=5, epochs=12, generative_target=80)
+    return tuner
+
+
+@pytest.fixture(scope="session")
+def small_bgemm_tuner() -> Isaac:
+    """A tiny-budget P100 fp32 batched-GEMM tuner."""
+    tuner = Isaac(TESLA_P100, op="bgemm", dtypes=(DType.FP32,))
+    tuner.tune(n_samples=900, seed=6, epochs=12, generative_target=80)
+    return tuner

@@ -1,0 +1,413 @@
+"""Tests for the AsyncEngine: micro-batching, coalescing, backpressure,
+drain, the sync bridge, and the CLI ``serve`` verb."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.types import DType, GemmShape
+from repro.gpu.device import TESLA_P100
+from repro.harness.app_eval import run_network_step
+from repro.service.async_engine import (
+    AsyncEngine,
+    BackpressureError,
+)
+from repro.service.engine import Engine, EngineError, KernelRequest
+from repro.workloads.networks import rnn_training_step
+
+SHAPES = [
+    GemmShape(512, 512, 512, DType.FP32, False, True),
+    GemmShape(2560, 16, 2560, DType.FP32, False, False),
+    GemmShape(64, 64, 8192, DType.FP32, False, True),
+    GemmShape(128, 256, 1024, DType.FP32, True, False),
+]
+
+
+def _async_engine(*tuners, **kwargs) -> AsyncEngine:
+    kwargs.setdefault("max_workers", 2)
+    engine = Engine(max_workers=0)
+    for tuner in tuners:
+        engine.register(tuner)
+    return AsyncEngine(engine, own_engine=True, **kwargs)
+
+
+def _requests(shapes=SHAPES, k=10, reps=2):
+    return [KernelRequest("gemm", s, k=k, reps=reps) for s in shapes]
+
+
+class TestQuery:
+    def test_batches_form_and_answers_match_sync(self, trained_gemm_tuner):
+        sync = Engine(max_workers=0)
+        sync.register(trained_gemm_tuner)
+        expected = [sync.query(r) for r in _requests()]
+
+        async def main():
+            async with _async_engine(trained_gemm_tuner,
+                                     window_ms=5.0) as engine:
+                replies = await engine.query_many(_requests())
+                stats = engine.stats()
+                return replies, stats
+
+        replies, stats = asyncio.run(main())
+        for got, want in zip(replies, expected):
+            assert got.source == "search"
+            assert got.config == want.config
+            assert got.measured_tflops == want.measured_tflops
+        # All four misses were admitted into one shard; batch sizes sum
+        # to the number of searched requests.
+        assert len(stats.shards) == 1
+        shard = stats.shards[0]
+        assert sum(s * c for s, c in shard.batch_sizes.items()) == 4
+        assert shard.batches >= 1
+        assert stats.pending == 0
+
+    def test_repeat_served_from_cache_inline(self, trained_gemm_tuner):
+        async def main():
+            async with _async_engine(trained_gemm_tuner) as engine:
+                first = await engine.query(_requests()[0])
+                again = await engine.query(_requests()[0])
+                return first, again, engine.stats()
+
+        first, again, stats = asyncio.run(main())
+        assert first.source == "search"
+        assert again.source == "lru"
+        assert again.config == first.config
+        assert stats.cache_hits == 1
+
+    def test_concurrent_duplicates_coalesce(self, trained_gemm_tuner):
+        async def main():
+            async with _async_engine(trained_gemm_tuner) as engine:
+                replies = await asyncio.gather(
+                    *(engine.query(_requests()[0]) for _ in range(16))
+                )
+                return replies, engine.stats()
+
+        replies, stats = asyncio.run(main())
+        assert len({str(r.config) for r in replies}) == 1
+        assert stats.coalesced + stats.cache_hits == 15
+        # Exactly one search reached the engine.
+        assert stats.shards[0].submitted == 1
+
+    def test_shards_split_by_k_and_reps(self, trained_gemm_tuner):
+        async def main():
+            async with _async_engine(trained_gemm_tuner) as engine:
+                await engine.query_many([
+                    KernelRequest("gemm", SHAPES[0], k=10, reps=2),
+                    KernelRequest("gemm", SHAPES[1], k=20, reps=2),
+                ])
+                return engine.stats()
+
+        stats = asyncio.run(main())
+        assert len(stats.shards) == 2
+        assert {s.shard[3] for s in stats.shards} == {10, 20}
+
+    def test_rejects_degenerate_bounds(self, trained_gemm_tuner):
+        for kwargs, match in [
+            ({"window_ms": -1.0}, "window_ms"),
+            ({"max_batch": 0}, "max_batch"),
+            ({"max_pending": 0}, "max_pending"),
+            # asyncio.Queue(0) would mean *unbounded* — must be refused.
+            ({"max_queue": 0}, "max_queue"),
+        ]:
+            with pytest.raises(ValueError, match=match):
+                _async_engine(trained_gemm_tuner, **kwargs)
+
+    def test_stats_from_foreign_thread_with_caller_owned_loop(
+        self, trained_gemm_tuner
+    ):
+        """stats() must snapshot on the serving loop even when that loop
+        is caller-owned (no background bridge)."""
+        results = {}
+
+        async def main(engine):
+            await engine.query_many(_requests())
+
+            def prober():
+                results["stats"] = engine.stats()
+
+            thread = threading.Thread(target=prober)
+            thread.start()
+            # Keep the loop turning while the foreign thread snapshots.
+            while thread.is_alive():
+                await asyncio.sleep(0.001)
+            thread.join()
+
+        async def runner():
+            async with _async_engine(trained_gemm_tuner) as engine:
+                await main(engine)
+
+        asyncio.run(runner())
+        assert results["stats"].submitted == 4
+
+    def test_closed_engine_rejects(self, trained_gemm_tuner):
+        async def main():
+            engine = _async_engine(trained_gemm_tuner)
+            await engine.aclose()
+            with pytest.raises(EngineError, match="closed"):
+                await engine.query(_requests()[0])
+
+        asyncio.run(main())
+
+    def test_rejects_second_event_loop(self, trained_gemm_tuner):
+        engine = _async_engine(trained_gemm_tuner)
+        asyncio.run(engine.query(_requests()[0]))
+        with pytest.raises(EngineError, match="event loop"):
+            asyncio.run(engine.query(_requests()[1]))
+
+
+class TestBackpressure:
+    def test_pending_bound_rejects(self, trained_gemm_tuner, monkeypatch):
+        inner = Engine(max_workers=0)
+        inner.register(trained_gemm_tuner)
+        orig = inner.query_many
+
+        def slow_query_many(requests):
+            time.sleep(0.05)
+            return orig(requests)
+
+        monkeypatch.setattr(inner, "query_many", slow_query_many)
+        engine = AsyncEngine(inner, own_engine=True, window_ms=0.0,
+                             max_batch=1, max_pending=2, max_workers=1)
+
+        async def main():
+            tasks = [
+                asyncio.ensure_future(engine.query(_requests()[i % 4]))
+                for i in range(4)
+            ]
+            # Let the submits land; two should be refused outright.
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            stats = engine.stats()
+            await engine.aclose()
+            return results, stats
+
+        results, stats = asyncio.run(main())
+        rejected = [r for r in results if isinstance(r, BackpressureError)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert len(rejected) == 2
+        assert len(served) == 2
+        assert stats.rejected == 2
+
+    def test_shard_bound_rejects_knob_sweeps(self, trained_gemm_tuner):
+        """k/reps are client-controlled shard-key parts; the shard bound
+        stops a sweep from leaking one worker task per distinct tuple."""
+
+        async def main():
+            async with _async_engine(trained_gemm_tuner,
+                                     max_shards=2) as engine:
+                await engine.query(
+                    KernelRequest("gemm", SHAPES[0], k=5, reps=2))
+                await engine.query(
+                    KernelRequest("gemm", SHAPES[1], k=6, reps=2))
+                with pytest.raises(BackpressureError) as info:
+                    await engine.query(
+                        KernelRequest("gemm", SHAPES[2], k=7, reps=2))
+                assert not info.value.transient
+                return engine.stats()
+
+        stats = asyncio.run(main())
+        assert len(stats.shards) == 2
+        assert stats.rejected == 1
+
+    def test_query_many_retries_transient_backpressure(
+        self, trained_gemm_tuner
+    ):
+        """The batch API waits out saturation instead of failing the
+        whole batch (Engine.query_many can never fail that way)."""
+        engine = _async_engine(trained_gemm_tuner, max_pending=1,
+                               max_batch=1, window_ms=0.0)
+
+        async def main():
+            replies = await engine.query_many(_requests())
+            stats = engine.stats()
+            await engine.aclose()
+            return replies, stats
+
+        replies, stats = asyncio.run(main())
+        assert len(replies) == 4
+        assert all(r.config is not None for r in replies)
+        assert stats.rejected > 0  # saturation really happened
+
+    def test_poisoned_batch_falls_back_per_request(
+        self, trained_gemm_tuner, monkeypatch
+    ):
+        inner = Engine(max_workers=0)
+        inner.register(trained_gemm_tuner)
+
+        def broken_query_many(requests):
+            raise RuntimeError("batch path down")
+
+        monkeypatch.setattr(inner, "query_many", broken_query_many)
+        engine = AsyncEngine(inner, own_engine=True, window_ms=5.0,
+                             max_workers=1)
+
+        async def main():
+            replies = await asyncio.gather(
+                *(engine.query(r) for r in _requests()[:2])
+            )
+            stats = engine.stats()
+            await engine.aclose()
+            return replies, stats
+
+        replies, stats = asyncio.run(main())
+        assert all(r.source == "search" for r in replies)
+        assert stats.batch_failures >= 1
+
+
+class TestDrain:
+    def test_aclose_answers_admitted_requests(self, trained_gemm_tuner,
+                                              monkeypatch):
+        inner = Engine(max_workers=0)
+        inner.register(trained_gemm_tuner)
+        orig = inner.query_many
+
+        def slow_query_many(requests):
+            time.sleep(0.05)
+            return orig(requests)
+
+        monkeypatch.setattr(inner, "query_many", slow_query_many)
+        engine = AsyncEngine(inner, own_engine=True, window_ms=50.0,
+                             max_batch=8, max_workers=1)
+
+        async def main():
+            tasks = [
+                asyncio.ensure_future(engine.query(r)) for r in _requests()
+            ]
+            await asyncio.sleep(0)  # submits reach the shard queue
+            await engine.aclose()   # drain: everything admitted answers
+            return await asyncio.gather(*tasks), engine.stats()
+
+        replies, stats = asyncio.run(main())
+        assert all(r.config is not None for r in replies)
+        assert stats.pending == 0
+        assert stats.shards[0].flush_reasons.get("drain", 0) >= 1
+
+    def test_aclose_idempotent_and_flushes_profiles(
+        self, trained_gemm_tuner, tmp_path
+    ):
+        path = tmp_path / "profiles.json"
+        inner = Engine(max_workers=0, profile_cache=path)
+        inner.register(trained_gemm_tuner)
+        engine = AsyncEngine(inner, own_engine=True)
+
+        async def main():
+            await engine.query(_requests()[0])
+            await engine.aclose()
+            await engine.aclose()
+
+        asyncio.run(main())
+        assert path.exists()
+
+
+class TestSyncBridge:
+    def test_query_sync_matches_engine(self, trained_gemm_tuner):
+        sync = Engine(max_workers=0)
+        sync.register(trained_gemm_tuner)
+        want = sync.query(_requests()[0])
+
+        with _async_engine(trained_gemm_tuner).start() as engine:
+            got = engine.query_sync(_requests()[0])
+            many = engine.query_many_sync(_requests())
+            stats = engine.stats()  # snapshot taken on the loop thread
+        assert got.config == want.config
+        assert many[0].source == "lru"
+        assert stats.submitted == 5
+
+    def test_auto_start_and_threaded_clients(self, trained_gemm_tuner):
+        engine = _async_engine(trained_gemm_tuner)
+        replies = []
+        lock = threading.Lock()
+
+        def client(req):
+            reply = engine.query_sync(req)
+            with lock:
+                replies.append(reply)
+
+        threads = [
+            threading.Thread(target=client, args=(r,))
+            for r in _requests() * 3
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = engine.stats()
+        engine.close()
+        assert len(replies) == 12
+        # 12 concurrent client threads over 4 shapes: one search each.
+        assert stats.submitted == 12
+        assert engine.engine.stats().searches == 4
+
+    def test_close_without_use(self, trained_gemm_tuner):
+        engine = _async_engine(trained_gemm_tuner)
+        engine.close()
+        engine.close()
+
+    def test_aclose_from_foreign_loop_refused_without_bricking(
+        self, trained_gemm_tuner, tmp_path
+    ):
+        """A wrong-loop aclose() must be refused before it marks the
+        engine closed — a later close() still drains and flushes."""
+        path = tmp_path / "profiles.json"
+        inner = Engine(max_workers=0, profile_cache=path)
+        inner.register(trained_gemm_tuner)
+        engine = AsyncEngine(inner, own_engine=True, max_workers=2)
+        engine.start()
+        engine.query_sync(_requests()[0])
+        with pytest.raises(EngineError, match="bound event loop"):
+            asyncio.run(engine.aclose())
+        # Not bricked: still serving, and close() flushes to disk.
+        assert engine.query_sync(_requests()[0]).source == "lru"
+        engine.close()
+        assert path.exists()
+
+    def test_query_sync_after_close_reports_closed(self,
+                                                   trained_gemm_tuner):
+        engine = _async_engine(trained_gemm_tuner).start()
+        engine.query_sync(_requests()[0])
+        engine.close()
+        with pytest.raises(EngineError, match="closed"):
+            engine.query_sync(_requests()[1])
+        # stats() must not hang on the stopped loop either.
+        assert engine.stats().submitted == 1
+
+    def test_open_serves_saved_models(self, trained_gemm_tuner, tmp_path):
+        trained_gemm_tuner.save(tmp_path / "pascal--gemm.npz")
+        with AsyncEngine.open(tmp_path, max_workers=2).start() as engine:
+            assert engine.devices() == (TESLA_P100.name,)
+            assert engine.ops() == ("gemm",)
+            reply = engine.query_sync(_requests()[0])
+            assert reply.source == "search"
+        # close() drained and flushed the model-dir profile store.
+        assert (tmp_path / "profiles.json").exists()
+
+
+class TestAppEval:
+    def test_run_network_step_accepts_async_engine(self,
+                                                   trained_gemm_tuner):
+        step = rnn_training_step(hidden=256, batch=16, timesteps=2)
+        want = run_network_step(trained_gemm_tuner, step, k=10, reps=2)
+
+        with _async_engine(trained_gemm_tuner) as engine:
+            got = run_network_step(engine, step, k=10, reps=2)
+        assert got.isaac_ms == want.isaac_ms
+        assert got.per_kernel == want.per_kernel
+
+
+class TestServeCli:
+    def test_serve_replays_network(self, trained_gemm_tuner, tmp_path,
+                                   capsys):
+        from repro.harness.cli import main
+
+        trained_gemm_tuner.save(tmp_path / "pascal--gemm.npz")
+        rc = main([
+            "serve", "--models", str(tmp_path), "--network", "rnn",
+            "--passes", "2", "--concurrency", "8", "-k", "10",
+            "--reps", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "served 32 requests" in out
+        assert "req/s" in out
+        assert "p95=" in out

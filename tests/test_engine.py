@@ -22,20 +22,6 @@ GEMM_SHAPES = [
 ]
 
 
-@pytest.fixture(scope="module")
-def conv_tuner() -> Isaac:
-    tuner = Isaac(TESLA_P100, op="conv", dtypes=(DType.FP32,))
-    tuner.tune(n_samples=700, seed=5, epochs=12, generative_target=80)
-    return tuner
-
-
-@pytest.fixture(scope="module")
-def bgemm_tuner() -> Isaac:
-    tuner = Isaac(TESLA_P100, op="bgemm", dtypes=(DType.FP32,))
-    tuner.tune(n_samples=900, seed=6, epochs=12, generative_target=80)
-    return tuner
-
-
 def _engine(*tuners: Isaac, **kwargs) -> Engine:
     kwargs.setdefault("max_workers", 0)
     engine = Engine(**kwargs)
@@ -239,13 +225,13 @@ class TestConcurrency:
 
 class TestQueryMany:
     def test_mixed_ops_match_per_shape_best_kernel(
-        self, trained_gemm_tuner, conv_tuner, bgemm_tuner
+        self, trained_gemm_tuner, small_conv_tuner, small_bgemm_tuner
     ):
         engine = Engine()  # default thread pool: the parallel path
-        for tuner in (trained_gemm_tuner, conv_tuner, bgemm_tuner):
+        for tuner in (trained_gemm_tuner, small_conv_tuner, small_bgemm_tuner):
             engine.register(tuner)
-        tuners = {"gemm": trained_gemm_tuner, "conv": conv_tuner,
-                  "bgemm": bgemm_tuner}
+        tuners = {"gemm": trained_gemm_tuner, "conv": small_conv_tuner,
+                  "bgemm": small_bgemm_tuner}
 
         conv_shapes = [
             ConvShape.from_output(n=2, p=6, q=6, k=16, c=8, r=3, s=3),

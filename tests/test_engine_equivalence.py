@@ -1,0 +1,197 @@
+"""Property/fuzz tests: every front door gives the same answer.
+
+The serving stack is three layers deep — ``Isaac.best_kernel`` (the
+paper's API), ``Engine.query`` (sync facade: caches + dedup + batching
+planner) and ``AsyncEngine.query`` (micro-batching shards) — and the
+whole design rests on one invariant: *layers change dispatch, never
+answers*.  These tests hammer that invariant with randomized workloads:
+
+* hypothesis-driven GEMM shapes through all three paths, asserting
+  config- and measurement-identical replies;
+* randomized mixed-op (gemm/conv/bgemm) workloads through sync and
+  async batched dispatch vs the direct tuner;
+* provenance labels: ``search`` -> ``lru``/``profile`` on the engine
+  side, ``reranked`` -> ``cache`` on the ``Isaac`` + ``ProfileCache``
+  side, with cache hits carrying NaN predictions (the caches persist
+  only measurements).
+"""
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batched import BatchedGemmShape
+from repro.core.profile_cache import ProfileCache
+from repro.core.types import ConvShape, DType, GemmShape
+from repro.service.async_engine import AsyncEngine
+from repro.service.engine import Engine, KernelRequest
+
+K = 8
+REPS = 2
+
+_DIMS = st.sampled_from([16, 24, 48, 64, 96, 128, 256, 320, 512, 1024])
+
+
+@st.composite
+def gemm_shapes(draw) -> GemmShape:
+    return GemmShape(
+        m=draw(_DIMS),
+        n=draw(_DIMS),
+        k=draw(_DIMS),
+        dtype=DType.FP32,
+        ta=draw(st.booleans()),
+        tb=draw(st.booleans()),
+    )
+
+
+@pytest.fixture(scope="module")
+def front_doors(trained_gemm_tuner):
+    """One sync Engine + one background-loop AsyncEngine, shared by the
+    module (caches accumulate across examples — that is the point: a hit
+    must equal the search that populated it)."""
+    sync = Engine(max_workers=0)
+    sync.register(trained_gemm_tuner)
+    inner = Engine(max_workers=0)
+    inner.register(trained_gemm_tuner)
+    async_engine = AsyncEngine(inner, own_engine=True, max_workers=2)
+    async_engine.start()
+    yield sync, async_engine
+    async_engine.close()
+    sync.close()
+
+
+@given(shape=gemm_shapes())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_all_front_doors_agree(front_doors, trained_gemm_tuner, shape):
+    """Direct search == sync Engine == AsyncEngine, for any legal shape."""
+    sync, async_engine = front_doors
+    request = KernelRequest("gemm", shape, k=K, reps=REPS)
+
+    direct = trained_gemm_tuner.best_kernel(shape, k=K, reps=REPS)
+    via_sync = sync.query(request)
+    via_async = async_engine.query_sync(request)
+
+    assert via_sync.config == direct.config
+    assert via_async.config == direct.config
+    assert via_sync.measured_tflops == direct.measured_tflops
+    assert via_async.measured_tflops == direct.measured_tflops
+    assert via_sync.source in ("search", "lru", "profile")
+    assert via_async.source in ("search", "lru", "profile")
+    # Cache hits must not fabricate a model prediction.
+    if via_async.source != "search":
+        assert math.isnan(via_async.predicted_tflops)
+    else:
+        assert via_async.predicted_tflops == direct.predicted_tflops
+
+
+@given(shape=gemm_shapes())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_async_repeat_is_cache_labelled(front_doors, shape):
+    """A repeated shape is served from cache and labelled as such."""
+    _sync, async_engine = front_doors
+    request = KernelRequest("gemm", shape, k=K, reps=REPS)
+    first = async_engine.query_sync(request)
+    again = async_engine.query_sync(request)
+    assert again.source == "lru"
+    assert again.config == first.config
+    assert again.measured_tflops == first.measured_tflops
+    assert math.isnan(again.predicted_tflops)
+
+
+@given(shape=gemm_shapes())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_isaac_cache_labels(trained_gemm_tuner, tmp_path_factory, shape):
+    """Isaac + ProfileCache: fresh = 'reranked', hit = 'cache', same config."""
+    cache = ProfileCache(
+        tmp_path_factory.mktemp("profiles") / "profiles.json"
+    )
+    fresh = trained_gemm_tuner.best_kernel(shape, k=K, reps=REPS,
+                                           cache=cache)
+    hit = trained_gemm_tuner.best_kernel(shape, k=K, reps=REPS, cache=cache)
+    assert fresh.source == "reranked"
+    assert not math.isnan(fresh.predicted_tflops)
+    assert hit.source == "cache"
+    assert hit.config == fresh.config
+    assert hit.measured_tflops == fresh.measured_tflops
+    assert math.isnan(hit.predicted_tflops)
+
+
+def _random_requests(rng: np.random.Generator, n: int):
+    """A mixed gemm/conv/bgemm workload with duplicates."""
+    requests = []
+    for _ in range(n):
+        op = rng.choice(["gemm", "conv", "bgemm"])
+        if op == "gemm":
+            m, nn, k = (int(2 ** rng.integers(4, 10)) for _ in range(3))
+            shape = GemmShape(m, nn, k, DType.FP32,
+                              bool(rng.integers(2)), bool(rng.integers(2)))
+        elif op == "conv":
+            shape = ConvShape.from_output(
+                n=int(rng.integers(1, 5)),
+                p=int(rng.integers(4, 13)),
+                q=int(rng.integers(4, 13)),
+                k=int(2 ** rng.integers(4, 7)),
+                c=int(2 ** rng.integers(3, 6)),
+                r=3, s=3,
+            )
+        else:
+            shape = BatchedGemmShape(
+                batch=int(2 ** rng.integers(3, 7)),
+                base=GemmShape(int(2 ** rng.integers(5, 8)),
+                               int(2 ** rng.integers(5, 8)),
+                               int(2 ** rng.integers(5, 9))),
+            )
+        requests.append(KernelRequest(str(op), shape, k=K, reps=REPS))
+    # Duplicates: popular shapes recur within one batch.
+    dupes = [requests[int(i)] for i in rng.integers(0, n, size=n // 2)]
+    return requests + dupes
+
+
+@pytest.mark.parametrize("seed", [11, 97])
+def test_mixed_op_fuzz_sync_and_async_match_direct(
+    trained_gemm_tuner, small_conv_tuner, small_bgemm_tuner, seed
+):
+    """Randomized mixed-op batches: batched dispatch == per-shape search."""
+    tuners = {"gemm": trained_gemm_tuner, "conv": small_conv_tuner,
+              "bgemm": small_bgemm_tuner}
+    requests = _random_requests(np.random.default_rng(seed), 12)
+
+    sync = Engine()  # default thread pool: the parallel group path
+    for tuner in tuners.values():
+        sync.register(tuner)
+    sync_replies = sync.query_many(requests)
+    sync.close()
+
+    inner = Engine(max_workers=0)
+    for tuner in tuners.values():
+        inner.register(tuner)
+
+    async def main():
+        async with AsyncEngine(inner, own_engine=True,
+                               max_workers=2) as engine:
+            return await engine.query_many(requests)
+
+    async_replies = asyncio.run(main())
+
+    for req, s_reply, a_reply in zip(requests, sync_replies, async_replies):
+        direct = tuners[req.op].best_kernel(req.shape, k=K, reps=REPS)
+        assert s_reply.config == direct.config, req
+        assert a_reply.config == direct.config, req
+        assert s_reply.measured_tflops == direct.measured_tflops
+        assert a_reply.measured_tflops == direct.measured_tflops
