@@ -11,7 +11,7 @@ flushes the remaining distinct misses through per-shard micro-batches
 (time window or max-batch, whichever first).
 
 This bench replays the same zipf-weighted workload — R requests over D
-distinct GEMM shapes, pulled by 64 concurrent clients — through three
+distinct GEMM shapes, pulled by C concurrent clients — through three
 front doors:
 
 * ``per-request sync loop`` — one hand-wired ``Isaac.best_kernel`` call
@@ -19,25 +19,42 @@ front doors:
   not run concurrently anyway — ``ExhaustiveSearch`` is stateful, so a
   hand-wired deployment must hold a lock around every call, and a
   serialized loop is that dispatch without the contention overhead);
-* ``sync Engine threads`` — 64 threads against ``Engine.query``
+* ``sync Engine threads`` — C threads against ``Engine.query``
   (in-flight dedup + LRU, no micro-batching), reported for transparency;
-* ``AsyncEngine`` — 64 client tasks against the micro-batching shards.
+* ``AsyncEngine`` — C client tasks against the micro-batching shards.
 
 and asserts that every reply is config-identical across all three (the
 serving layer changes dispatch, never answers) and that AsyncEngine
 throughput is at least 3x the per-request sync loop (REPRO_BENCH_SMOKE=1
 shrinks budgets and relaxes the floor to 2x for shared CI runners).
 
-Model quality is irrelevant to dispatch cost, so the tuner is trained at
-a tiny budget.  With
+**The worker-tier axis.**  ``--workers N`` (CLI) or REPRO_BENCH_WORKERS
+(pytest) additionally replays the workload through
+``AsyncEngine(workers=w)`` for each axis point — the sharded
+multi-process serving tier — on a fresh (cold-cache) engine, so every
+distinct shape is a true miss executed in a worker process.  Each point
+reports *miss throughput* (distinct searches per second) and asserts
+``config_mismatches: 0`` against the in-process path.  The >=2.5x
+miss-throughput scaling floor (4 workers vs 1) is asserted only when the
+host actually has >= 4 CPUs — process sharding cannot beat the GIL on a
+single core, and CI smoke runners frequently have exactly one.
+
+Every workload knob is an explicit CLI flag (``--seed --concurrency
+--requests --distinct``), so scaling runs are reproducible and
+comparable across machines and PRs.  Model quality is irrelevant to
+dispatch cost, so the tuner is trained at a tiny budget.  With
 ``--json`` the numbers land in ``BENCH_serving_async.json`` at the repo
-root.
+root.  Direct invocation works too::
+
+    PYTHONPATH=src python benchmarks/bench_serving_async.py \
+        --workers 4 --seed 7 --json
 """
 
 import asyncio
 import os
 import threading
 import time
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -47,23 +64,50 @@ from repro.gpu.device import TESLA_P100
 from repro.service.async_engine import AsyncEngine
 from repro.service.engine import Engine, KernelRequest
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
-N_DISTINCT = 24 if SMOKE else 48
-N_REQUESTS = 96 if SMOKE else 192
-N_SAMPLES = 700 if SMOKE else 2000
-CONCURRENCY = 64
-K = 20
-REPS = 2
-WINDOW_MS = 2.0
-# Full mode holds the 3x acceptance bar (4.4x measured); smoke relaxes
-# the floor for shared CI runners, like the offline bench's 10x -> 3x.
-SPEEDUP_FLOOR = 2.0 if SMOKE else 3.0
+#: Miss-throughput scaling floor for the worker axis (max point vs 1
+#: worker), asserted only with >= 4 workers on a >= 4-CPU host.
+SCALING_FLOOR = 2.5
 
 
-def _workload(rng: np.random.Generator) -> list[KernelRequest]:
+@dataclass(frozen=True)
+class BenchConfig:
+    """One reproducible serving-bench run; every knob is a CLI flag."""
+
+    seed: int = 7
+    concurrency: int = 64
+    requests: int = 192
+    distinct: int = 48
+    samples: int = 2000
+    k: int = 20
+    reps: int = 2
+    window_ms: float = 2.0
+    speedup_floor: float = 3.0
+    smoke: bool = False
+    workers: tuple[int, ...] = ()
+
+
+def default_config(**overrides) -> BenchConfig:
+    """Budgets from the environment (REPRO_BENCH_SMOKE), then overrides."""
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+    cfg = BenchConfig(
+        requests=96 if smoke else 192,
+        distinct=24 if smoke else 48,
+        samples=700 if smoke else 2000,
+        # Full mode holds the 3x acceptance bar (4.4x measured); smoke
+        # relaxes the floor for shared CI runners, like the offline
+        # bench's 10x -> 3x.
+        speedup_floor=2.0 if smoke else 3.0,
+        smoke=smoke,
+    )
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    return replace(cfg, **overrides)
+
+
+def _workload(cfg: BenchConfig) -> list[KernelRequest]:
     """R zipf-weighted draws from D distinct shapes, shuffled."""
+    rng = np.random.default_rng(cfg.seed)
     shapes: dict[GemmShape, None] = {}
-    while len(shapes) < N_DISTINCT:
+    while len(shapes) < cfg.distinct:
         m, n, k = (int(d) for d in 2 ** rng.uniform(5, 11, size=3))
         shapes.setdefault(
             GemmShape(m, n, k, DType.FP32,
@@ -74,16 +118,19 @@ def _workload(rng: np.random.Generator) -> list[KernelRequest]:
     weights /= weights.sum()
     # Every distinct shape appears at least once; the rest is popularity.
     draws = list(range(len(pool))) + list(
-        rng.choice(len(pool), size=N_REQUESTS - len(pool), p=weights)
+        rng.choice(len(pool), size=cfg.requests - len(pool), p=weights)
     )
     rng.shuffle(draws)
-    return [KernelRequest("gemm", pool[i], k=K, reps=REPS) for i in draws]
+    return [
+        KernelRequest("gemm", pool[i], k=cfg.k, reps=cfg.reps)
+        for i in draws
+    ]
 
 
-def _threaded(worker) -> float:
-    """Run ``worker()`` clients on 64 threads; returns the wall time."""
+def _threaded(worker, concurrency: int) -> float:
+    """Run ``worker()`` clients on N threads; returns the wall time."""
     threads = [
-        threading.Thread(target=worker) for _ in range(CONCURRENCY)
+        threading.Thread(target=worker) for _ in range(concurrency)
     ]
     t0 = time.perf_counter()
     for t in threads:
@@ -109,8 +156,10 @@ def _run_loop(tuner: Isaac, requests: list[KernelRequest]):
     return replies, time.perf_counter() - t0
 
 
-def _run_sync_engine(tuner: Isaac, requests: list[KernelRequest]):
-    """64 threads against Engine.query: dedup + LRU, no micro-batching."""
+def _run_sync_engine(
+    tuner: Isaac, requests: list[KernelRequest], cfg: BenchConfig
+):
+    """C threads against Engine.query: dedup + LRU, no micro-batching."""
     engine = Engine(max_workers=0)
     engine.register(tuner)
     replies: list = [None] * len(requests)
@@ -126,19 +175,34 @@ def _run_sync_engine(tuner: Isaac, requests: list[KernelRequest]):
             i, req = job
             replies[i] = engine.query(req)
 
-    elapsed = _threaded(client)
+    elapsed = _threaded(client, cfg.concurrency)
     stats = engine.stats()
     engine.close()
     return replies, elapsed, stats
 
 
-def _run_async(tuner: Isaac, requests: list[KernelRequest]):
-    """64 client tasks against the micro-batching front door."""
+def _run_async(
+    tuner: Isaac,
+    requests: list[KernelRequest],
+    cfg: BenchConfig,
+    workers: int = 0,
+):
+    """C client tasks against the micro-batching front door.
+
+    ``workers >= 1`` routes miss flushes through the sharded process
+    pool; the pool is booted *before* the clock starts, like a
+    deployment would.
+    """
     inner = Engine(max_workers=0)
     inner.register(tuner)
     engine = AsyncEngine(
-        inner, window_ms=WINDOW_MS, max_batch=CONCURRENCY, own_engine=True
+        inner,
+        window_ms=cfg.window_ms,
+        max_batch=cfg.concurrency,
+        workers=workers,
+        own_engine=True,
     )
+    engine.start_workers()
 
     async def main():
         replies: list = [None] * len(requests)
@@ -149,7 +213,7 @@ def _run_async(tuner: Isaac, requests: list[KernelRequest]):
                 replies[i] = await engine.query(req)
 
         t0 = time.perf_counter()
-        await asyncio.gather(*(client() for _ in range(CONCURRENCY)))
+        await asyncio.gather(*(client() for _ in range(cfg.concurrency)))
         elapsed = time.perf_counter() - t0
         stats = engine.stats()
         await engine.aclose()
@@ -158,25 +222,36 @@ def _run_async(tuner: Isaac, requests: list[KernelRequest]):
     return asyncio.run(main())
 
 
-def test_bench_serving_async(results_recorder):
+def _mismatches(replies, reference) -> int:
+    return sum(
+        1
+        for got, want in zip(replies, reference)
+        if got.config != want.config
+        or got.measured_tflops != want.measured_tflops
+    )
+
+
+def run_bench(cfg: BenchConfig, record) -> dict:
+    """The whole comparison (plus the worker axis); returns the JSON."""
     tuner = Isaac(TESLA_P100, op="gemm", dtypes=(DType.FP32,))
-    tuner.tune(n_samples=N_SAMPLES, seed=0, epochs=15, generative_target=120)
-    requests = _workload(np.random.default_rng(7))
-    # Warm the candidate enumeration + folded-model caches so all three
-    # paths measure dispatch, not one-time cold start.
+    tuner.tune(
+        n_samples=cfg.samples, seed=0, epochs=15, generative_target=120
+    )
+    requests = _workload(cfg)
+    # Warm the candidate enumeration + folded-model caches so all paths
+    # measure dispatch, not one-time cold start.
     tuner.top_k(requests[0].shape, 1)
 
     loop_replies, loop_s = _run_loop(tuner, requests)
-    sync_replies, sync_s, sync_stats = _run_sync_engine(tuner, requests)
-    async_replies, async_s, astats = _run_async(tuner, requests)
+    sync_replies, sync_s, sync_stats = _run_sync_engine(
+        tuner, requests, cfg
+    )
+    async_replies, async_s, astats = _run_async(tuner, requests, cfg)
 
     # Identical answers, per the acceptance bar: the serving layer may
     # only change how requests are dispatched, never what they return.
-    mismatches = sum(
-        1
-        for got, base, want in zip(async_replies, sync_replies, loop_replies)
-        if got.config != want.config or base.config != want.config
-        or got.measured_tflops != want.measured_tflops
+    mismatches = _mismatches(async_replies, loop_replies) + _mismatches(
+        sync_replies, loop_replies
     )
     assert mismatches == 0, f"{mismatches} config mismatches vs best_kernel"
 
@@ -184,8 +259,9 @@ def test_bench_serving_async(results_recorder):
     speedup = loop_s / async_s
     shard = astats.shards[0]
     lines = [
-        f"Async serving: {n} requests over {N_DISTINCT} distinct gemm "
-        f"shapes, {CONCURRENCY} concurrent clients (window {WINDOW_MS}ms)",
+        f"Async serving: {n} requests over {cfg.distinct} distinct gemm "
+        f"shapes (seed {cfg.seed}), {cfg.concurrency} concurrent clients "
+        f"(window {cfg.window_ms}ms)",
         f"{'path':>28s} {'total':>9s} {'req/s':>8s}",
         f"{'per-request sync loop':>28s} {loop_s:8.2f}s {n / loop_s:8.1f}",
         f"{'sync Engine threads':>28s} {sync_s:8.2f}s {n / sync_s:8.1f}",
@@ -195,38 +271,165 @@ def test_bench_serving_async(results_recorder):
         f"{astats.submitted - astats.cache_hits - astats.coalesced}, "
         f"cache_hits={astats.cache_hits}, coalesced={astats.coalesced}, "
         f"batches={shard.batches}, mean_batch={shard.mean_batch:.1f}, "
-        f"p95={shard.p95_ms:.0f}ms, smoke={SMOKE})",
+        f"hit_p50={astats.hit_p50_ms:.3f}ms, "
+        f"miss_p50={astats.miss_p50_ms:.0f}ms, smoke={cfg.smoke})",
     ]
-    results_recorder(
-        "serving_async",
-        "\n".join(lines),
-        data={
-            "requests": n,
-            "distinct_shapes": N_DISTINCT,
-            "concurrency": CONCURRENCY,
-            "window_ms": WINDOW_MS,
-            "max_batch": CONCURRENCY,
-            "smoke": SMOKE,
-            "loop_s": loop_s,
-            "sync_engine_s": sync_s,
-            "async_s": async_s,
-            "loop_req_per_s": n / loop_s,
-            "sync_engine_req_per_s": n / sync_s,
-            "async_req_per_s": n / async_s,
-            "speedup_vs_loop": speedup,
-            "speedup_vs_sync_engine": sync_s / async_s,
-            "sync_engine_searches": sync_stats.searches,
-            "async_cache_hits": astats.cache_hits,
-            "async_coalesced": astats.coalesced,
-            "batches": shard.batches,
-            "mean_batch": shard.mean_batch,
-            "p50_ms": shard.p50_ms,
-            "p95_ms": shard.p95_ms,
-            "config_mismatches": mismatches,
-        },
-    )
+    data = {
+        "requests": n,
+        "distinct_shapes": cfg.distinct,
+        "concurrency": cfg.concurrency,
+        "window_ms": cfg.window_ms,
+        "max_batch": cfg.concurrency,
+        "seed": cfg.seed,
+        "smoke": cfg.smoke,
+        "loop_s": loop_s,
+        "sync_engine_s": sync_s,
+        "async_s": async_s,
+        "loop_req_per_s": n / loop_s,
+        "sync_engine_req_per_s": n / sync_s,
+        "async_req_per_s": n / async_s,
+        "speedup_vs_loop": speedup,
+        "speedup_vs_sync_engine": sync_s / async_s,
+        "sync_engine_searches": sync_stats.searches,
+        "async_cache_hits": astats.cache_hits,
+        "async_coalesced": astats.coalesced,
+        "batches": shard.batches,
+        "mean_batch": shard.mean_batch,
+        "p50_ms": shard.p50_ms,
+        "p95_ms": shard.p95_ms,
+        "hit_p50_ms": astats.hit_p50_ms,
+        "hit_p95_ms": astats.hit_p95_ms,
+        "miss_p50_ms": astats.miss_p50_ms,
+        "miss_p95_ms": astats.miss_p95_ms,
+        "config_mismatches": mismatches,
+    }
 
-    assert speedup >= SPEEDUP_FLOOR, (
+    # ------------------------------------------------------------------
+    # The sharded worker-tier axis
+    # ------------------------------------------------------------------
+    axis = []
+    for w in cfg.workers:
+        w_replies, w_s, w_stats = _run_async(tuner, requests, cfg,
+                                             workers=w)
+        w_mism = _mismatches(w_replies, loop_replies)
+        assert w_mism == 0, (
+            f"{w_mism} config mismatches at workers={w} vs in-process"
+        )
+        misses = w_stats.submitted - w_stats.cache_hits - w_stats.coalesced
+        axis.append({
+            "workers": w,
+            "async_s": w_s,
+            "req_per_s": n / w_s,
+            "misses": misses,
+            "miss_per_s": misses / w_s,
+            "worker_flushes": w_stats.worker_flushes,
+            "worker_fallbacks": w_stats.worker_fallbacks,
+            "hit_p50_ms": w_stats.hit_p50_ms,
+            "miss_p50_ms": w_stats.miss_p50_ms,
+            "config_mismatches": w_mism,
+        })
+        lines.append(
+            f"{f'worker tier (N={w})':>28s} {w_s:8.2f}s {n / w_s:8.1f}"
+            f"   miss/s={misses / w_s:6.1f} "
+            f"flushes={w_stats.worker_flushes} "
+            f"fallbacks={w_stats.worker_fallbacks}"
+        )
+    if axis:
+        data["workers_axis"] = axis
+        base = next((p for p in axis if p["workers"] == 1), None)
+        peak = max(axis, key=lambda p: p["workers"])
+        if base is not None and peak["workers"] > 1:
+            scaling = peak["miss_per_s"] / base["miss_per_s"]
+            data["miss_scaling_vs_1worker"] = scaling
+            data["host_cpus"] = os.cpu_count() or 1
+            lines.append(
+                f"miss-throughput scaling: {scaling:.2f}x at "
+                f"{peak['workers']} workers vs 1 "
+                f"({data['host_cpus']} host CPUs)"
+            )
+            if peak["workers"] >= 4 and (os.cpu_count() or 1) >= 4:
+                assert scaling >= SCALING_FLOOR, (
+                    f"only {scaling:.2f}x miss throughput at "
+                    f"{peak['workers']} workers (floor {SCALING_FLOOR}x)"
+                )
+
+    record("serving_async", "\n".join(lines), data=data)
+
+    assert speedup >= cfg.speedup_floor, (
         f"only {speedup:.2f}x over the per-request sync loop "
-        f"(floor {SPEEDUP_FLOOR}x at concurrency {CONCURRENCY})"
+        f"(floor {cfg.speedup_floor}x at concurrency {cfg.concurrency})"
     )
+    return data
+
+
+def _workers_axis(raw: str) -> tuple[int, ...]:
+    """Parse a ``--workers`` spec; a lone N > 1 implies the 1-baseline."""
+    if not raw:
+        return ()
+    points = sorted({int(p) for p in raw.split(",") if p.strip()})
+    if any(p < 1 for p in points):
+        raise ValueError(f"worker axis points must be >= 1, got {points}")
+    if points and points != [1] and 1 not in points:
+        points.insert(0, 1)  # scaling needs the single-worker baseline
+    return tuple(points)
+
+
+def test_bench_serving_async(results_recorder):
+    workers = _workers_axis(os.environ.get("REPRO_BENCH_WORKERS", ""))
+    run_bench(default_config(workers=workers), results_recorder)
+
+
+def main(argv=None) -> int:
+    """Direct invocation (CI smoke, scaling runs) without pytest."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="AsyncEngine serving benchmark (+ worker-tier axis)"
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default 7)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="concurrent client tasks (default 64)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="total requests in the workload")
+    parser.add_argument("--distinct", type=int, default=None,
+                        help="distinct shapes in the workload")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="tuner training budget")
+    parser.add_argument("--workers", default="",
+                        help="worker-tier axis, e.g. '4' or '1,2,4' "
+                        "(a lone N > 1 implies the 1-worker baseline)")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_serving_async.json (results/ "
+                        "and the repo root)")
+    args = parser.parse_args(argv)
+
+    here = Path(__file__).parent
+    results_dir = here / "results"
+
+    def record(exp_id: str, text: str, data: dict | None = None) -> None:
+        # Same two landing spots as benchmarks/conftest.py `record`.
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / f"{exp_id}.txt").write_text(text + "\n")
+        if data is not None and args.json:
+            payload = json.dumps(data, indent=2, sort_keys=True) + "\n"
+            (results_dir / f"BENCH_{exp_id}.json").write_text(payload)
+            (here.parent / f"BENCH_{exp_id}.json").write_text(payload)
+        print(f"\n{text}\n")
+
+    cfg = default_config(
+        seed=args.seed,
+        concurrency=args.concurrency,
+        requests=args.requests,
+        distinct=args.distinct,
+        samples=args.samples,
+        workers=_workers_axis(args.workers),
+    )
+    run_bench(cfg, record)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

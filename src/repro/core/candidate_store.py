@@ -74,6 +74,77 @@ def _slug(part: object) -> str:
     return re.sub(r"[^a-z0-9_.]+", "-", str(part).lower()).strip("-")
 
 
+# ----------------------------------------------------------------------
+# Cache <-> record plumbing, shared by the disk store and the worker tier
+# ----------------------------------------------------------------------
+
+def collect_cache_records() -> list[tuple[str, tuple, str, tuple | None,
+                                          dict]]:
+    """Every in-memory candidate set as ``(kind, key, op, space, columns)``.
+
+    The export form both :meth:`CandidateStore.save` and the worker-tier
+    shared-memory boot consume: tuning-parameter columns only (records
+    from the scalar fallback have their columns recovered from the config
+    objects), ops no longer registered skipped.
+    """
+    from repro.core.ops import get_op, registered_ops
+    from repro.core.soa import config_columns
+    from repro.inference.conv_search import bucket_cache_snapshot
+    from repro.inference.search import enum_cache_snapshot
+
+    records = [
+        (_KIND_ENUM, key, rec)
+        for key, rec in enum_cache_snapshot().items()
+    ]
+    records += [
+        (_KIND_CONV, key, rec)
+        for key, rec in bucket_cache_snapshot().items()
+    ]
+    out = []
+    for kind, key, rec in records:
+        if rec.op not in registered_ops():
+            continue  # transient op (e.g. a test spec since removed)
+        params = rec.params
+        if params is None:
+            # Scalar-path record: recover the columns from the objects.
+            if not rec.configs:
+                continue
+            spec = get_op(rec.op)
+            params = config_columns(
+                rec.configs, spec.config_type.param_names()
+            )
+        out.append((kind, tuple(key), rec.op, rec.space_params, params))
+    return out
+
+
+def seed_cache_record(
+    kind: str,
+    key: tuple,
+    op: str,
+    params: Mapping[str, np.ndarray],
+    space_params: tuple | None,
+) -> bool:
+    """Publish one record into the in-process caches; True if kept.
+
+    The single seeding point behind :meth:`CandidateStore.load` and the
+    worker-tier attach: guards against ops this process has not
+    registered and against columns predating a config-schema change, then
+    routes to the enum or conv-bucket cache by ``kind``.
+    """
+    from repro.core.ops import get_op, registered_ops
+    from repro.inference.conv_search import seed_bucket_record
+    from repro.inference.search import seed_enum_record
+
+    if op not in registered_ops():
+        return False  # op from another process/run; nothing to seed
+    spec = get_op(op)
+    if not set(spec.config_type.param_names()) <= set(params):
+        return False  # columns predate a config-schema change
+    if kind == _KIND_CONV:
+        return bool(seed_bucket_record(key, params, space_params))
+    return bool(seed_enum_record(key, op, params, space_params))
+
+
 class CandidateStore:
     """A directory of ``.npz`` candidate-set records keyed like the caches."""
 
@@ -139,10 +210,6 @@ class CandidateStore:
         memory keep their entry).  Unreadable files are skipped — the
         corresponding set simply re-enumerates and is re-saved later.
         """
-        from repro.core.ops import get_op, registered_ops
-        from repro.inference.conv_search import seed_bucket_record
-        from repro.inference.search import seed_enum_record
-
         seeded = 0
         for path in self.files():
             try:
@@ -162,52 +229,23 @@ class CandidateStore:
                 continue
             if meta.get("version") != _VERSION:
                 continue
-            op = meta.get("op", meta["key"][0])
-            if op not in registered_ops():
-                continue  # op from another process/run; nothing to seed
-            spec = get_op(op)
-            if not set(spec.config_type.param_names()) <= set(params):
-                continue  # columns predate a config-schema change
-            key = tuple(meta["key"])
-            space_params = _decode_space(meta.get("space"))
-            if meta.get("kind") == _KIND_CONV:
-                seeded += seed_bucket_record(key, params, space_params)
-            else:
-                seeded += seed_enum_record(key, op, params, space_params)
+            seeded += seed_cache_record(
+                meta.get("kind", _KIND_ENUM),
+                tuple(meta["key"]),
+                meta.get("op", meta["key"][0]),
+                params,
+                _decode_space(meta.get("space")),
+            )
         return seeded
 
     def save(self) -> int:
         """Persist every in-memory candidate set not yet on disk."""
-        from repro.core.ops import get_op, registered_ops
-        from repro.core.soa import config_columns
-        from repro.inference.conv_search import bucket_cache_snapshot
-        from repro.inference.search import enum_cache_snapshot
-
-        records = [
-            (_KIND_ENUM, key, rec)
-            for key, rec in enum_cache_snapshot().items()
-        ]
-        records += [
-            (_KIND_CONV, key, rec)
-            for key, rec in bucket_cache_snapshot().items()
-        ]
         written = 0
-        for kind, key, rec in records:
-            if rec.op not in registered_ops():
-                continue  # transient op (e.g. a test spec since removed)
+        for kind, key, op, space_params, params in collect_cache_records():
             path = self._dir / self._filename(kind, key)
             if path.exists():
                 continue
-            params = rec.params
-            if params is None:
-                # Scalar-path record: recover the columns from the objects.
-                if not rec.configs:
-                    continue
-                spec = get_op(rec.op)
-                params = config_columns(
-                    rec.configs, spec.config_type.param_names()
-                )
             self._dir.mkdir(parents=True, exist_ok=True)
-            self._write(path, kind, key, rec.op, params, rec.space_params)
+            self._write(path, kind, key, op, params, space_params)
             written += 1
         return written

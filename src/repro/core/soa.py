@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -112,6 +112,132 @@ class LazyConfigList(_SequenceABC):
         return (
             f"LazyConfigList({self._type.__name__}, n={len(self)})"
         )
+
+
+# ----------------------------------------------------------------------
+# Zero-copy column sharing across processes
+# ----------------------------------------------------------------------
+
+#: numpy requires 16-byte alignment for float64 views over raw buffers to
+#: stay fast; every array in a pack starts on this boundary.
+_ALIGN = 64
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayPack:
+    """Many named numpy arrays in one ``multiprocessing.shared_memory`` block.
+
+    The worker tier must hand each process the candidate state — survivor
+    columns, log-feature matrices, prescaled first-layer terms; ~160k rows
+    per enumeration — without a per-process copy.  ``create`` lays every
+    array out back-to-back (64-byte aligned) in a single segment and
+    returns a picklable *manifest* ``{name: (dtype_str, shape, offset)}``;
+    ``attach`` reopens the segment by name in another process and rebuilds
+    **read-only views** over the same physical pages.  One segment for the
+    whole state keeps the fd/page-table footprint constant in the number
+    of records.
+
+    Lifecycle: the creator owns the segment and must call :meth:`unlink`
+    exactly once (attachers only :meth:`close`).  On Python < 3.13
+    attaching registers the segment with the process's resource tracker,
+    which would unlink it when the *attacher* exits — :meth:`attach`
+    unregisters to keep ownership with the creator.
+    """
+
+    def __init__(self, shm, manifest: dict[str, tuple[str, tuple, int]],
+                 *, owner: bool):
+        self._shm = shm
+        self.manifest = manifest
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayPack":
+        """Copy ``arrays`` into one fresh shared segment (the only copy)."""
+        from multiprocessing import shared_memory
+
+        manifest: dict[str, tuple[str, tuple, int]] = {}
+        offset = 0
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            manifest[name] = (arr.dtype.str, arr.shape, offset)
+            offset = _aligned(offset + arr.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            dtype_str, shape, off = manifest[name]
+            view = np.ndarray(shape, dtype=np.dtype(dtype_str),
+                              buffer=shm.buf, offset=off)
+            view[...] = arr
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, manifest: dict[str, tuple[str, tuple, int]]
+    ) -> "SharedArrayPack":
+        """Reopen a segment created elsewhere; see :meth:`views`."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            # Keep unlink ownership with the creator (see class docstring).
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return cls(shm, dict(manifest), owner=False)
+
+    # ------------------------------------------------------------------
+    def view(self, name: str) -> np.ndarray:
+        """A zero-copy (read-only) array over the shared pages."""
+        dtype_str, shape, offset = self.manifest[name]
+        arr = np.ndarray(shape, dtype=np.dtype(dtype_str),
+                         buffer=self._shm.buf, offset=offset)
+        arr.flags.writeable = False
+        return arr
+
+    def views(self) -> dict[str, np.ndarray]:
+        return {name: self.view(name) for name in self.manifest}
+
+    def close(self) -> None:
+        """Detach this process's mapping (views become invalid)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform noise
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only); idempotent."""
+        self.close()
+        if not self._owner:
+            return
+        self._owner = False
+        try:
+            # Spawned attachers share this process's resource tracker, so
+            # their :meth:`attach`-time unregister removed *our* entry;
+            # re-register (set-add, idempotent) so the unregister inside
+            # ``unlink`` balances instead of logging a KeyError.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
 
 @dataclass(frozen=True)

@@ -134,6 +134,30 @@ class Isaac:
     def is_tuned(self) -> bool:
         return self._search is not None
 
+    @property
+    def searcher(self) -> ExhaustiveSearch | None:
+        """The runtime search instance (None before tune/load)."""
+        return self._search
+
+    @classmethod
+    def from_fit(
+        cls,
+        device: DeviceSpec,
+        op: str | OpSpec,
+        fit: FitResult,
+        dtypes: Sequence[DType] | None = None,
+    ) -> "Isaac":
+        """A ready-for-inference tuner over an already-trained fit.
+
+        How a worker process rebuilds its tuners from shipped fit bytes
+        (and how :meth:`load` restores one from disk): no dataset, no
+        training — just the regressor and a fresh exhaustive search.
+        """
+        tuner = cls(device, op=op, dtypes=dtypes)
+        tuner.fit_result = fit
+        tuner._search = ExhaustiveSearch(fit, device, tuner.spec)
+        return tuner
+
     def _require_tuned(self) -> ExhaustiveSearch:
         if self._search is None:
             raise RuntimeError("call tune() before runtime inference")
@@ -226,13 +250,9 @@ class Isaac:
         sidecar = json.loads(
             path.with_suffix(path.suffix + ".meta.json").read_text()
         )
-        tuner = cls(
+        return cls.from_fit(
             get_device(sidecar["device"]),
-            op=sidecar["op"],
+            sidecar["op"],
+            load_fit(path),
             dtypes=tuple(DType[name] for name in sidecar["dtypes"]),
         )
-        tuner.fit_result = load_fit(path)
-        tuner._search = ExhaustiveSearch(
-            tuner.fit_result, tuner.device, tuner.spec
-        )
-        return tuner

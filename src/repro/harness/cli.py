@@ -190,6 +190,9 @@ def _service_parser() -> argparse.ArgumentParser:
                        help="admission-control bound on in-flight misses")
     serve.add_argument("-k", type=int, default=60)
     serve.add_argument("--reps", type=int, default=3)
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes for the sharded serving "
+                       "tier (0 = in-process flushes)")
 
     return parser
 
@@ -210,7 +213,13 @@ def _run_serve(args) -> int:
             window_ms=args.window_ms,
             max_batch=args.max_batch,
             max_pending=args.max_pending,
+            workers=args.workers,
         ) as engine:
+            if args.workers:
+                # Boot the pool before timing starts, like a deployment.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, engine.start_workers
+                )
             requests = [
                 KernelRequest(
                     op=engine.op_for_shape(shape, device=args.device),
@@ -258,6 +267,13 @@ def _run_serve(args) -> int:
                 f"({len(requests) / dt:.0f} req/s) {by_source}"
             )
             print(engine.stats().describe())
+            es = engine.engine.stats()
+            print(
+                f"engine caches: hit_ratio={es.hit_ratio:.2f} "
+                f"(lru={es.lru_hit_ratio:.2f} "
+                f"profile={es.profile_hit_ratio:.2f}) "
+                f"searches={es.searches} evictions={es.evictions}"
+            )
 
     asyncio.run(main())
     return 0

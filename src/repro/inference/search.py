@@ -509,6 +509,7 @@ class ExhaustiveSearch:
         self._device = device
         self._space = space
         self._sets: dict[Hashable, _CandidateSet] = {}
+        self._adopted: dict[Hashable, np.ndarray] = {}
         n_features = len(self._spec.feature_names)
         self._folded = (
             _FoldedMLP(fit, self._spec.n_config_features)
@@ -530,6 +531,7 @@ class ExhaustiveSearch:
         if self._folded is None or self._folded.is_current():
             return
         self._folded = _FoldedMLP(self._fit, self._spec.n_config_features)
+        self._adopted.clear()  # prescaled against the stale fold
         for cs in self._sets.values():
             cs.h0 = None
 
@@ -569,8 +571,43 @@ class ExhaustiveSearch:
             cs = _CandidateSet(configs=configs, cfg_matrix=matrix)
             self._sets[key] = cs
         if cs.h0 is None and self._folded is not None:
-            cs.h0 = self._folded.prescale(cs.cfg_matrix)
+            adopted = self._adopted.get(key)
+            if (
+                adopted is not None
+                and adopted.shape[0] == cs.cfg_matrix.shape[0]
+            ):
+                cs.h0 = adopted
+            else:
+                cs.h0 = self._folded.prescale(cs.cfg_matrix)
         return cs
+
+    def prescaled_snapshot(self) -> dict[Hashable, np.ndarray]:
+        """Every computed ``H0`` term, by candidate key.
+
+        The worker tier ships these through shared memory so a fresh
+        worker skips the per-set prescale matmul; only sets this search
+        has actually touched (and whose fold is current) appear.
+        """
+        self._refresh_fold()
+        return {
+            key: cs.h0
+            for key, cs in self._sets.items()
+            if cs.h0 is not None
+        }
+
+    def adopt_prescaled(self, key: Hashable, h0: np.ndarray) -> None:
+        """Accept an externally computed ``H0`` for a candidate key.
+
+        The array (typically a read-only shared-memory view) is used
+        verbatim iff its row count matches the candidate set built for
+        ``key`` — it was prescaled from the same fit bytes, so the values
+        are bit-identical to a local :meth:`_FoldedMLP.prescale`.  A
+        mismatch (space edit between export and attach) silently falls
+        back to prescaling locally.
+        """
+        if self._folded is None:
+            return
+        self._adopted[key] = h0
 
     def candidates(self, shape) -> tuple[list, np.ndarray]:
         """Candidate configs + config-feature matrix for one query shape."""

@@ -23,10 +23,36 @@ from repro.mlp.training import History
 FORMAT_VERSION = 1
 
 
+def fit_to_bytes(fit: FitResult) -> bytes:
+    """The ``.npz`` serialization of a fit, in memory.
+
+    The worker tier ships each (device, op) fit to its processes through
+    this — one pipe message per worker at warm boot, same format as the
+    on-disk model store, restored bit-exactly by :func:`fit_from_bytes`.
+    """
+    import io
+
+    buf = io.BytesIO()
+    _write_fit(fit, buf)
+    return buf.getvalue()
+
+
+def fit_from_bytes(data: bytes) -> FitResult:
+    """Restore a regressor serialized by :func:`fit_to_bytes`."""
+    import io
+
+    return _read_fit(io.BytesIO(data), "<bytes>")
+
+
 def save_fit(fit: FitResult, path: str | Path) -> None:
     """Write a trained regressor to ``path`` (.npz)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as f:
+        _write_fit(fit, f)
+
+
+def _write_fit(fit: FitResult, f) -> None:
     meta = {
         "format_version": FORMAT_VERSION,
         "n_features": fit.model.n_features,
@@ -46,18 +72,23 @@ def save_fit(fit: FitResult, path: str | Path) -> None:
     for i, layer in enumerate(fit.model.layers):
         arrays[f"w{i}"] = layer.w
         arrays[f"b{i}"] = layer.b
-    np.savez(path, meta=json.dumps(meta), **arrays)
+    np.savez(f, meta=json.dumps(meta), **arrays)
 
 
 def load_fit(path: str | Path) -> FitResult:
     """Restore a regressor saved by :func:`save_fit`."""
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
+    with open(path, "rb") as f:
+        return _read_fit(f, path)
+
+
+def _read_fit(f, origin) -> FitResult:
+    with np.load(f, allow_pickle=False) as data:
         meta = json.loads(str(data["meta"]))
         if meta.get("format_version") != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported format version {meta.get('format_version')!r} "
-                f"in {path}"
+                f"in {origin}"
             )
         model = MLP(
             meta["n_features"],

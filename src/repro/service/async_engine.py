@@ -61,6 +61,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.core.ops import OpSpec
+from repro.inference.topk import RankedKernel
 from repro.service.engine import (
     Engine,
     EngineError,
@@ -132,6 +133,14 @@ def _percentile_ms(sorted_s: list[float], q: float) -> float:
     return sorted_s[int(q * (len(sorted_s) - 1))] * 1e3
 
 
+def _ring_index(key: object, n: int) -> int:
+    """Deterministic slot for ``key`` among ``n`` survivors (re-homing)."""
+    import hashlib
+
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n
+
+
 @dataclass(frozen=True)
 class ShardStats:
     """One shard's counters (a point-in-time snapshot)."""
@@ -156,7 +165,14 @@ class ShardStats:
 
 @dataclass(frozen=True)
 class AsyncEngineStats:
-    """Service-level counters plus one :class:`ShardStats` per shard."""
+    """Service-level counters plus one :class:`ShardStats` per shard.
+
+    Latency is reported **split**: ``hit_*`` covers requests answered
+    inline from the caches (microseconds), ``miss_*`` covers everything
+    that waited for a search (leaders and coalesced waiters).  A single
+    merged reservoir would report the search latency as if every caller
+    paid it the moment the hit ratio is high.
+    """
 
     submitted: int
     cache_hits: int
@@ -164,14 +180,31 @@ class AsyncEngineStats:
     rejected: int
     batch_failures: int
     pending: int
+    workers: int
+    worker_flushes: int
+    worker_fallbacks: int
+    hit_p50_ms: float
+    hit_p95_ms: float
+    miss_p50_ms: float
+    miss_p95_ms: float
     shards: tuple[ShardStats, ...]
 
     def describe(self) -> str:
         lines = [
             f"submitted={self.submitted} cache_hits={self.cache_hits} "
             f"coalesced={self.coalesced} rejected={self.rejected} "
-            f"pending={self.pending}"
+            f"pending={self.pending}",
+            f"  hit p50={self.hit_p50_ms:.3f}ms "
+            f"p95={self.hit_p95_ms:.3f}ms | "
+            f"miss p50={self.miss_p50_ms:.1f}ms "
+            f"p95={self.miss_p95_ms:.1f}ms",
         ]
+        if self.workers:
+            lines.append(
+                f"  workers={self.workers} "
+                f"worker_flushes={self.worker_flushes} "
+                f"worker_fallbacks={self.worker_fallbacks}"
+            )
         for s in self.shards:
             dev, op, dtype, k, reps = s.shard
             lines.append(
@@ -215,6 +248,19 @@ class AsyncEngine:
         Threads flushing batches (defaults to one per CPU up to 4).
         Distinct shards flush concurrently; one shard flushes one batch
         at a time (the per-tuner lock would serialize it anyway).
+    workers:
+        Worker *processes* for the sharded serving tier.  ``0`` (the
+        default) keeps every flush in-process; ``N >= 1`` boots a
+        :class:`~repro.service.worker_pool.WorkerPool` (lazily, on the
+        first miss flush, or eagerly via :meth:`start_workers`) and
+        executes miss searches there — each flush stripes its request
+        keys across the pool's consistent-hash ring, so even a single
+        hot shard fans out over every worker.  The parent keeps the
+        caches authoritative: only misses ship, results write back
+        through :meth:`Engine.store_search_result`.  Worker failures
+        fall back to the in-process path, so answers (and their
+        config-identity to ``Engine.query``) never depend on pool
+        health.
     """
 
     def __init__(
@@ -227,6 +273,7 @@ class AsyncEngine:
         max_queue: int = 256,
         max_shards: int = 64,
         max_workers: int | None = None,
+        workers: int = 0,
         own_engine: bool | None = None,
         **engine_kwargs,
     ):
@@ -254,6 +301,8 @@ class AsyncEngine:
             raise ValueError(
                 f"max_shards must be positive, got {max_shards}"
             )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         self._engine = engine
         self._own_engine = bool(own_engine)
         self._window_s = window_ms / 1e3
@@ -273,11 +322,24 @@ class AsyncEngine:
         self._closed = False
         self._drained = False
 
+        self._n_workers = workers
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+        # Hits are answered inline and misses via shard reservoirs; the
+        # split keeps a cache-dominated workload from reporting the
+        # (huge) search latency as if every caller paid it.
+        self._lat_lock = threading.Lock()
+        self._hit_latencies: deque[float] = deque(maxlen=4096)
+        self._coalesced_latencies: deque[float] = deque(maxlen=4096)
+
         self._n_submitted = 0
         self._n_cache_hits = 0
         self._n_coalesced = 0
         self._n_rejected = 0
         self._n_batch_failures = 0
+        self._n_worker_flushes = 0
+        self._n_worker_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -293,6 +355,7 @@ class AsyncEngine:
         max_queue: int = 256,
         max_shards: int = 64,
         max_workers: int | None = None,
+        workers: int = 0,
         **engine_kwargs,
     ) -> "AsyncEngine":
         """An owned front door over ``Engine.open(model_dir)``."""
@@ -304,6 +367,7 @@ class AsyncEngine:
             max_queue=max_queue,
             max_shards=max_shards,
             max_workers=max_workers,
+            workers=workers,
             own_engine=True,
         )
 
@@ -336,18 +400,25 @@ class AsyncEngine:
         if self._closed:
             raise EngineError("async engine is closed")
         loop = self._bind_loop()
+        t0 = loop.time()
         request, spec, key = self._engine.resolve(request)
         self._n_submitted += 1
 
         reply = self._engine.probe_cache(request, spec, key)
         if reply is not None:
             self._n_cache_hits += 1
+            with self._lat_lock:
+                self._hit_latencies.append(loop.time() - t0)
             return reply
 
         leader = self._inflight.get(key)
         if leader is not None:
             self._n_coalesced += 1
             reply = await asyncio.shield(leader)
+            # A coalesced waiter paid (part of) the leader's search, so
+            # its wait belongs on the miss side of the latency split.
+            with self._lat_lock:
+                self._coalesced_latencies.append(loop.time() - t0)
             # The leader's reply carries the leader's request envelope.
             return replace(reply, request=request)
 
@@ -470,9 +541,33 @@ class AsyncEngine:
     async def _flush(
         self, shard: _Shard, batch: list[_Pending], reason: str
     ) -> None:
-        """One micro-batch through the engine's batched search path."""
+        """One micro-batch through the engine's batched search path.
+
+        With a worker tier configured, the batch goes to the process
+        pool instead (still on an executor thread — the parent side of
+        the RPC blocks on pipe futures); any pool-level failure falls
+        back to the in-process path below, so worker health can delay an
+        answer but never change or lose one.
+        """
         loop = self._loop
         requests = [p.request for p in batch]
+        if self._n_workers:
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._get_executor(), self._pool_flush, requests
+                )
+            except Exception:
+                # Pool unusable (e.g. boot failure, now disabled):
+                # serve this batch in-process like workers=0.
+                self._n_worker_fallbacks += len(batch)
+            else:
+                for p, (reply, exc) in zip(batch, outcomes):
+                    self._settle(shard, p, reply, exc)
+                with shard.lock:
+                    shard.batches += 1
+                    shard.reasons[reason] += 1
+                    shard.sizes[len(batch)] += 1
+                return
         try:
             replies = await loop.run_in_executor(
                 self._get_executor(), self._engine.query_many, requests
@@ -526,11 +621,123 @@ class AsyncEngine:
         else:
             p.future.set_result(reply)
 
+    # ------------------------------------------------------------------
+    # The sharded worker tier (workers >= 1)
+    # ------------------------------------------------------------------
+    def start_workers(self) -> int:
+        """Boot the worker pool now instead of on the first miss flush.
+
+        Returns the number of live worker processes (0 when the tier is
+        not configured).  Idempotent; callers that want boot cost out of
+        their serving latency (the CLI, benchmarks) call this once
+        up front.
+        """
+        if not self._n_workers:
+            return 0
+        return len(self._ensure_pool())
+
+    def _ensure_pool(self):
+        pool = self._pool
+        if pool is not None:
+            return pool
+        with self._pool_lock:
+            if self._pool is None:
+                from repro.service.worker_pool import WorkerPool
+
+                try:
+                    self._pool = WorkerPool(self._engine, self._n_workers)
+                except BaseException:
+                    # A boot that cannot succeed (resource limits, bad
+                    # state) must not be retried on every flush; degrade
+                    # to the in-process path for the engine's lifetime.
+                    self._n_workers = 0
+                    raise
+            return self._pool
+
+    def _pool_flush(
+        self, requests: Sequence[KernelRequest]
+    ) -> list[tuple[KernelReply | None, BaseException | None]]:
+        """One shard batch through the worker pool (executor thread).
+
+        The parent stays cache-authoritative: each request probes the
+        two cache levels here (a racing flush may have stored its key),
+        only true misses ship to workers, and every worker result is
+        written back through :meth:`Engine.store_search_result`.  Misses
+        stripe across the ring *by request cache key*, so one hot shard
+        spreads over every worker.  Any per-request worker failure —
+        crash after retries, unservable pair, search error — falls back
+        to ``Engine.query`` in-process, which re-raises genuine request
+        errors with their real tracebacks.
+        """
+        pool = self._ensure_pool()
+        resolved = [self._engine.resolve(r) for r in requests]
+        out: list = [None] * len(requests)
+        by_worker: dict[int, list[int]] = {}
+        alive = [w for w in range(len(pool)) if pool.alive(w)]
+        for i, (req, spec, key) in enumerate(resolved):
+            reply = self._engine.probe_cache(req, spec, key)
+            if reply is not None:
+                out[i] = (reply, None)
+                continue
+            wid = None
+            if alive and (req.device, req.op) in pool.pairs:
+                wid = pool.route(key)
+                if not pool.alive(wid):
+                    # Deterministic re-home keeps retries stable.
+                    wid = alive[_ring_index(key, len(alive))]
+            if wid is None:
+                self._n_worker_fallbacks += 1
+                out[i] = self._inprocess_one(req)
+            else:
+                by_worker.setdefault(wid, []).append(i)
+        submitted = []
+        for wid, idxs in by_worker.items():
+            req0 = resolved[idxs[0]][0]
+            shapes = [resolved[i][0].shape for i in idxs]
+            # One shard per batch => one (device, op, k, reps) per batch.
+            submitted.append((idxs, pool.submit_flush(
+                wid, req0.device, req0.op, shapes, req0.k, req0.reps
+            )))
+            self._n_worker_flushes += 1
+        for idxs, future in submitted:
+            try:
+                results = future.result()
+            except Exception:
+                results = [(False, "worker crashed")] * len(idxs)
+            for i, (ok, payload) in zip(idxs, results):
+                req = resolved[i][0]
+                if not ok:
+                    self._n_worker_fallbacks += 1
+                    out[i] = self._inprocess_one(req)
+                    continue
+                cfg, pred, meas = payload
+                best = RankedKernel(
+                    config=cfg, predicted_tflops=pred,
+                    measured_tflops=meas, source="reranked",
+                )
+                try:
+                    out[i] = (
+                        self._engine.store_search_result(req, best), None
+                    )
+                except Exception as exc:
+                    out[i] = (None, exc)
+        return out
+
+    def _inprocess_one(
+        self, request: KernelRequest
+    ) -> tuple[KernelReply | None, BaseException | None]:
+        try:
+            return self._engine.query(request), None
+        except Exception as exc:
+            return None, exc
+
     def _get_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
             import os
 
-            workers = self._max_workers or min(4, (os.cpu_count() or 2))
+            workers = self._max_workers or max(
+                self._n_workers + 1, min(4, (os.cpu_count() or 2))
+            )
             self._executor = ThreadPoolExecutor(
                 max_workers=workers,
                 thread_name_prefix="repro-async-engine",
@@ -587,12 +794,14 @@ class AsyncEngine:
 
     def _snapshot(self) -> AsyncEngineStats:
         shards = []
+        miss_all: list[float] = []
         for shard in list(self._shards.values()):
             with shard.lock:
                 lat = sorted(shard.latencies)
                 reasons = dict(shard.reasons)
                 sizes = dict(shard.sizes)
                 batches = shard.batches
+            miss_all.extend(lat)
             shards.append(ShardStats(
                 shard=shard.key,
                 queue_depth=shard.queue.qsize(),
@@ -604,6 +813,10 @@ class AsyncEngine:
                 p95_ms=_percentile_ms(lat, 0.95),
                 max_ms=lat[-1] * 1e3 if lat else float("nan"),
             ))
+        with self._lat_lock:
+            hits = sorted(self._hit_latencies)
+            miss_all.extend(self._coalesced_latencies)
+        miss_all.sort()
         return AsyncEngineStats(
             submitted=self._n_submitted,
             cache_hits=self._n_cache_hits,
@@ -611,6 +824,13 @@ class AsyncEngine:
             rejected=self._n_rejected,
             batch_failures=self._n_batch_failures,
             pending=self._pending,
+            workers=self._n_workers,
+            worker_flushes=self._n_worker_flushes,
+            worker_fallbacks=self._n_worker_fallbacks,
+            hit_p50_ms=_percentile_ms(hits, 0.50),
+            hit_p95_ms=_percentile_ms(hits, 0.95),
+            miss_p50_ms=_percentile_ms(miss_all, 0.50),
+            miss_p95_ms=_percentile_ms(miss_all, 0.95),
             shards=tuple(shards),
         )
 
@@ -649,6 +869,12 @@ class AsyncEngine:
                 await asyncio.gather(*workers)
         finally:
             self._drained = True
+            # Shards are drained (or died trying): no flush can still
+            # reach the pool, so stop the worker processes and free the
+            # shared segment before the caches flush to disk.
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
@@ -760,6 +986,9 @@ class AsyncEngine:
             # Never served from a loop: nothing to drain.
             self._closed = True
             self._drained = True
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None

@@ -45,7 +45,9 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.candidate_store import CandidateStore
 from repro.core.ops import OpSpec, get_op
@@ -129,6 +131,22 @@ class EngineStats:
     @property
     def queries(self) -> int:
         return self.lru_hits + self.profile_hits + self.searches
+
+    @property
+    def lru_hit_ratio(self) -> float:
+        """Fraction of queries served from the in-memory LRU."""
+        return self.lru_hits / self.queries if self.queries else 0.0
+
+    @property
+    def profile_hit_ratio(self) -> float:
+        """Fraction of queries served from the on-disk profile cache."""
+        return self.profile_hits / self.queries if self.queries else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of queries served from either cache level."""
+        hits = self.lru_hits + self.profile_hits
+        return hits / self.queries if self.queries else 0.0
 
 
 # ----------------------------------------------------------------------
@@ -470,6 +488,80 @@ class Engine:
         with self._cache_lock:
             return self._cached_reply_locked(request, spec, key)
 
+    def store_search_result(
+        self, request: KernelRequest, best: RankedKernel
+    ) -> KernelReply:
+        """Publish a search result computed elsewhere (the worker tier).
+
+        Written through both cache levels and counted as a search in
+        :meth:`stats`, exactly as if :meth:`query` had run it; returns
+        the reply to hand to the caller.
+        """
+        request, spec, key = self._resolve(request)
+        with self._cache_lock:
+            self._store_locked(request, spec, key, best)
+        return KernelReply(
+            request=request,
+            config=best.config,
+            predicted_tflops=best.predicted_tflops,
+            measured_tflops=best.measured_tflops,
+            source="search",
+        )
+
+    def export_worker_state(self) -> "WorkerState":
+        """Everything a worker process needs to serve this engine's pairs.
+
+        Fits are serialized once per (device, op) — this loads any still
+        lazy tuner, which is intended: worker boot is serve start.  The
+        candidate caches and every ``H0`` term the hot searches have
+        prescaled export as named arrays destined for one shared-memory
+        segment (see :class:`~repro.core.soa.SharedArrayPack`); the
+        metadata references arrays by name only, so it stays pipe-sized.
+        """
+        from repro.core.candidate_store import collect_cache_records
+        from repro.mlp.serialize import fit_to_bytes
+
+        fits: dict[tuple[str, str], tuple[bytes, tuple[str, ...]]] = {}
+        for device_name, op_name in sorted(self._known_pairs()):
+            tuner = self._tuner(device_name, op_name)
+            fits[(device_name, op_name)] = (
+                fit_to_bytes(tuner.fit_result),
+                tuple(d.name for d in tuner.dtypes),
+            )
+        arrays: dict[str, np.ndarray] = {}
+        records: list[dict] = []
+        for i, (kind, key, op, space, params) in enumerate(
+            collect_cache_records()
+        ):
+            columns = {}
+            for pname, col in params.items():
+                aname = f"rec{i}.{pname}"
+                arrays[aname] = np.asarray(col)
+                columns[pname] = aname
+            records.append({
+                "kind": kind, "key": key, "op": op, "space": space,
+                "columns": columns,
+            })
+        prescaled: list[dict] = []
+        with self._registry_lock:
+            hot = dict(self._tuners)
+        n = 0
+        for (device_name, op_name), tuner in sorted(hot.items()):
+            search = tuner.searcher
+            if search is None:
+                continue
+            for key, h0 in search.prescaled_snapshot().items():
+                aname = f"h0.{n}"
+                n += 1
+                arrays[aname] = np.ascontiguousarray(h0)
+                prescaled.append({
+                    "device": device_name, "op": op_name, "key": key,
+                    "name": aname,
+                })
+        return WorkerState(
+            fits=fits, records=records, prescaled=prescaled, arrays=arrays
+        )
+
     # ------------------------------------------------------------------
     # Single query (with in-flight deduplication)
     # ------------------------------------------------------------------
@@ -773,3 +865,143 @@ class Engine:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker tier: exported state + the worker-process slim engine
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerState:
+    """One engine's serving state, split for cross-process shipping.
+
+    ``fits`` (small: tens of KB of npz bytes per pair) travel over the
+    boot pipe; ``arrays`` (large: survivor columns and prescaled ``H0``
+    terms, ~160k rows each) are destined for one
+    :class:`~repro.core.soa.SharedArrayPack` segment.  ``records`` and
+    ``prescaled`` reference arrays by manifest name, never by value.
+    """
+
+    fits: dict[tuple[str, str], tuple[bytes, tuple[str, ...]]]
+    records: list[dict]
+    prescaled: list[dict]
+    arrays: dict[str, np.ndarray]
+
+
+class WorkerEngine:
+    """The worker-process side of the sharded serving tier.
+
+    A slim, single-process searcher rebuilt from a :class:`WorkerState`
+    export: it seeds the candidate caches with zero-copy shared-memory
+    views, restores each (device, op) tuner from its fit bytes, adopts
+    the parent's prescaled ``H0`` terms, and answers batched searches.
+    It keeps **no caches of its own** — the parent's LRU/profile levels
+    stay authoritative and only misses are shipped here, so worker
+    results are config-identical to the in-process path (same fit bytes,
+    same candidate columns, same deterministic measurement noise).
+    """
+
+    def __init__(
+        self,
+        fits: Mapping[tuple[str, str], tuple[bytes, tuple[str, ...]]],
+        records: Sequence[Mapping],
+        prescaled: Sequence[Mapping],
+        views: Mapping[str, np.ndarray],
+        shared_bytes: int = 0,
+    ):
+        from repro.core.candidate_store import seed_cache_record
+        from repro.mlp.serialize import fit_from_bytes
+
+        self.shared_bytes = int(shared_bytes)
+        self.seeded_records = 0
+        self.adopted_h0 = 0
+        self.searches = 0
+        for rec in records:
+            params = {
+                p: views[name] for p, name in rec["columns"].items()
+            }
+            if seed_cache_record(
+                rec["kind"], tuple(rec["key"]), rec["op"], params,
+                rec["space"],
+            ):
+                self.seeded_records += 1
+        self._tuners: dict[tuple[str, str], Isaac] = {}
+        for (device_name, op_name), (blob, dtype_names) in fits.items():
+            self._tuners[(device_name, op_name)] = Isaac.from_fit(
+                get_device(device_name),
+                op_name,
+                fit_from_bytes(blob),
+                dtypes=tuple(DType[n] for n in dtype_names),
+            )
+        for item in prescaled:
+            tuner = self._tuners.get((item["device"], item["op"]))
+            if tuner is None or tuner.searcher is None:
+                continue
+            tuner.searcher.adopt_prescaled(
+                tuple(item["key"]), views[item["name"]]
+            )
+            self.adopted_h0 += 1
+
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        """The (device, op) pairs this worker can search."""
+        return tuple(sorted(self._tuners))
+
+    def stats(self) -> dict:
+        """Zero-copy accounting, reported back over the control pipe."""
+        return {
+            "shared_bytes": self.shared_bytes,
+            "seeded_records": self.seeded_records,
+            "adopted_h0": self.adopted_h0,
+            "searches": self.searches,
+        }
+
+    # ------------------------------------------------------------------
+    def search_batch(
+        self, device: str, op: str, shapes: Sequence, k: int, reps: int
+    ) -> list[tuple[bool, Any]]:
+        """One flush: per-shape ``(ok, payload)`` results, order-aligned.
+
+        ``payload`` is ``(config, predicted_tflops, measured_tflops)`` on
+        success — the :class:`RankedKernel` fields the parent writes back
+        through :meth:`Engine.store_search_result` — or an error string.
+        A poisoned batch falls back per-shape so one bad request cannot
+        fail its whole flush.
+        """
+        tuner = self._tuners.get((device, op))
+        if tuner is None:
+            err = f"worker has no tuner for ({device!r}, {op!r})"
+            return [(False, err) for _ in shapes]
+        spec = tuner.spec
+        try:
+            tops = tuner.top_k_batch(list(shapes), k)
+        except Exception:
+            tops = None
+        if tops is not None:
+            return [
+                self._rerank_one(tuner, spec, shape, top, reps)
+                for shape, top in zip(shapes, tops)
+            ]
+        out: list[tuple[bool, Any]] = []
+        for shape in shapes:
+            try:
+                top = tuner.top_k(shape, k)
+            except Exception as exc:
+                out.append((False, f"{type(exc).__name__}: {exc}"))
+                continue
+            out.append(self._rerank_one(tuner, spec, shape, top, reps))
+        return out
+
+    def _rerank_one(
+        self, tuner: Isaac, spec: OpSpec, shape: Any, top: list, reps: int
+    ) -> tuple[bool, Any]:
+        try:
+            best = best_after_rerank(
+                tuner.device, shape, top, op=spec, reps=reps
+            )
+        except Exception as exc:
+            return (False, f"{type(exc).__name__}: {exc}")
+        self.searches += 1
+        return (
+            True,
+            (best.config, best.predicted_tflops, best.measured_tflops),
+        )

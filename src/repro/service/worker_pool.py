@@ -1,0 +1,451 @@
+"""The sharded multi-process worker tier behind the async front door.
+
+One saturated process is the serving tier's hard wall: the numpy MLP
+forward passes hold the GIL, so dynamic micro-batching cannot scale past
+a single core no matter how well it coalesces.  This module breaks the
+wall with a pool of worker *processes* — each runs a
+:class:`~repro.service.engine.WorkerEngine` rebuilt at warm boot from the
+parent engine's exported state — and a consistent-hash ring that maps
+request cache keys onto workers.
+
+The expensive read-only state is **shared, not copied**: survivor
+candidate columns and prescaled ``H0`` feature terms live in exactly one
+:class:`~repro.core.soa.SharedArrayPack` segment created by the pool;
+workers attach and rebuild numpy views over the same physical pages
+(zero re-enumeration, zero per-worker copy).  Only the small artifacts —
+fit bytes, record metadata, the manifest — travel over the boot pipe.
+
+Lifecycle per worker: spawn (``spawn`` context; BLAS thread caps are set
+in the child *before* numpy is imported, which is why this module's
+import surface is stdlib-only), warm boot handshake (``ready`` with
+zero-copy accounting, or ``boot-error``), then a lockstep RPC loop
+driven by a parent-side manager thread.  A crash mid-flush (EOF, broken
+pipe, dead process) respawns the worker and retries the same job up to
+``retries`` times before failing its future with :class:`WorkerCrashed`;
+a worker whose *respawn* fails is marked dead and every later job routed
+to it fails fast, which the async engine answers by falling back to the
+in-process path.  ``close()`` drains each inbox, asks workers to exit,
+and unlinks the shared segment exactly once.
+
+Determinism makes this tier safe: measurement noise is keyed BLAKE2b
+(:mod:`repro.gpu.noise`), candidate materialization from shared columns
+is bit-identical to the parent's, and fits round-trip bit-exactly — so a
+worker's answer for any request equals the in-process answer, and retry
+after a crash cannot change a result.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Sequence
+
+__all__ = ["WorkerCrashed", "WorkerPool"]
+
+#: Virtual nodes per worker on the hash ring: enough that key ownership
+#: stays near-uniform for small pools without measurable lookup cost.
+_VNODES = 64
+
+#: Seconds between liveness checks while waiting on a worker reply.  A
+#: flush can legitimately run for seconds (device re-rank), so replies
+#: have no deadline — only death interrupts the wait.
+_POLL_S = 0.1
+
+#: Ceiling on one warm boot (imports + tuner rebuild + cache seeding).
+_BOOT_TIMEOUT_S = 120.0
+
+_CLOSE = object()
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker died (and respawn/retry was exhausted) for this request."""
+
+
+def _ring_hash(data: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(data.encode(), digest_size=8).digest(), "big"
+    )
+
+
+# ----------------------------------------------------------------------
+# Child process entry point
+# ----------------------------------------------------------------------
+
+def _worker_main(conn, blas_threads: int) -> None:
+    """Worker process: cap BLAS, warm-boot, then serve the RPC loop.
+
+    The env caps must land before numpy's first import or they are
+    ignored — the whole point of process sharding is one core per
+    worker, and an oversubscribed BLAS pool would thrash it back away.
+    """
+    import os
+
+    for var in (
+        "OPENBLAS_NUM_THREADS",
+        "OMP_NUM_THREADS",
+        "MKL_NUM_THREADS",
+        "NUMEXPR_NUM_THREADS",
+    ):
+        os.environ[var] = str(blas_threads)
+
+    pack = None
+    try:
+        kind, boot = conn.recv()
+        assert kind == "boot", kind
+        from repro.core.soa import SharedArrayPack
+        from repro.service.engine import WorkerEngine
+
+        pack = SharedArrayPack.attach(boot["shm"], boot["manifest"])
+        engine = WorkerEngine(
+            boot["fits"],
+            boot["records"],
+            boot["prescaled"],
+            pack.views(),
+            shared_bytes=pack.nbytes,
+        )
+        conn.send(("ready", engine.stats()))
+    except BaseException:
+        import traceback
+
+        try:
+            conn.send(("boot-error", traceback.format_exc()))
+        except OSError:
+            pass
+        if pack is not None:
+            pack.close()
+        return
+
+    try:
+        while True:
+            kind, payload = conn.recv()
+            if kind == "exit":
+                break
+            if kind == "ping":
+                conn.send(("pong", engine.stats()))
+                continue
+            if kind == "flush":
+                device, op, shapes, k, reps = payload
+                try:
+                    results = engine.search_batch(device, op, shapes, k,
+                                                  reps)
+                    conn.send(("ok", results))
+                except BaseException:
+                    import traceback
+
+                    conn.send(("error", traceback.format_exc()))
+                continue
+            conn.send(("error", f"unknown message kind {kind!r}"))
+    except (EOFError, OSError):
+        pass  # parent went away; nothing to report to
+    finally:
+        pack.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side worker handle
+# ----------------------------------------------------------------------
+
+class _Worker:
+    """One worker process + its lockstep manager thread.
+
+    The worker process is single-threaded, so exactly one in-flight RPC
+    per worker is the correct concurrency: the manager thread takes jobs
+    off its inbox, sends, waits (interrupted only by process death), and
+    resolves the job's future.  Respawn-and-retry lives here too — the
+    job is not consumed until it has a definitive answer.
+    """
+
+    def __init__(self, pool: "WorkerPool", index: int):
+        self._pool = pool
+        self.index = index
+        self.inbox: queue.Queue = queue.Queue()
+        self.process = None
+        self.conn = None
+        self.dead = False
+        self.boot_stats: dict = {}
+        self.flushes = 0
+        self.respawns = 0
+        self.retries = 0
+        self._spawn()
+        self.thread = threading.Thread(
+            target=self._run, name=f"repro-worker-mgr-{index}", daemon=True
+        )
+        self.thread.start()
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self) -> None:
+        """Start the process and complete the warm-boot handshake."""
+        ctx = self._pool._ctx
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._pool._blas_threads),
+            name=f"repro-worker-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            parent_conn.send(("boot", self._pool._boot))
+            if not self._wait_readable(parent_conn, process,
+                                       _BOOT_TIMEOUT_S):
+                raise WorkerCrashed(
+                    f"worker {self.index} died during warm boot"
+                )
+            kind, payload = parent_conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            parent_conn.close()
+            self._reap(process)
+            raise WorkerCrashed(
+                f"worker {self.index} failed warm boot: {exc}"
+            ) from exc
+        if kind != "ready":
+            parent_conn.close()
+            self._reap(process)
+            raise WorkerCrashed(
+                f"worker {self.index} boot error:\n{payload}"
+            )
+        self.process = process
+        self.conn = parent_conn
+        self.boot_stats = dict(payload)
+
+    @staticmethod
+    def _wait_readable(conn, process, timeout: float | None) -> bool:
+        """Poll for a reply, giving up only on death (or boot timeout)."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not conn.poll(_POLL_S):
+            if not process.is_alive() and not conn.poll(0):
+                return False
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+        return True
+
+    @staticmethod
+    def _reap(process) -> None:
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5)
+
+    def _respawn(self) -> None:
+        self.conn.close()
+        self._reap(self.process)
+        self.respawns += 1
+        try:
+            self._spawn()
+        except WorkerCrashed:
+            self.dead = True
+
+    # -- RPC loop ------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job = self.inbox.get()
+            if job is _CLOSE:
+                break
+            kind, payload, future = job
+            if not future.set_running_or_notify_cancel():
+                continue
+            self._serve(kind, payload, future)
+        self._shutdown()
+
+    def _serve(self, kind: str, payload, future: Future) -> None:
+        for attempt in range(self._pool._retries + 1):
+            if self.dead:
+                break
+            if attempt:
+                self.retries += 1
+            try:
+                self.conn.send((kind, payload))
+                if not self._wait_readable(self.conn, self.process, None):
+                    raise EOFError("worker died mid-request")
+                reply_kind, result = self.conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                # Crash mid-flush: bring up a fresh worker (it attaches
+                # the same shared state) and replay this exact job.
+                self._respawn()
+                continue
+            if reply_kind == "error":
+                future.set_exception(WorkerCrashed(
+                    f"worker {self.index} request failed:\n{result}"
+                ))
+                return
+            self.flushes += kind == "flush"
+            future.set_result(result)
+            return
+        future.set_exception(WorkerCrashed(
+            f"worker {self.index} unavailable after "
+            f"{self._pool._retries + 1} attempts"
+        ))
+
+    def _shutdown(self) -> None:
+        if not self.dead:
+            try:
+                self.conn.send(("exit", None))
+            except (OSError, BrokenPipeError):
+                pass
+            self.conn.close()
+            self._reap(self.process)
+        # Anything still queued can never run.
+        while True:
+            try:
+                job = self.inbox.get_nowait()
+            except queue.Empty:
+                break
+            if job is not _CLOSE and job[2].set_running_or_notify_cancel():
+                job[2].set_exception(WorkerCrashed("pool closed"))
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+
+class WorkerPool:
+    """N worker processes sharing one read-only state segment.
+
+    Built from a live :class:`~repro.service.engine.Engine`: its
+    :meth:`~repro.service.engine.Engine.export_worker_state` is packed
+    into shared memory once, then every worker warm-boots against the
+    same segment.  ``route`` places request cache keys on a consistent
+    hash ring (``_VNODES`` virtual nodes per worker), so the same key
+    always lands on the same worker while distinct keys spread evenly —
+    including keys *within* one (device, op, dtype) shard, which is what
+    lets a single hot shard saturate the whole pool.
+    """
+
+    def __init__(
+        self,
+        engine,
+        n_workers: int,
+        *,
+        blas_threads: int = 1,
+        retries: int = 2,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        import multiprocessing
+
+        from repro.core.soa import SharedArrayPack
+
+        self._ctx = multiprocessing.get_context("spawn")
+        self._blas_threads = int(blas_threads)
+        self._retries = int(retries)
+        self._closed = False
+        state = engine.export_worker_state()
+        self.pairs = frozenset(state.fits)
+        self._pack = SharedArrayPack.create(state.arrays)
+        self._boot = {
+            "fits": state.fits,
+            "records": state.records,
+            "prescaled": state.prescaled,
+            "shm": self._pack.name,
+            "manifest": self._pack.manifest,
+        }
+        self._workers: list[_Worker] = []
+        try:
+            for i in range(n_workers):
+                self._workers.append(_Worker(self, i))
+        except BaseException:
+            self.close()
+            raise
+        self._ring: list[tuple[int, int]] = sorted(
+            (_ring_hash(f"{w}:{v}"), w)
+            for w in range(n_workers)
+            for v in range(_VNODES)
+        )
+        self._ring_keys = [h for h, _ in self._ring]
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def shared_bytes(self) -> int:
+        """Size of the one shared segment all workers map (not copy)."""
+        return self._pack.nbytes
+
+    # ------------------------------------------------------------------
+    def route(self, key: object) -> int:
+        """The worker index owning ``key`` on the consistent-hash ring."""
+        h = _ring_hash(repr(key))
+        i = bisect.bisect(self._ring_keys, h) % len(self._ring)
+        return self._ring[i][1]
+
+    def alive(self, worker: int) -> bool:
+        return not self._workers[worker].dead
+
+    def submit_flush(
+        self,
+        worker: int,
+        device: str,
+        op: str,
+        shapes: Sequence,
+        k: int,
+        reps: int,
+    ) -> Future:
+        """Queue one search batch on ``worker``.
+
+        Resolves to per-shape ``(ok, payload)`` pairs (see
+        :meth:`~repro.service.engine.WorkerEngine.search_batch`), or
+        raises :class:`WorkerCrashed` if the worker cannot be kept alive
+        long enough to answer.
+        """
+        if self._closed:
+            raise WorkerCrashed("pool closed")
+        future: Future = Future()
+        self._workers[worker].inbox.put(
+            ("flush", (device, op, list(shapes), k, reps), future)
+        )
+        return future
+
+    def ping(self, worker: int, timeout: float | None = 30.0) -> dict:
+        """Health check: the worker's live zero-copy/search accounting."""
+        if self._closed:
+            raise WorkerCrashed("pool closed")
+        future: Future = Future()
+        self._workers[worker].inbox.put(("ping", None, future))
+        return future.result(timeout=timeout)
+
+    def kill_worker(self, worker: int) -> None:
+        """Failure injection (tests): hard-kill the worker process now."""
+        process = self._workers[worker].process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5)
+
+    def stats(self) -> list[dict]:
+        """Parent-side per-worker counters plus warm-boot accounting."""
+        return [
+            {
+                "worker": w.index,
+                "alive": not w.dead,
+                "flushes": w.flushes,
+                "respawns": w.respawns,
+                "retries": w.retries,
+                **{f"boot_{k}": v for k, v in w.boot_stats.items()},
+            }
+            for w in self._workers
+        ]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain inboxes, stop workers, free the shared segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            w.inbox.put(_CLOSE)
+        for w in self._workers:
+            w.thread.join(timeout=30)
+        self._pack.unlink()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

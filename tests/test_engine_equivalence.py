@@ -195,3 +195,47 @@ def test_mixed_op_fuzz_sync_and_async_match_direct(
         assert a_reply.config == direct.config, req
         assert s_reply.measured_tflops == direct.measured_tflops
         assert a_reply.measured_tflops == direct.measured_tflops
+
+
+def test_worker_tier_fuzz_matches_direct(
+    trained_gemm_tuner, small_conv_tuner, small_bgemm_tuner
+):
+    """The fourth front door: worker *processes* answer like the tuner.
+
+    The same randomized mixed-op workload, but every miss flush executes
+    in a spawned worker rebuilt from shared memory — the answers must
+    still be config- and measurement-identical to the direct search.
+    """
+    tuners = {"gemm": trained_gemm_tuner, "conv": small_conv_tuner,
+              "bgemm": small_bgemm_tuner}
+    requests = _random_requests(np.random.default_rng(23), 10)
+    # Direct answers first: this also warms the parent's candidate
+    # caches, so worker boot ships (and seeds) the hot records.
+    direct = {
+        id(req): tuners[req.op].best_kernel(req.shape, k=K, reps=REPS)
+        for req in requests
+    }
+
+    inner = Engine(max_workers=0)
+    for tuner in tuners.values():
+        inner.register(tuner)
+
+    async def main():
+        async with AsyncEngine(inner, own_engine=True,
+                               workers=2) as engine:
+            booted = await asyncio.get_running_loop().run_in_executor(
+                None, engine.start_workers
+            )
+            assert booted == 2
+            replies = await engine.query_many(requests)
+            return replies, engine.stats()
+
+    replies, stats = asyncio.run(main())
+
+    assert stats.workers == 2
+    assert stats.worker_flushes >= 1
+    assert stats.worker_fallbacks == 0
+    for req, reply in zip(requests, replies):
+        want = direct[id(req)]
+        assert reply.config == want.config, req
+        assert reply.measured_tflops == want.measured_tflops, req
