@@ -15,6 +15,7 @@ Two families of commands share one binary:
       repro-experiments query  --models m/ --op gemm --shape 2560x16x2560
       repro-experiments warmup --models m/ --network rnn
       repro-experiments serve  --models m/ --network rnn --concurrency 64
+      repro-experiments models --models m/
 
   ``tune`` fits one (device, op) pair and saves it into the model
   directory; ``query`` answers one shape (cache -> batched search) and
@@ -26,7 +27,12 @@ Two families of commands share one binary:
   front door: N concurrent clients replay a network's kernel queries
   through the time-windowed micro-batching shards, and the run reports
   throughput plus per-shard batch/latency stats (the service-rate path;
-  see docs/architecture.md "Async serving").
+  see docs/architecture.md "Async serving").  With ``--online`` the
+  engine also fine-tunes the served model from the measured rerank
+  results as traffic flows (versioned hot-swaps; see docs/architecture.md
+  "Online learning loop"), and ``models`` lists the resulting store —
+  every saved fit with its version lineage plus the replayable update
+  log.
 """
 
 from __future__ import annotations
@@ -53,7 +59,7 @@ _REGISTRY = {
     "sec83": lambda a: ex.run_sec83(),
 }
 
-_SERVICE_COMMANDS = ("tune", "query", "warmup", "serve")
+_SERVICE_COMMANDS = ("tune", "query", "warmup", "serve", "models")
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +199,22 @@ def _service_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=0,
                        help="worker processes for the sharded serving "
                        "tier (0 = in-process flushes)")
+    serve.add_argument("--online", action="store_true",
+                       help="fine-tune the served model from measured "
+                       "rerank results (versioned hot-swaps)")
+    serve.add_argument("--online-every", type=int, default=64,
+                       help="fine-tune after this many new measured pairs")
+    serve.add_argument("--online-interval", type=float, default=None,
+                       help="also fine-tune every T seconds of wall clock "
+                       "(off by default: wall-clock triggers are outside "
+                       "the replay-determinism contract)")
+    serve.add_argument("--online-epochs", type=int, default=4,
+                       help="training epochs per fine-tune step")
+
+    models = sub.add_parser(
+        "models", help="list the model store (fits, versions, lineage)"
+    )
+    common(models)
 
     return parser
 
@@ -207,6 +229,16 @@ def _run_serve(args) -> int:
     names = list(_networks()) if args.network == "all" else [args.network]
     steps = [_networks()[name]() for name in names]
 
+    engine_kwargs = {}
+    if args.online:
+        from repro.service.online import OnlineConfig
+
+        engine_kwargs["online"] = OnlineConfig(
+            update_every=args.online_every,
+            interval_s=args.online_interval,
+            epochs=args.online_epochs,
+        )
+
     async def main() -> None:
         async with AsyncEngine.open(
             args.models,
@@ -214,6 +246,7 @@ def _run_serve(args) -> int:
             max_batch=args.max_batch,
             max_pending=args.max_pending,
             workers=args.workers,
+            **engine_kwargs,
         ) as engine:
             if args.workers:
                 # Boot the pool before timing starts, like a deployment.
@@ -279,6 +312,65 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_models(args) -> int:
+    """The ``models`` verb: list saved fits with their version lineage."""
+    import json
+    from pathlib import Path
+
+    from repro.mlp.serialize import load_fit
+
+    model_dir = Path(args.models)
+    if not model_dir.is_dir():
+        raise SystemExit(f"model directory {model_dir} does not exist")
+    if args.device:
+        from repro.gpu.device import get_device
+
+        wanted = get_device(args.device).name
+    else:
+        wanted = None
+    shown = 0
+    for path in sorted(model_dir.glob("*.npz")):
+        sidecar = path.with_suffix(path.suffix + ".meta.json")
+        if not sidecar.exists():
+            continue
+        meta = json.loads(sidecar.read_text())
+        if wanted is not None and meta["device"] != wanted:
+            continue
+        fit = load_fit(path)
+        lin = fit.lineage
+        if lin is None or lin.model_version == 0:
+            origin = "offline fit"
+        else:
+            origin = (
+                f"parent=v{lin.parent_version} n_samples={lin.n_samples} "
+                f"seed={lin.seed}"
+            )
+        print(
+            f"{meta['device']}/{meta['op']} "
+            f"dtypes={','.join(meta['dtypes'])} "
+            f"v{fit.model_version} ({origin}) "
+            f"val_mse={fit.val_mse:.4g} [{path.name}]"
+        )
+        shown += 1
+    if not shown:
+        print(f"no saved fits in {model_dir}")
+    log_path = model_dir / "online_updates.json"
+    if log_path.exists():
+        records = json.loads(log_path.read_text())
+        print(f"online update log ({len(records)} update(s)):")
+        for r in records:
+            if wanted is not None and r["device"] != wanted:
+                continue
+            print(
+                f"  {r['device']}/{r['op']} "
+                f"v{r['parent_version']}->v{r['version']} "
+                f"trigger={r['trigger']} "
+                f"samples={r['n_buffer']}+{r['n_anchor']} "
+                f"val_mse={r['val_mse']:.4g} digest={r['digest'][:12]}"
+            )
+    return 0
+
+
 def _run_service(argv: list[str]) -> int:
     from repro.service.engine import Engine, KernelRequest
 
@@ -286,6 +378,8 @@ def _run_service(argv: list[str]) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "models":
+        return _run_models(args)
 
     if args.command == "tune":
         dtypes = None
@@ -319,10 +413,15 @@ def _run_service(argv: list[str]) -> int:
                 )
             )
             ms = (time.time() - t0) * 1e3
+            ver = (
+                f" model=v{reply.model_version}"
+                if reply.model_version is not None
+                else ""
+            )
             print(
                 f"{shape.describe()}: {reply.config.short()} "
                 f"{reply.measured_tflops:.2f} TFLOPS "
-                f"[{reply.source}, {ms:.1f} ms]"
+                f"[{reply.source}{ver}, {ms:.1f} ms]"
             )
         else:  # warmup
             names = (

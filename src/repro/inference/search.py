@@ -535,6 +535,21 @@ class ExhaustiveSearch:
         for cs in self._sets.values():
             cs.h0 = None
 
+    def refold(self) -> bool:
+        """Re-fold *now* after an in-place model swap; True if it refolded.
+
+        Every search entry point re-checks the fold lazily, but a hot
+        swap wants the invalidation to complete inside the swapper's
+        critical section — the caller holds the same lock searches take,
+        so once this returns no reader can ever pair the new weights
+        with a stale prescaled ``H0``.
+        """
+        if self._folded is None:
+            return False
+        stale = not self._folded.is_current()
+        self._refresh_fold()
+        return stale
+
     def _candidate_set(self, shape) -> _CandidateSet:
         self._refresh_fold()
         key = self._spec.candidate_cache_key(self._device, shape, self._space)

@@ -34,12 +34,18 @@ class RankedKernel:
     back from a profile cache, which persists only the measurement —
     ``predicted_tflops`` is then NaN rather than a fake copy of the
     measured value.
+
+    ``model_version`` tags which fit produced the shortlist this kernel
+    was reranked from (0 = the offline fit, bumped by every online
+    fine-tune).  None when no model was involved — cache hits, or
+    callers that predate the versioned store.
     """
 
     config: object
     predicted_tflops: float
     measured_tflops: float
     source: str = "reranked"
+    model_version: int | None = None
 
 
 @dataclass

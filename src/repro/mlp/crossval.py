@@ -21,15 +21,41 @@ from repro.mlp.scaler import StandardScaler, TargetScaler
 from repro.mlp.training import History, train
 
 
+@dataclass(frozen=True)
+class FitLineage:
+    """Provenance of one fit in the versioned model store.
+
+    ``model_version`` 0 is the offline fit; each online fine-tune bumps
+    it by one and records its ``parent_version``.  ``n_samples`` counts
+    the pairs the fit (or fine-tune) trained on and ``seed`` is the
+    training seed — together enough to replay (and verify) an online
+    update log bit-for-bit.
+    """
+
+    model_version: int = 0
+    parent_version: int | None = None
+    n_samples: int = 0
+    seed: int = 0
+
+
 @dataclass
 class FitResult:
-    """A trained model with its transforms and held-out error."""
+    """A trained model with its transforms and held-out error.
+
+    ``lineage`` is None for fits that predate the versioned model store
+    (or were never versioned); readers treat that as version 0.
+    """
 
     model: MLP
     x_scaler: StandardScaler
     y_scaler: TargetScaler
     history: History
     val_mse: float
+    lineage: FitLineage | None = None
+
+    @property
+    def model_version(self) -> int:
+        return self.lineage.model_version if self.lineage else 0
 
 
 def fit_regressor(

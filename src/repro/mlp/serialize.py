@@ -15,7 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.mlp.crossval import FitResult
+from repro.mlp.crossval import FitLineage, FitResult
 from repro.mlp.network import MLP
 from repro.mlp.scaler import StandardScaler, TargetScaler
 from repro.mlp.training import History
@@ -65,6 +65,16 @@ def _write_fit(fit: FitResult, f) -> None:
         "val_mse_curve": fit.history.val_mse,
         "best_epoch": fit.history.best_epoch,
     }
+    if fit.lineage is not None:
+        # Optional header: stored fits that predate the versioned model
+        # store simply lack the key, and old readers ignore it — the
+        # format version does not change in either direction.
+        meta["lineage"] = {
+            "model_version": fit.lineage.model_version,
+            "parent_version": fit.lineage.parent_version,
+            "n_samples": fit.lineage.n_samples,
+            "seed": fit.lineage.seed,
+        }
     arrays: dict[str, np.ndarray] = {
         "x_mean": fit.x_scaler.mean_,
         "x_scale": fit.x_scaler.scale_,
@@ -115,10 +125,21 @@ def _read_fit(f, origin) -> FitResult:
             val_mse=list(meta["val_mse_curve"]),
             best_epoch=int(meta["best_epoch"]),
         )
+        raw_lineage = meta.get("lineage")
+        lineage = None
+        if raw_lineage is not None:
+            parent = raw_lineage.get("parent_version")
+            lineage = FitLineage(
+                model_version=int(raw_lineage.get("model_version", 0)),
+                parent_version=None if parent is None else int(parent),
+                n_samples=int(raw_lineage.get("n_samples", 0)),
+                seed=int(raw_lineage.get("seed", 0)),
+            )
     return FitResult(
         model=model,
         x_scaler=xs,
         y_scaler=ys,
         history=history,
         val_mse=float(meta["val_mse"]),
+        lineage=lineage,
     )

@@ -187,6 +187,8 @@ class AsyncEngineStats:
     hit_p95_ms: float
     miss_p50_ms: float
     miss_p95_ms: float
+    model_versions: dict[int, int]
+    online_updates: int
     shards: tuple[ShardStats, ...]
 
     def describe(self) -> str:
@@ -204,6 +206,14 @@ class AsyncEngineStats:
                 f"  workers={self.workers} "
                 f"worker_flushes={self.worker_flushes} "
                 f"worker_fallbacks={self.worker_fallbacks}"
+            )
+        if self.model_versions:
+            by_version = " ".join(
+                f"v{v}={n}" for v, n in sorted(self.model_versions.items())
+            )
+            lines.append(
+                f"  online updates={self.online_updates} "
+                f"searches by model version: {by_version}"
             )
         for s in self.shards:
             dev, op, dtype, k, reps = s.shard
@@ -325,6 +335,11 @@ class AsyncEngine:
         self._n_workers = workers
         self._pool = None
         self._pool_lock = threading.Lock()
+
+        #: the background fine-tune driver (created on loop bind when
+        #: the engine has an online learner configured).
+        self._online_task: asyncio.Task | None = None
+        self._version_counts: Counter[int] = Counter()
 
         # Hits are answered inline and misses via shard reservoirs; the
         # split keeps a cache-dominated workload from reporting the
@@ -614,6 +629,9 @@ class AsyncEngine:
         self._pending -= 1
         with shard.lock:
             shard.latencies.append(self._loop.time() - p.t_submit)
+        if reply is not None and reply.source == "search":
+            with self._lat_lock:
+                self._version_counts[reply.model_version or 0] += 1
         if p.future.done():  # e.g. cancelled by a dying caller
             return
         if exc is not None:
@@ -710,10 +728,11 @@ class AsyncEngine:
                     self._n_worker_fallbacks += 1
                     out[i] = self._inprocess_one(req)
                     continue
-                cfg, pred, meas = payload
+                cfg, pred, meas, version = payload
                 best = RankedKernel(
                     config=cfg, predicted_tflops=pred,
                     measured_tflops=meas, source="reranked",
+                    model_version=version,
                 )
                 try:
                     out[i] = (
@@ -758,7 +777,50 @@ class AsyncEngine:
                 "AsyncEngine is bound to another event loop; create one "
                 "front door per loop (or use start() + query_sync)"
             )
+        if (
+            self._online_task is None
+            and not self._closed
+            and self._engine.online is not None
+        ):
+            self._online_task = loop.create_task(self._online_loop())
         return loop
+
+    # ------------------------------------------------------------------
+    # The online fine-tune driver (asyncio side)
+    # ------------------------------------------------------------------
+    async def _online_loop(self) -> None:
+        """Drive the engine's online learner from the serving loop.
+
+        Training and hot-swapping run on the executor (they hold the
+        tuner locks, never the loop); finished updates propagate to the
+        worker tier so workers answer with the same model version the
+        parent would.
+        """
+        learner = self._engine.online
+        interval = learner.config.interval_s if learner else None
+        poll = min(interval / 2, 1.0) if interval else 0.25
+        loop = self._loop
+        while not self._closed:
+            await asyncio.sleep(poll)
+            try:
+                await loop.run_in_executor(
+                    self._get_executor(), self._run_online_once
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                continue  # serving never depends on fine-tune health
+
+    def _run_online_once(self) -> int:
+        """One cadence step (executor thread): train, swap, propagate."""
+        updates = self._engine.run_online_updates()
+        pool = self._pool
+        if updates and pool is not None:
+            fits = self._engine.export_fits(
+                sorted({(u.device, u.op) for u in updates})
+            )
+            pool.broadcast_fits(fits)
+        return len(updates)
 
     # ------------------------------------------------------------------
     # Stats
@@ -816,7 +878,10 @@ class AsyncEngine:
         with self._lat_lock:
             hits = sorted(self._hit_latencies)
             miss_all.extend(self._coalesced_latencies)
+            versions = dict(self._version_counts)
         miss_all.sort()
+        learner = self._engine.online
+        online_updates = len(learner.update_log()) if learner else 0
         return AsyncEngineStats(
             submitted=self._n_submitted,
             cache_hits=self._n_cache_hits,
@@ -831,6 +896,8 @@ class AsyncEngine:
             hit_p95_ms=_percentile_ms(hits, 0.95),
             miss_p50_ms=_percentile_ms(miss_all, 0.50),
             miss_p95_ms=_percentile_ms(miss_all, 0.95),
+            model_versions=versions,
+            online_updates=online_updates,
             shards=tuple(shards),
         )
 
@@ -869,6 +936,13 @@ class AsyncEngine:
                 await asyncio.gather(*workers)
         finally:
             self._drained = True
+            if self._online_task is not None:
+                self._online_task.cancel()
+                try:
+                    await self._online_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+                self._online_task = None
             # Shards are drained (or died trying): no flush can still
             # reach the pool, so stop the worker processes and free the
             # shared segment before the caches flush to disk.

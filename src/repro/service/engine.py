@@ -55,7 +55,8 @@ from repro.core.profile_cache import ProfileCache
 from repro.core.tuner import Isaac, TuneReport
 from repro.core.types import DType
 from repro.gpu.device import DeviceSpec, get_device
-from repro.inference.topk import RankedKernel, best_after_rerank
+from repro.inference.topk import RankedKernel, best_after_rerank, rerank
+from repro.service.online import ModelUpdate, OnlineConfig, OnlineLearner
 from repro.workloads.networks import NetworkStep
 
 
@@ -105,6 +106,10 @@ class KernelReply:
     ``"lru"`` for an in-memory hit and ``"profile"`` for an on-disk
     profile-cache hit (both cache sources report ``predicted_tflops`` as
     NaN — the caches persist only measurements).
+
+    ``model_version`` names the fit that ranked a ``"search"`` answer
+    (0 = offline fit, incremented by each online fine-tune); cache hits
+    carry None — the caches persist measurements, not provenance.
     """
 
     request: KernelRequest
@@ -112,6 +117,7 @@ class KernelReply:
     predicted_tflops: float
     measured_tflops: float
     source: str
+    model_version: int | None = None
 
     @property
     def tflops(self) -> float:
@@ -127,6 +133,8 @@ class EngineStats:
     searches: int = 0
     dedup_waits: int = 0
     evictions: int = 0
+    online_updates: int = 0
+    model_swaps: int = 0
 
     @property
     def queries(self) -> int:
@@ -220,6 +228,7 @@ class Engine:
         candidate_store: CandidateStore | str | Path | None = None,
         lru_capacity: int = 4096,
         max_workers: int | None = None,
+        online: OnlineConfig | None = None,
     ):
         self._model_dir = Path(model_dir) if model_dir is not None else None
         if isinstance(profile_cache, (str, Path)):
@@ -249,6 +258,15 @@ class Engine:
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._closed = False
+
+        #: the online learning loop (None = frozen fits, the default —
+        #: the offline determinism contract depends on that default).
+        self._learner = OnlineLearner(online) if online is not None else None
+        self._online_thread: threading.Thread | None = None
+        self._online_stop = threading.Event()
+        self._online_wake = threading.Event()
+        self._online_finalized = False
+        self._n_swaps = 0
 
         if self._model_dir is not None and self._model_dir.is_dir():
             self._scan_model_dir()
@@ -500,13 +518,41 @@ class Engine:
         request, spec, key = self._resolve(request)
         with self._cache_lock:
             self._store_locked(request, spec, key, best)
+        if self._learner is not None and best.source == "reranked":
+            # The worker tier ships only its winning pair back; feed it.
+            tuner = self._tuner(request.device, request.op)
+            self._observe_rerank(tuner, spec, request.shape, [best])
         return KernelReply(
             request=request,
             config=best.config,
             predicted_tflops=best.predicted_tflops,
             measured_tflops=best.measured_tflops,
             source="search",
+            model_version=best.model_version,
         )
+
+    def export_fits(
+        self, pairs: Iterable[tuple[str, str]]
+    ) -> dict[tuple[str, str], tuple[bytes, tuple[str, ...]]]:
+        """Current fit bytes (+ dtype names) for the given (device, op)
+        pairs — what :meth:`WorkerPool.broadcast_fits` ships after an
+        online hot-swap.  Each pair's bytes are read under its tuner
+        lock, so a concurrent swap can never export a half-written fit.
+        """
+        from repro.mlp.serialize import fit_to_bytes
+
+        out: dict[tuple[str, str], tuple[bytes, tuple[str, ...]]] = {}
+        for device_name, op_name in pairs:
+            tuner = self._tuner(device_name, op_name)
+            lock = self._tuner_locks.get((device_name, op_name))
+            if lock is None:
+                continue
+            with lock:
+                out[(device_name, op_name)] = (
+                    fit_to_bytes(tuner.fit_result),
+                    tuple(d.name for d in tuner.dtypes),
+                )
+        return out
 
     def export_worker_state(self) -> "WorkerState":
         """Everything a worker process needs to serve this engine's pairs.
@@ -600,6 +646,7 @@ class Engine:
             predicted_tflops=best.predicted_tflops,
             measured_tflops=best.measured_tflops,
             source="search",
+            model_version=best.model_version,
         )
 
     def _search_one(
@@ -611,10 +658,17 @@ class Engine:
         with self._tuner_locks[(request.device, request.op)]:
             # ExhaustiveSearch mutates per-instance caches and reuses
             # preallocated chunk buffers — one search per tuner at a time.
+            # The model version is read under the same lock the hot-swap
+            # takes, so it always names the fit that ranked this top-k.
             top = tuner.top_k(request.shape, request.k)
-        return best_after_rerank(
+            version = tuner.fit_result.model_version
+        ranked = rerank(
             tuner.device, request.shape, top, op=spec, reps=request.reps
         )
+        best = ranked[0]
+        best.model_version = version
+        self._observe_rerank(tuner, spec, request.shape, ranked)
+        return best
 
     # ------------------------------------------------------------------
     # Batched queries
@@ -714,10 +768,12 @@ class Engine:
         shapes = [resolved[owned[key][0]][0].shape for key in keys]
         with self._tuner_locks[(device_name, op_name)]:
             tops = tuner.top_k_batch(shapes, k)
+            version = tuner.fit_result.model_version
         for key, shape, top in zip(keys, shapes, tops):
-            best = best_after_rerank(
-                tuner.device, shape, top, op=spec, reps=reps
-            )
+            ranked = rerank(tuner.device, shape, top, op=spec, reps=reps)
+            best = ranked[0]
+            best.model_version = version
+            self._observe_rerank(tuner, spec, shape, ranked)
             leader_req = resolved[owned[key][0]][0]
             with self._cache_lock:
                 self._store_locked(leader_req, spec, key, best)
@@ -728,6 +784,7 @@ class Engine:
                     predicted_tflops=best.predicted_tflops,
                     measured_tflops=best.measured_tflops,
                     source="search",
+                    model_version=version,
                 )
 
     @staticmethod
@@ -813,11 +870,196 @@ class Engine:
         )
 
     # ------------------------------------------------------------------
+    # The online learning loop
+    # ------------------------------------------------------------------
+    @property
+    def online(self) -> OnlineLearner | None:
+        """The online learner (None when serving frozen fits)."""
+        return self._learner
+
+    def _observe_rerank(
+        self, tuner: Isaac, spec: OpSpec, shape: Any, ranked: Sequence
+    ) -> None:
+        """Feed every measured (config, time) pair of one re-rank into
+        the replay buffer.  A no-op on frozen engines; never raises into
+        the serving path."""
+        learner = self._learner
+        if learner is None:
+            return
+        device_name, op_name = tuner.device.name, tuner.op
+
+        def make():
+            ds = tuner.dataset
+            ax = ds.x if ds is not None else None
+            ay = ds.y if ds is not None else None
+            return tuner.fit_result, ax, ay, len(spec.feature_names)
+
+        learner.ensure_registered(device_name, op_name, make)
+        due = False
+        for kernel in ranked:
+            features = spec.encode(kernel.config, shape, log=False)
+            due |= learner.observe(
+                device_name, op_name, features, kernel.measured_tflops
+            )
+        if due:
+            self._online_wake.set()
+
+    def run_online_updates(self) -> list[ModelUpdate]:
+        """Train every due fine-tune job and hot-swap the results in.
+
+        The synchronous driver of the loop: the background thread calls
+        it on its cadence, tests and benchmarks call it directly at
+        pinned points (which is what makes a traffic replay bit-
+        reproducible).  Returns the applied updates so front doors can
+        propagate new fits to their worker tier.
+        """
+        learner = self._learner
+        if learner is None:
+            return []
+        learner.tick()
+        updates = learner.run_due()
+        for update in updates:
+            self._apply_update(update)
+        return updates
+
+    def _apply_update(self, update: ModelUpdate) -> None:
+        """Atomic hot-swap of one (device, op) fit.
+
+        Holds the pair's tuner lock — the lock every search takes — so a
+        reader either completes against the old (fit, H0) pair or starts
+        against the new one; the eager ``refold()`` inside the critical
+        section means no reader can ever mix the two.
+        """
+        key = (update.device, update.op)
+        with self._registry_lock:
+            tuner = self._tuners.get(key)
+            lock = self._tuner_locks.get(key)
+        if tuner is None or lock is None:
+            return
+        with lock:
+            live = tuner.fit_result
+            live.model.set_weights(update.fit.model.get_weights())
+            live.history = update.fit.history
+            live.val_mse = update.fit.val_mse
+            live.lineage = update.fit.lineage
+            if tuner.searcher is not None:
+                tuner.searcher.refold()
+        self._n_swaps += 1
+
+    def start_online(self) -> bool:
+        """Run the fine-tune loop on a background thread; True if started.
+
+        The thread wakes when a cadence trips (or every poll interval
+        for the wall-clock trigger), trains due jobs and swaps them in.
+        No-op for frozen engines and when already running.
+        """
+        if self._learner is None or self._closed:
+            return False
+        if self._online_thread is not None:
+            return False
+        self._online_stop.clear()
+        self._online_thread = threading.Thread(
+            target=self._online_loop, name="repro-online", daemon=True
+        )
+        self._online_thread.start()
+        return True
+
+    def _online_loop(self) -> None:
+        interval = self._learner.config.interval_s
+        poll = min(interval / 2, 1.0) if interval else 0.25
+        while not self._online_stop.is_set():
+            self._online_wake.wait(poll)
+            self._online_wake.clear()
+            if self._online_stop.is_set():
+                return
+            try:
+                self.run_online_updates()
+            except Exception:
+                import warnings
+
+                warnings.warn(
+                    "online fine-tune failed; serving continues on the "
+                    "current fit",
+                    RuntimeWarning,
+                )
+
+    def _stop_online_thread(self) -> None:
+        thread = self._online_thread
+        if thread is None:
+            return
+        self._online_stop.set()
+        self._online_wake.set()
+        thread.join(timeout=60)
+        self._online_thread = None
+
+    def _finalize_online(self) -> None:
+        """Close-path flush: train leftovers, persist latest fits once.
+
+        Idempotent — a second ``close()`` (or a close racing the
+        background thread) must not retrain or rewrite anything.
+        """
+        if self._learner is None or self._online_finalized:
+            return
+        self._online_finalized = True
+        self._stop_online_thread()
+        for update in self._learner.flush():
+            self._apply_update(update)
+        if self._model_dir is None:
+            return
+        import json
+
+        persisted = False
+        for device_name, op_name in self._learner.registered():
+            if self._learner.version(device_name, op_name) <= 0:
+                continue
+            with self._registry_lock:
+                tuner = self._tuners.get((device_name, op_name))
+            if tuner is None:
+                continue
+            self._model_dir.mkdir(parents=True, exist_ok=True)
+            path = self._model_dir / _model_filename(device_name, op_name)
+            tuner.save(path)
+            with self._registry_lock:
+                self._model_index[(device_name, op_name)] = path
+            persisted = True
+        log = self._learner.update_log()
+        if persisted or log:
+            self._model_dir.mkdir(parents=True, exist_ok=True)
+            (self._model_dir / "online_updates.json").write_text(
+                json.dumps([r.to_json() for r in log], indent=2)
+            )
+
+    def online_status(self) -> dict[tuple[str, str], dict]:
+        """Per-(device, op) version/buffer/update counters (CLI, stats)."""
+        if self._learner is None:
+            return {}
+        return self._learner.describe()
+
+    def model_version(self, device: str, op: str) -> int:
+        """The live fit version for (device, op); 0 when never updated."""
+        key = (get_device(device).name, get_op(op).name)
+        if key not in self._known_pairs():
+            return 0
+        tuner = self._tuner(*key)
+        if tuner.fit_result is None:
+            return 0
+        return tuner.fit_result.model_version
+
+    # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
+        updates = (
+            len(self._learner.update_log())
+            if self._learner is not None else 0
+        )
         with self._cache_lock:
-            return replace(self._stats, evictions=self._lru.evictions)
+            return replace(
+                self._stats,
+                evictions=self._lru.evictions,
+                online_updates=updates,
+                model_swaps=self._n_swaps,
+            )
 
     def save_profiles(self) -> None:
         """Flush the write-through profile cache to disk (atomic replace)."""
@@ -857,6 +1099,10 @@ class Engine:
                 break
             for event in events:
                 event.wait()
+        # Drained: every measured pair has reached the replay buffer, so
+        # the final flush-train sees all of them, and the fine-tuned fit
+        # persists (exactly once) before the caches do.
+        self._finalize_online()
         self.save_profiles()
         self.save_candidates()
 
@@ -915,6 +1161,7 @@ class WorkerEngine:
         self.shared_bytes = int(shared_bytes)
         self.seeded_records = 0
         self.adopted_h0 = 0
+        self.adopted_fits = 0
         self.searches = 0
         for rec in records:
             params = {
@@ -946,12 +1193,42 @@ class WorkerEngine:
         """The (device, op) pairs this worker can search."""
         return tuple(sorted(self._tuners))
 
+    def adopt_fits(
+        self,
+        fits: Mapping[tuple[str, str], tuple[bytes, tuple[str, ...]]],
+    ) -> dict[tuple[str, str], int]:
+        """Hot-swap updated fits shipped by the parent's online loop.
+
+        Each pair's tuner is rebuilt from the new fit bytes with a fresh
+        search (its prescaled ``H0`` terms were folded through the old
+        weights, so re-adopting them would tear the (fit, H0) pair — the
+        worker re-prescales lazily from the shared candidate columns
+        instead).  The worker is single-threaded between RPCs, so the
+        whole swap is atomic from the parent's point of view.  Returns
+        the adopted version per pair.
+        """
+        from repro.mlp.serialize import fit_from_bytes
+
+        adopted: dict[tuple[str, str], int] = {}
+        for (device_name, op_name), (blob, dtype_names) in fits.items():
+            fit = fit_from_bytes(blob)
+            self._tuners[(device_name, op_name)] = Isaac.from_fit(
+                get_device(device_name),
+                op_name,
+                fit,
+                dtypes=tuple(DType[n] for n in dtype_names),
+            )
+            adopted[(device_name, op_name)] = fit.model_version
+            self.adopted_fits += 1
+        return adopted
+
     def stats(self) -> dict:
         """Zero-copy accounting, reported back over the control pipe."""
         return {
             "shared_bytes": self.shared_bytes,
             "seeded_records": self.seeded_records,
             "adopted_h0": self.adopted_h0,
+            "adopted_fits": self.adopted_fits,
             "searches": self.searches,
         }
 
@@ -961,11 +1238,11 @@ class WorkerEngine:
     ) -> list[tuple[bool, Any]]:
         """One flush: per-shape ``(ok, payload)`` results, order-aligned.
 
-        ``payload`` is ``(config, predicted_tflops, measured_tflops)`` on
-        success — the :class:`RankedKernel` fields the parent writes back
-        through :meth:`Engine.store_search_result` — or an error string.
-        A poisoned batch falls back per-shape so one bad request cannot
-        fail its whole flush.
+        ``payload`` is ``(config, predicted_tflops, measured_tflops,
+        model_version)`` on success — the :class:`RankedKernel` fields
+        the parent writes back through :meth:`Engine.store_search_result`
+        — or an error string.  A poisoned batch falls back per-shape so
+        one bad request cannot fail its whole flush.
         """
         tuner = self._tuners.get((device, op))
         if tuner is None:
@@ -1001,7 +1278,12 @@ class WorkerEngine:
         except Exception as exc:
             return (False, f"{type(exc).__name__}: {exc}")
         self.searches += 1
+        version = (
+            tuner.fit_result.model_version
+            if tuner.fit_result is not None else 0
+        )
         return (
             True,
-            (best.config, best.predicted_tflops, best.measured_tflops),
+            (best.config, best.predicted_tflops, best.measured_tflops,
+             version),
         )

@@ -137,6 +137,19 @@ def _worker_main(conn, blas_threads: int) -> None:
 
                     conn.send(("error", traceback.format_exc()))
                 continue
+            if kind == "adopt":
+                # A model hot-swap from the parent's online loop: rebuild
+                # the named tuners from the shipped fit bytes.  Atomic
+                # from the parent's view — the worker answers RPCs one at
+                # a time, so no flush interleaves with the swap.
+                try:
+                    adopted = engine.adopt_fits(payload)
+                    conn.send(("ok", sorted(adopted.values())))
+                except BaseException:
+                    import traceback
+
+                    conn.send(("error", traceback.format_exc()))
+                continue
             conn.send(("error", f"unknown message kind {kind!r}"))
     except (EOFError, OSError):
         pass  # parent went away; nothing to report to
@@ -402,6 +415,48 @@ class WorkerPool:
             ("flush", (device, op, list(shapes), k, reps), future)
         )
         return future
+
+    def broadcast_fits(
+        self,
+        fits: dict[tuple[str, str], tuple[bytes, tuple[str, ...]]],
+        timeout: float | None = 120.0,
+    ) -> int:
+        """Propagate hot-swapped fits to every live worker; count adopters.
+
+        The parent stays authoritative: the boot payload is updated
+        *first*, so a worker that crashes mid-broadcast respawns straight
+        onto the new fits (and never re-adopts prescaled ``H0`` terms
+        folded through the old weights — those entries are dropped from
+        the boot manifest for the updated pairs).  Then each live worker
+        gets an ``adopt`` RPC; a worker that dies here is already marked
+        dead by its manager and simply misses the update — its respawn
+        path has the new state.
+        """
+        if self._closed:
+            raise WorkerCrashed("pool closed")
+        if not fits:
+            return 0
+        updated = set(fits)
+        self._boot["fits"] = {**self._boot["fits"], **fits}
+        self._boot["prescaled"] = [
+            p for p in self._boot["prescaled"]
+            if (p["device"], p["op"]) not in updated
+        ]
+        futures = []
+        for w in self._workers:
+            if w.dead:
+                continue
+            future: Future = Future()
+            w.inbox.put(("adopt", fits, future))
+            futures.append(future)
+        adopted = 0
+        for future in futures:
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                continue  # dead/respawned workers boot onto the new fits
+            adopted += 1
+        return adopted
 
     def ping(self, worker: int, timeout: float | None = 30.0) -> dict:
         """Health check: the worker's live zero-copy/search accounting."""

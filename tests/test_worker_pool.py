@@ -111,10 +111,11 @@ def test_flush_matches_inprocess_search_on_every_worker(
         assert len(results) == len(shapes)
         for (ok, payload), want in zip(results, direct):
             assert ok, payload
-            config, predicted, measured = payload
+            config, predicted, measured, version = payload
             assert config == want.config
             assert predicted == want.predicted_tflops
             assert measured == want.measured_tflops
+            assert version == 0  # boot fit: the offline model
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +180,49 @@ def test_async_front_door_survives_worker_kill(trained_gemm_tuner):
 # ----------------------------------------------------------------------
 # Shutdown
 # ----------------------------------------------------------------------
+
+def test_broadcast_fits_adopts_new_model_version():
+    """An online hot-swap reaches the worker tier: after a broadcast,
+    workers answer from the fine-tuned fit and tag its version."""
+    from repro.core.tuner import Isaac
+    from repro.service.online import OnlineConfig
+
+    tuner = Isaac(TESLA_P100, op="gemm", dtypes=(DType.FP32,))
+    tuner.tune(n_samples=900, seed=7, epochs=8, generative_target=80)
+    engine = Engine(
+        max_workers=0,
+        online=OnlineConfig(update_every=4, epochs=2, anchor_size=64),
+    )
+    engine.register(tuner)
+    # Traffic into the replay buffer (k measured pairs per miss).
+    engine.query(KernelRequest("gemm", _shape(64, 64, 64), k=K, reps=REPS))
+    try:
+        with WorkerPool(engine, 1) as pool:
+            shape = _shape(96, 96, 96)
+            ((ok, payload),) = pool.submit_flush(
+                0, DEVICE, "gemm", [shape], K, REPS
+            ).result(timeout=300)
+            assert ok and payload[3] == 0  # booted on the offline fit
+
+            assert engine.run_online_updates()
+            version = engine.model_version(DEVICE, "gemm")
+            assert version >= 1
+            fits = engine.export_fits([(DEVICE, "gemm")])
+            assert pool.broadcast_fits(fits) == 1
+
+            shape2 = _shape(128, 80, 128)
+            ((ok, payload),) = pool.submit_flush(
+                0, DEVICE, "gemm", [shape2], K, REPS
+            ).result(timeout=300)
+            assert ok and payload[3] == version
+            # The adopted fit is bit-equal to the parent's: answers match.
+            want = tuner.best_kernel(shape2, k=K, reps=REPS)
+            assert payload[0] == want.config
+            assert payload[2] == want.measured_tflops
+            assert pool.ping(0)["adopted_fits"] == 1
+    finally:
+        engine.close()
+
 
 def test_close_is_idempotent_and_fails_fast(pool_engine):
     pool = WorkerPool(pool_engine, 1)
