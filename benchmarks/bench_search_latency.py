@@ -8,12 +8,21 @@ shape-feature vector and runs the remaining layers chunk-wise;
 ``top_k_batch`` additionally pushes many query shapes through each
 cache-resident chunk.
 
-This bench times all three paths over the full GEMM candidate set and
-asserts the pre-scaled path is at least 2x faster per repeated query
-(REPRO_BENCH_SMOKE=1 relaxes the floor to 1.5x for noisy CI runners).
-Model quality is irrelevant to latency, so the fit is trained at a tiny
-budget.  With ``--json`` the numbers land in ``BENCH_search_latency.json``
-(repo root and benchmarks/results/) for cross-PR trend tracking.
+On top of the pre-scaled path sits the two-stage cascade: stage 1 scores
+every candidate with the same model in float32, prunes to a margin-padded
+shortlist, and stage 2 re-scores only the shortlist in float64.  The
+cascade axis here calibrates margins on the bench fit, asserts the
+shortlist top-k is *identical* to the exhaustive top-k for every query
+shape, and then times it — the honest ceiling for a provably-safe f32
+stage 1 is the f64->f32 memory-traffic ratio, about 2.2x.
+
+This bench times all paths over the full GEMM candidate set and asserts
+the pre-scaled path is at least 2x faster per repeated query and the
+cascade at least 2x faster again (REPRO_BENCH_SMOKE=1 relaxes the floors
+to 1.5x / 1.3x for noisy CI runners).  Model quality is irrelevant to
+latency, so the fit is trained at a tiny budget.  With ``--json`` the
+numbers land in ``BENCH_search_latency.json`` (repo root and
+benchmarks/results/) for cross-PR trend tracking.
 """
 
 import os
@@ -29,6 +38,7 @@ from repro.sampling.dataset import fit_generative_models, generate_dataset
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 SPEEDUP_FLOOR = 1.5 if SMOKE else 2.0
+CASCADE_FLOOR = 1.3 if SMOKE else 2.0
 
 QUERY_SHAPES = [
     GemmShape(2048, 2048, 2048, DType.FP32, False, True),
@@ -55,7 +65,14 @@ def _seed_top_k(search: ExhaustiveSearch, shape, k: int) -> list[Prediction]:
     ]
 
 
-def test_bench_search_latency(results_recorder):
+def _tops_equal(a, b) -> bool:
+    return len(a) == len(b) and all(
+        x.config == y.config and x.predicted_tflops == y.predicted_tflops
+        for x, y in zip(a, b)
+    )
+
+
+def run_bench(results_recorder, cascade: bool = True) -> None:
     rng = np.random.default_rng(0)
     samplers = fit_generative_models(
         TESLA_P100, op="gemm", dtypes=(DType.FP32,), rng=rng,
@@ -69,6 +86,8 @@ def test_bench_search_latency(results_recorder):
         ds.x[:1800], ds.y[:1800], ds.x[1800:], ds.y[1800:],
         hidden=(32, 64, 32), epochs=10,
     )
+    # The fresh fit carries no calibration, so top_k below searches
+    # exhaustively; the cascade is armed (and timed) afterwards.
     search = ExhaustiveSearch(fit, TESLA_P100, "gemm")
     n_candidates = len(search.candidates(QUERY_SHAPES[0])[0])
 
@@ -82,16 +101,17 @@ def test_bench_search_latency(results_recorder):
         _seed_top_k(search, shape, 10)
     seed_ms = (time.perf_counter() - t0) / len(QUERY_SHAPES) * 1e3
 
+    exhaustive_tops = []
     t0 = time.perf_counter()
     for shape in QUERY_SHAPES:
-        search.top_k(shape, 10)
+        exhaustive_tops.append(search.top_k(shape, 10))
     fast_ms = (time.perf_counter() - t0) / len(QUERY_SHAPES) * 1e3
 
     t0 = time.perf_counter()
     search.top_k_batch(QUERY_SHAPES, 10)
     batch_ms = (time.perf_counter() - t0) / len(QUERY_SHAPES) * 1e3
 
-    text = "\n".join([
+    lines = [
         "Runtime search latency (Tesla P100, fp32 GEMM, "
         f"{n_candidates} candidates, {len(QUERY_SHAPES)} query shapes)",
         f"  seed path (re-standardize per query) : {seed_ms:8.2f} ms/query",
@@ -99,31 +119,105 @@ def test_bench_search_latency(results_recorder):
         f"  ({seed_ms / fast_ms:.2f}x)",
         f"  pre-scaled top_k_batch               : {batch_ms:8.2f} ms/query"
         f"  ({seed_ms / batch_ms:.2f}x)",
-    ])
-    results_recorder(
-        "search_latency",
-        text,
-        data={
-            "device": "Tesla P100",
-            "op": "gemm",
-            "smoke": SMOKE,
-            "n_candidates": n_candidates,
-            "n_query_shapes": len(QUERY_SHAPES),
-            "seed_ms_per_query": seed_ms,
-            "prescaled_ms_per_query": fast_ms,
-            "batch_ms_per_query": batch_ms,
-            "prescaled_speedup": seed_ms / fast_ms,
-            "batch_speedup": seed_ms / batch_ms,
-        },
-    )
+    ]
+    data = {
+        "device": "Tesla P100",
+        "op": "gemm",
+        "smoke": SMOKE,
+        "n_candidates": n_candidates,
+        "n_query_shapes": len(QUERY_SHAPES),
+        "seed_ms_per_query": seed_ms,
+        "prescaled_ms_per_query": fast_ms,
+        "batch_ms_per_query": batch_ms,
+        "prescaled_speedup": seed_ms / fast_ms,
+        "batch_speedup": seed_ms / batch_ms,
+    }
+
+    cas_ms = cas_batch_ms = None
+    if cascade:
+        fit.cascade = search.calibrate_cascade((DType.FP32,))
+        stats = search.cascade_stats
+        # Warm the float32 twin, then prove the shortlist path returns
+        # the exhaustive answer for every bench shape before timing it.
+        search.top_k(QUERY_SHAPES[0], 10)
+        for shape, want in zip(QUERY_SHAPES, exhaustive_tops):
+            assert _tops_equal(search.top_k(shape, 10), want), shape
+        for tops, want in zip(
+            search.top_k_batch(QUERY_SHAPES, 10), exhaustive_tops
+        ):
+            assert _tops_equal(tops, want)
+
+        cas0, pruned0, fb0 = (
+            stats.cascade_queries, stats.pruned, stats.fallbacks
+        )
+        t0 = time.perf_counter()
+        for shape in QUERY_SHAPES:
+            search.top_k(shape, 10)
+        cas_ms = (time.perf_counter() - t0) / len(QUERY_SHAPES) * 1e3
+
+        t0 = time.perf_counter()
+        search.top_k_batch(QUERY_SHAPES, 10)
+        cas_batch_ms = (time.perf_counter() - t0) / len(QUERY_SHAPES) * 1e3
+
+        n_queries = stats.cascade_queries - cas0
+        assert n_queries == 2 * len(QUERY_SHAPES)  # no silent fallback
+        assert stats.fallbacks == fb0
+        prune_ratio = (stats.pruned - pruned0) / (n_queries * n_candidates)
+
+        lines += [
+            f"  cascade top_k                        : {cas_ms:8.2f} ms/query"
+            f"  ({fast_ms / cas_ms:.2f}x vs exhaustive)",
+            f"  cascade top_k_batch                  : "
+            f"{cas_batch_ms:8.2f} ms/query"
+            f"  ({batch_ms / cas_batch_ms:.2f}x vs exhaustive)",
+            f"  cascade prune ratio                  : "
+            f"{prune_ratio * 100:8.2f} %  (top-10 parity: exact)",
+        ]
+        data.update({
+            "cascade_ms_per_query": cas_ms,
+            "cascade_batch_ms_per_query": cas_batch_ms,
+            "cascade_speedup": fast_ms / cas_ms,
+            "cascade_batch_speedup": batch_ms / cas_batch_ms,
+            "cascade_prune_ratio": prune_ratio,
+            "cascade_margin_fp32": fit.cascade.margins["FP32"],
+        })
+
+    results_recorder("search_latency", "\n".join(lines), data=data)
 
     assert seed_ms / fast_ms >= SPEEDUP_FLOOR
     assert batch_ms <= fast_ms * 1.2  # batching never loses
+    if cascade:
+        assert fast_ms / cas_ms >= CASCADE_FLOOR
+
+
+def test_bench_search_latency(results_recorder):
+    run_bench(results_recorder, cascade=True)
 
 
 if __name__ == "__main__":
-    class _Echo:
-        def __call__(self, exp_id, text, data=None):
-            print(text)
+    import argparse
+    import json
+    from pathlib import Path
 
-    test_bench_search_latency(_Echo())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cascade", action=argparse.BooleanOptionalAction, default=True,
+        help="include the two-stage cascade axis (default: on)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="also write BENCH_search_latency.json (repo root + results/)",
+    )
+    args = parser.parse_args()
+
+    def _echo(exp_id, text, data=None):
+        print(text)
+        if data is not None and args.json:
+            payload = json.dumps(data, indent=2, sort_keys=True) + "\n"
+            root = Path(__file__).parent.parent
+            results = Path(__file__).parent / "results"
+            results.mkdir(exist_ok=True)
+            (results / f"BENCH_{exp_id}.json").write_text(payload)
+            (root / f"BENCH_{exp_id}.json").write_text(payload)
+
+    run_bench(_echo, cascade=args.cascade)

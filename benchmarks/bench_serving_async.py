@@ -28,6 +28,12 @@ serving layer changes dispatch, never answers) and that AsyncEngine
 throughput is at least 3x the per-request sync loop (REPRO_BENCH_SMOKE=1
 shrinks budgets and relaxes the floor to 2x for shared CI runners).
 
+**The cascade axis.**  The AsyncEngine replay runs twice — once with the
+two-stage cascade search (the default) and once with it disabled — and
+reports both miss p50 latencies, each split into the micro-batch queue
+wait and the dispatched search itself.  Replies must be identical either
+way: the cascade changes cold-search cost, never answers.
+
 **The worker-tier axis.**  ``--workers N`` (CLI) or REPRO_BENCH_WORKERS
 (pytest) additionally replays the workload through
 ``AsyncEngine(workers=w)`` for each axis point — the sharded
@@ -186,14 +192,16 @@ def _run_async(
     requests: list[KernelRequest],
     cfg: BenchConfig,
     workers: int = 0,
+    cascade: bool = True,
 ):
     """C client tasks against the micro-batching front door.
 
     ``workers >= 1`` routes miss flushes through the sharded process
     pool; the pool is booted *before* the clock starts, like a
-    deployment would.
+    deployment would.  ``cascade=False`` replays with the two-stage
+    search disabled — the exhaustive-miss baseline.
     """
-    inner = Engine(max_workers=0)
+    inner = Engine(max_workers=0, cascade=cascade)
     inner.register(tuner)
     engine = AsyncEngine(
         inner,
@@ -246,14 +254,31 @@ def run_bench(cfg: BenchConfig, record) -> dict:
     sync_replies, sync_s, sync_stats = _run_sync_engine(
         tuner, requests, cfg
     )
+    # The shared searcher's cascade counters are cumulative, so each
+    # replay's usage is read as a delta around its run.
+    cas0 = tuner.searcher.cascade_stats.cascade_queries
     async_replies, async_s, astats = _run_async(tuner, requests, cfg)
+    cascade_misses = tuner.searcher.cascade_stats.cascade_queries - cas0
+    # The cascade-off replay: same workload, exhaustive misses.  The
+    # cold-search cost difference shows up as miss_p50, split into its
+    # batch-forming queue wait and the dispatched search itself.
+    cas0 = tuner.searcher.cascade_stats.cascade_queries
+    nc_replies, nc_s, nc_stats = _run_async(
+        tuner, requests, cfg, cascade=False
+    )
+    assert tuner.searcher.cascade_stats.cascade_queries == cas0
 
     # Identical answers, per the acceptance bar: the serving layer may
-    # only change how requests are dispatched, never what they return.
-    mismatches = _mismatches(async_replies, loop_replies) + _mismatches(
-        sync_replies, loop_replies
+    # only change how requests are dispatched, never what they return —
+    # and neither may the cascade (its whole contract is bit-identical
+    # top-k for less time).
+    mismatches = (
+        _mismatches(async_replies, loop_replies)
+        + _mismatches(sync_replies, loop_replies)
+        + _mismatches(nc_replies, loop_replies)
     )
     assert mismatches == 0, f"{mismatches} config mismatches vs best_kernel"
+    assert cascade_misses > 0
 
     n = len(requests)
     speedup = loop_s / async_s
@@ -273,6 +298,13 @@ def run_bench(cfg: BenchConfig, record) -> dict:
         f"batches={shard.batches}, mean_batch={shard.mean_batch:.1f}, "
         f"hit_p50={astats.hit_p50_ms:.3f}ms, "
         f"miss_p50={astats.miss_p50_ms:.0f}ms, smoke={cfg.smoke})",
+        f"miss latency: cascade p50={astats.miss_p50_ms:.0f}ms "
+        f"(queue {astats.miss_queue_p50_ms:.0f}ms + search "
+        f"{astats.miss_search_p50_ms:.0f}ms)  vs  exhaustive "
+        f"p50={nc_stats.miss_p50_ms:.0f}ms "
+        f"(queue {nc_stats.miss_queue_p50_ms:.0f}ms + search "
+        f"{nc_stats.miss_search_p50_ms:.0f}ms), "
+        f"cascade misses={cascade_misses}",
     ]
     data = {
         "requests": n,
@@ -301,6 +333,13 @@ def run_bench(cfg: BenchConfig, record) -> dict:
         "hit_p95_ms": astats.hit_p95_ms,
         "miss_p50_ms": astats.miss_p50_ms,
         "miss_p95_ms": astats.miss_p95_ms,
+        "miss_queue_p50_ms": astats.miss_queue_p50_ms,
+        "miss_search_p50_ms": astats.miss_search_p50_ms,
+        "cascade_misses": cascade_misses,
+        "no_cascade_s": nc_s,
+        "no_cascade_miss_p50_ms": nc_stats.miss_p50_ms,
+        "no_cascade_miss_queue_p50_ms": nc_stats.miss_queue_p50_ms,
+        "no_cascade_miss_search_p50_ms": nc_stats.miss_search_p50_ms,
         "config_mismatches": mismatches,
     }
 

@@ -94,8 +94,14 @@ class Isaac:
         seed: int = 0,
         patience: int = 8,
         generative_target: int = 400,
+        cascade: bool = True,
     ) -> TuneReport:
-        """Run data generation and regression analysis."""
+        """Run data generation and regression analysis.
+
+        ``cascade=True`` (default) additionally calibrates the two-stage
+        cascade's pruning margins for the freshly trained fit, so cold
+        queries serve from the shortlist path immediately.
+        """
         rng = np.random.default_rng(seed)
         samplers = fit_generative_models(
             self.device,
@@ -124,11 +130,30 @@ class Isaac:
             patience=patience,
         )
         self._search = ExhaustiveSearch(self.fit_result, self.device, self.spec)
+        if cascade:
+            self.calibrate_cascade(seed=seed)
         return TuneReport(
             n_samples=n_samples,
             val_mse=self.fit_result.val_mse,
             hidden=tuple(hidden),
         )
+
+    def calibrate_cascade(
+        self, *, n_shapes: int = 4, seed: int = 0, safety: float = 4.0
+    ):
+        """(Re)calibrate the cascade margins and attach them to the fit.
+
+        Safe to call after an online fine-tune hot-swap: the fresh
+        calibration carries the new weights' digest, re-arming the
+        cascade that the swap disabled.  Deterministic for a given seed.
+        """
+        search = self._require_tuned()
+        assert self.fit_result is not None
+        calibration = search.calibrate_cascade(
+            self.dtypes, n_shapes=n_shapes, seed=seed, safety=safety
+        )
+        self.fit_result.cascade = calibration
+        return calibration
 
     @property
     def is_tuned(self) -> bool:

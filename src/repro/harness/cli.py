@@ -140,6 +140,19 @@ def _service_parser() -> argparse.ArgumentParser:
         p.add_argument("--device", default=None,
                        help="device name or alias (e.g. pascal, maxwell)")
 
+    def cascade_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cascade", action=argparse.BooleanOptionalAction,
+            default=True,
+            help="two-stage cascade search: coarse-score all candidates, "
+            "full model only on a provably safe shortlist "
+            "(--no-cascade forces exhaustive scoring)",
+        )
+        p.add_argument(
+            "--cascade-keep", type=int, default=None, metavar="N",
+            help="stage-1 shortlist length (default: the search's own)",
+        )
+
     tune = sub.add_parser("tune", help="fit one (device, op) and save it")
     common(tune)
     tune.add_argument("--op", default="gemm")
@@ -162,6 +175,7 @@ def _service_parser() -> argparse.ArgumentParser:
     query.add_argument("-k", type=int, default=100,
                        help="re-ranked short-list length")
     query.add_argument("--reps", type=int, default=3)
+    cascade_opts(query)
 
     warmup = sub.add_parser(
         "warmup", help="pre-populate the cache for a network graph"
@@ -210,6 +224,7 @@ def _service_parser() -> argparse.ArgumentParser:
                        "the replay-determinism contract)")
     serve.add_argument("--online-epochs", type=int, default=4,
                        help="training epochs per fine-tune step")
+    cascade_opts(serve)
 
     models = sub.add_parser(
         "models", help="list the model store (fits, versions, lineage)"
@@ -229,7 +244,10 @@ def _run_serve(args) -> int:
     names = list(_networks()) if args.network == "all" else [args.network]
     steps = [_networks()[name]() for name in names]
 
-    engine_kwargs = {}
+    engine_kwargs = {
+        "cascade": args.cascade,
+        "cascade_keep": args.cascade_keep,
+    }
     if args.online:
         from repro.service.online import OnlineConfig
 
@@ -307,6 +325,15 @@ def _run_serve(args) -> int:
                 f"profile={es.profile_hit_ratio:.2f}) "
                 f"searches={es.searches} evictions={es.evictions}"
             )
+            if es.cascade_searches or es.exhaustive_searches:
+                print(
+                    f"cascade: searches={es.cascade_searches} "
+                    f"exhaustive={es.exhaustive_searches} "
+                    f"fallbacks={es.cascade_fallbacks} "
+                    f"pruned={es.cascade_pruned} "
+                    f"stage1={es.cascade_stage1_ms:.0f}ms "
+                    f"stage2={es.cascade_stage2_ms:.0f}ms"
+                )
 
     asyncio.run(main())
     return 0
@@ -400,7 +427,11 @@ def _run_service(argv: list[str]) -> int:
         print(f"{report}  [{time.time() - t0:.1f}s, saved to {args.models}]")
         return 0
 
-    with Engine.open(args.models) as engine:
+    open_kwargs = {}
+    if getattr(args, "cascade", None) is not None:
+        open_kwargs["cascade"] = args.cascade
+        open_kwargs["cascade_keep"] = args.cascade_keep
+    with Engine.open(args.models, **open_kwargs) as engine:
         if args.command == "query":
             shape = _parse_shape(
                 args.op, args.shape, _parse_dtype(args.dtype), args.layout
@@ -418,10 +449,19 @@ def _run_service(argv: list[str]) -> int:
                 if reply.model_version is not None
                 else ""
             )
+            es = engine.stats()
+            if reply.source == "search":
+                path = (
+                    f", cascade (pruned {es.cascade_pruned}, "
+                    f"stage1 {es.cascade_stage1_ms:.0f} ms)"
+                    if es.cascade_searches else ", exhaustive"
+                )
+            else:
+                path = ""
             print(
                 f"{shape.describe()}: {reply.config.short()} "
                 f"{reply.measured_tflops:.2f} TFLOPS "
-                f"[{reply.source}{ver}, {ms:.1f} ms]"
+                f"[{reply.source}{ver}, {ms:.1f} ms{path}]"
             )
         else:  # warmup
             names = (

@@ -22,11 +22,31 @@ query only standardizes its shape-feature vector, adds the rank-one shape
 term, and runs the remaining layers chunk-wise through preallocated
 buffers.  :meth:`ExhaustiveSearch.top_k_batch` amortizes further by
 pushing many query shapes through each cache-resident chunk of ``H0``.
+
+Cold queries additionally run a **two-stage cascade**: stage 1 scores all
+candidates with the full model evaluated in float32 over a low-precision
+twin of ``H0``, keeps the ``cascade_keep`` best plus every candidate within
+``2*delta`` of that threshold, and stage 2 re-scores only that shortlist
+in full float64 precision.  ``delta`` is a per-dtype margin calibrated
+offline (:meth:`ExhaustiveSearch.calibrate_cascade`, persisted with the
+fit) bounding ``|full - proxy|``; because the proxy is the same network
+at reduced precision, ``delta`` is rounding-sized (~1e-6 standardized
+units) rather than model-sized, and under that bound the shortlist
+provably contains the exhaustive top-k — the cascade is bit-identical to
+the exhaustive search.  (Cheaper stage-1 families — collapsed linear
+readouts, distilled students, certified interval bounds — were measured
+and rejected: their score error is orders of magnitude above the
+~0.01-unit gap between the top-k frontier and the candidate bulk, so no
+margin both sound and useful exists for them.)  Whenever the bound cannot
+be trusted — no calibration, weights changed since calibration, shortlist
+blown wide, or an observed gap above ``delta`` — the query transparently
+falls back to exhaustive scoring.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping, Sequence
 
@@ -37,7 +57,7 @@ from repro.core.soa import LazyConfigList
 from repro.core.space import ParamSpace
 from repro.core.types import DType
 from repro.gpu.device import DeviceSpec
-from repro.mlp.crossval import FitResult
+from repro.mlp.crossval import CascadeCalibration, FitResult
 
 #: Rows per chunk of the folded evaluation: intermediates stay cache-resident
 #: (8192 x 64 float64 = 4 MiB) instead of streaming through DRAM.
@@ -46,6 +66,22 @@ _CHUNK_ROWS = 8192
 #: Cap on (query shapes x candidates) prediction elements materialized at
 #: once by top_k_batch (32M float64 = 256 MiB).
 _BATCH_BLOCK_ELEMS = 32_000_000
+
+#: Rows per chunk of the cascade's float32 stage 1.  Smaller than the
+#: float64 chunk: the half-width intermediates of the whole layer stack
+#: then stay L2-resident (measured ~13% faster than ``_CHUNK_ROWS``).
+#: Calibration and query time share this constant, so stage-1 scores are
+#: bit-reproducible for a given candidate set.
+_CASCADE_CHUNK = 2048
+
+#: Default stage-2 shortlist length (before margin widening); the engine
+#: and CLI expose it as ``cascade_keep``.
+_CASCADE_KEEP = 256
+
+#: If the margin-widened shortlist exceeds this fraction of the candidate
+#: set, stage 1 is not discriminating for this query and the exhaustive
+#: path is cheaper than paying both stages.
+_CASCADE_MAX_FRAC = 0.5
 
 
 # ----------------------------------------------------------------------
@@ -482,12 +518,145 @@ class _FoldedMLP:
 
 
 @dataclass
+class CascadeStats:
+    """Counters for the two-stage cascade, kept per search instance.
+
+    ``pruned`` sums candidates stage 2 never scored; ``fallbacks`` counts
+    queries that started stage 1 but finished exhaustively (blown
+    shortlist or failed margin check).  Queries that never entered the
+    cascade (disabled, uncalibrated, tiny candidate set) count as
+    ``exhaustive_queries`` only.
+    """
+
+    cascade_queries: int = 0
+    exhaustive_queries: int = 0
+    fallbacks: int = 0
+    pruned: int = 0
+    stage1_ms: float = 0.0
+    stage2_ms: float = 0.0
+
+
+class _Cascade:
+    """Stage-1 scorer: the full network evaluated in float32.
+
+    Runs every layer of the folded model in float32 over the cached
+    float32 twin of ``H0``, chunk-wise through preallocated buffers (the
+    float64 hot path's structure, at half the memory traffic and roughly
+    twice the sgemm throughput).  The proxy is therefore the same
+    function as the exhaustive scorer up to float32 rounding, so the
+    calibrated per-dtype margin ``delta`` is rounding-sized (~1e-6
+    standardized units) — small against the ~0.01-unit spread of scores
+    near the top-k frontier, which is what makes the widened shortlist
+    barely wider than ``keep``.  Let ``delta >= max_i |f_i - p_i|``; for
+    the ``keep``-th largest proxy ``tau``, every true top-k candidate
+    satisfies ``p >= tau - 2*delta``, so the shortlist provably contains
+    the exhaustive top-k.
+
+    ``_FoldedMLP.is_current()`` only watches the first layer and scalers,
+    so the later layers are snapshotted here and re-checked by
+    :meth:`is_current` — in-place mutation of *any* layer disables the
+    cascade until it is rebuilt.
+    """
+
+    __slots__ = ("margins", "_ws", "_bs", "_acts", "_w_out", "_b_out",
+                 "_act_out", "_rest_snapshot", "_folded", "_bufs")
+
+    def __init__(self, folded: _FoldedMLP, margins: Mapping[str, float]):
+        self.margins = dict(margins)
+        rest = folded._rest
+        self._ws = [
+            np.ascontiguousarray(lyr.w, dtype=np.float32)
+            for lyr in rest[:-1]
+        ]
+        self._bs = [lyr.b.astype(np.float32) for lyr in rest[:-1]]
+        self._acts = [lyr.activation for lyr in rest[:-1]]
+        last = rest[-1]
+        self._w_out = np.ascontiguousarray(last.w[:, 0], dtype=np.float32)
+        self._b_out = np.float32(last.b[0])
+        self._act_out = last.activation
+        self._rest_snapshot = [(lyr.w.copy(), lyr.b.copy()) for lyr in rest]
+        self._folded = folded
+        widths = [folded._b1.shape[0]] + [w.shape[1] for w in self._ws]
+        self._bufs = [
+            np.empty((_CASCADE_CHUNK, w), dtype=np.float32) for w in widths
+        ]
+
+    def is_current(self) -> bool:
+        rest = self._folded._rest
+        if len(rest) != len(self._rest_snapshot):
+            return False
+        return all(
+            np.array_equal(w, lyr.w) and np.array_equal(b, lyr.b)
+            for (w, b), lyr in zip(self._rest_snapshot, rest)
+        )
+
+    def _score_chunk(
+        self, chunk: np.ndarray, h: np.ndarray, out_row: np.ndarray
+    ) -> None:
+        m = len(chunk)
+        a = self._bufs[0][:m]
+        np.add(chunk, h, out=a)
+        _FoldedMLP._activate(self._folded._act0, a)
+        for w, b, act, buf in zip(
+            self._ws, self._bs, self._acts, self._bufs[1:]
+        ):
+            nxt = buf[:m]
+            np.dot(a, w, out=nxt)
+            np.add(nxt, b, out=nxt)
+            _FoldedMLP._activate(act, nxt)
+            a = nxt
+        np.dot(a, self._w_out, out=out_row)
+        np.add(out_row, self._b_out, out=out_row)
+        _FoldedMLP._activate(self._act_out, out_row)
+
+    def scores(self, h0_lo: np.ndarray, shape_vec: np.ndarray) -> np.ndarray:
+        """Float32 proxy scores for every candidate at one query shape.
+
+        Chunk boundaries are fixed multiples of ``_CHUNK_ROWS``, so the
+        result is bit-reproducible for a given candidate set — the
+        calibration-time and query-time proxies are the same numbers.
+        """
+        h = self._folded._shape_term(shape_vec).astype(np.float32)
+        n = len(h0_lo)
+        out = np.empty(n, dtype=np.float32)
+        for lo in range(0, n, _CASCADE_CHUNK):
+            hi = min(n, lo + _CASCADE_CHUNK)
+            self._score_chunk(h0_lo[lo:hi], h, out[lo:hi])
+        return out
+
+    def scores_many(
+        self, h0_lo: np.ndarray, shape_vecs: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """(n_shapes, n_candidates) proxies, one pass over ``h0_lo``.
+
+        Per-shape results are bit-identical to :meth:`scores` (same
+        chunking, same per-shape operations); only the traffic over the
+        low-precision ``H0`` twin is amortized across the batch.
+        """
+        hs = [
+            self._folded._shape_term(v).astype(np.float32)
+            for v in shape_vecs
+        ]
+        n = len(h0_lo)
+        out = np.empty((len(hs), n), dtype=np.float32)
+        for lo in range(0, n, _CASCADE_CHUNK):
+            hi = min(n, lo + _CASCADE_CHUNK)
+            chunk = h0_lo[lo:hi]
+            for b, h in enumerate(hs):
+                self._score_chunk(chunk, h, out[b, lo:hi])
+        return out
+
+
+@dataclass
 class _CandidateSet:
     """One op's candidates with precomputed search-side artifacts."""
 
     configs: list
     cfg_matrix: np.ndarray
     h0: np.ndarray | None = None
+    #: float32 twin of ``h0`` the cascade's stage 1 streams over (half
+    #: the memory traffic of the full-precision term).
+    h0_lo: np.ndarray | None = None
 
 
 class ExhaustiveSearch:
@@ -503,6 +672,9 @@ class ExhaustiveSearch:
         device: DeviceSpec,
         op: str | OpSpec = "gemm",
         space: ParamSpace | None = None,
+        *,
+        cascade: bool = True,
+        cascade_keep: int = _CASCADE_KEEP,
     ):
         self._spec = get_op(op)
         self._fit = fit
@@ -510,12 +682,18 @@ class ExhaustiveSearch:
         self._space = space
         self._sets: dict[Hashable, _CandidateSet] = {}
         self._adopted: dict[Hashable, np.ndarray] = {}
+        self._adopted_lo: dict[Hashable, np.ndarray] = {}
         n_features = len(self._spec.feature_names)
         self._folded = (
             _FoldedMLP(fit, self._spec.n_config_features)
             if _FoldedMLP.supports(fit, n_features)
             else None
         )
+        self._cascade_enabled = bool(cascade)
+        self._cascade_keep = max(1, int(cascade_keep))
+        self._cascade: _Cascade | None = None
+        self._cascade_calib: CascadeCalibration | None = None
+        self.cascade_stats = CascadeStats()
 
     @property
     def spec(self) -> OpSpec:
@@ -532,8 +710,12 @@ class ExhaustiveSearch:
             return
         self._folded = _FoldedMLP(self._fit, self._spec.n_config_features)
         self._adopted.clear()  # prescaled against the stale fold
+        self._adopted_lo.clear()
+        self._cascade = None  # collapsed from the stale layers
+        self._cascade_calib = None
         for cs in self._sets.values():
             cs.h0 = None
+            cs.h0_lo = None
 
     def refold(self) -> bool:
         """Re-fold *now* after an in-place model swap; True if it refolded.
@@ -624,6 +806,223 @@ class ExhaustiveSearch:
             return
         self._adopted[key] = h0
 
+    # ------------------------------------------------------------------
+    # Two-stage cascade
+    # ------------------------------------------------------------------
+    def set_cascade(self, enabled: bool, keep: int | None = None) -> None:
+        """Flip the cascade on/off and/or change the shortlist length."""
+        self._cascade_enabled = bool(enabled)
+        if keep is not None:
+            self._cascade_keep = max(1, int(keep))
+
+    def _cascade_state(self) -> _Cascade | None:
+        """The live stage-1 scorer, rebuilt and currency-checked.
+
+        Returns None — and thus exhaustive search — unless the fit
+        carries a calibration whose weights digest matches the *current*
+        weights and the collapsed-layer snapshot is still current.
+        """
+        if not self._cascade_enabled or self._folded is None:
+            return None
+        calib = self._fit.cascade
+        cas = self._cascade
+        # The calibration identity check catches the fit's ``cascade``
+        # being replaced (or dropped) with no weight mutation — e.g. an
+        # engine disarming a tuner mid-swap before the refold lands.
+        if (cas is not None and calib is self._cascade_calib
+                and cas.is_current()):
+            return cas
+        self._cascade = None
+        self._cascade_calib = None
+        if calib is None or not calib.margins:
+            return None
+        from repro.mlp.serialize import fit_weights_digest
+
+        if calib.weights_digest != fit_weights_digest(self._fit):
+            # Calibrated against different weights (hot-swap, in-place
+            # mutation): pruning with these margins would be unsafe.
+            return None
+        self._cascade = _Cascade(self._folded, calib.margins)
+        self._cascade_calib = calib
+        return self._cascade
+
+    def _ensure_lowres(self, key: Hashable, cs: _CandidateSet) -> np.ndarray:
+        """The float32 ``H0`` twin for one candidate set, built lazily."""
+        if cs.h0_lo is None:
+            adopted = self._adopted_lo.get(key)
+            if (
+                adopted is not None
+                and adopted.shape == cs.h0.shape
+                and adopted.dtype == np.float32
+            ):
+                cs.h0_lo = adopted
+            else:
+                cs.h0_lo = cs.h0.astype(np.float32)
+        return cs.h0_lo
+
+    def cascade_snapshot(self) -> dict[Hashable, np.ndarray]:
+        """Every computed float32 ``H0`` twin, by candidate key.
+
+        The worker tier ships these through shared memory alongside the
+        full-precision terms so a fresh worker runs the cascade with zero
+        per-worker copies.
+        """
+        self._refresh_fold()
+        return {
+            key: cs.h0_lo
+            for key, cs in self._sets.items()
+            if cs.h0_lo is not None
+        }
+
+    def adopt_cascade(self, key: Hashable, h0_lo: np.ndarray) -> None:
+        """Accept an externally computed float32 twin for a candidate key.
+
+        Same contract as :meth:`adopt_prescaled`: the view is used
+        verbatim iff it matches the set built for ``key`` (it was cast
+        from bit-identical ``H0`` values, so the twin is bit-identical
+        too); any mismatch falls back to casting locally.
+        """
+        if self._folded is None:
+            return
+        self._adopted_lo[key] = h0_lo
+
+    def calibrate_cascade(
+        self,
+        dtypes: Sequence[DType],
+        *,
+        n_shapes: int = 4,
+        seed: int = 0,
+        safety: float = 4.0,
+    ) -> CascadeCalibration:
+        """Measure per-dtype pruning margins for this fit on this device.
+
+        For each dtype, samples ``n_shapes`` query shapes from the op's
+        shape sampler and records the largest gap between the full
+        standardized model output and the stage-1 proxy over the whole
+        candidate set; the margin is that maximum times ``safety`` (plus
+        a tiny absolute floor).  Deterministic for a given seed.  Returns
+        the calibration; the caller attaches it to the fit
+        (``fit.cascade = ...``) to arm the cascade.
+        """
+        self._refresh_fold()
+        if self._folded is None:
+            raise RuntimeError(
+                "cascade calibration needs the folded fast path "
+                "(fit not foldable for this op)"
+            )
+        from repro.mlp.serialize import fit_weights_digest
+
+        cas = _Cascade(self._folded, {})
+        rng = np.random.default_rng(seed)
+        margins: dict[str, float] = {}
+        for dtype in dtypes:
+            sampler = self._spec.make_shape_sampler((dtype,))
+            delta = 0.0
+            for _ in range(n_shapes):
+                shape = sampler(rng)
+                cs = self._candidate_set(shape)
+                key = self._spec.candidate_cache_key(
+                    self._device, shape, self._space
+                )
+                vec = self._spec.shape_vector(shape, log=True)
+                f = self._folded.predict(cs.h0, vec)
+                p = cas.scores(self._ensure_lowres(key, cs), vec)
+                gap = float(np.max(np.abs(f - p.astype(np.float64))))
+                delta = max(delta, gap)
+            margins[dtype.name] = delta * safety + 1e-9
+        return CascadeCalibration(
+            margins=margins,
+            weights_digest=fit_weights_digest(self._fit),
+            n_shapes=n_shapes,
+            safety=safety,
+        )
+
+    def _cascade_ready(
+        self, cs: _CandidateSet, dtype_name: str, k: int
+    ) -> tuple[_Cascade, float] | None:
+        """Stage-1 scorer + margin if the cascade applies, else None."""
+        if k <= 0:
+            return None
+        cas = self._cascade_state()
+        if cas is None:
+            return None
+        delta = cas.margins.get(dtype_name)
+        if delta is None or not np.isfinite(delta) or delta < 0:
+            return None
+        keep = max(self._cascade_keep, k)
+        if keep * 4 >= len(cs.configs):
+            return None  # tiny sets: stage 1 cannot pay for itself
+        return cas, float(delta)
+
+    def _cascade_finish(
+        self,
+        cs: _CandidateSet,
+        shape,
+        k: int,
+        proxy: np.ndarray,
+        delta: float,
+    ) -> list[Prediction] | None:
+        """Shortlist + stage-2 rerank from precomputed proxy scores.
+
+        Returns None on fallback (shortlist blown wide, or an observed
+        ``|full - proxy|`` above the calibrated margin — in which case
+        the pruned candidates cannot be trusted either).
+        """
+        stats = self.cascade_stats
+        n = len(proxy)
+        keep = max(self._cascade_keep, k)
+        tau = np.partition(proxy, n - keep)[n - keep]
+        # Threshold and comparison in float64: a float32 subtraction
+        # could round the cutoff *up* and silently narrow the provable
+        # shortlist.
+        thr = float(tau) - 2.0 * delta
+        p64 = proxy.astype(np.float64)
+        survivors = np.flatnonzero(p64 >= thr)
+        if len(survivors) > n * _CASCADE_MAX_FRAC:
+            stats.fallbacks += 1
+            return None
+        t1 = time.perf_counter()
+        f = self._folded.predict(
+            np.ascontiguousarray(cs.h0[survivors]),
+            self._spec.shape_vector(shape, log=True),
+        )
+        if np.max(np.abs(f - p64[survivors])) > delta:
+            stats.fallbacks += 1
+            stats.stage2_ms += (time.perf_counter() - t1) * 1e3
+            return None
+        preds = self._fit.y_scaler.inverse_transform(f)
+        kk = min(k, len(survivors))
+        top = np.argpartition(-preds, kk - 1)[:kk]
+        top = top[np.argsort(-preds[top])]
+        out = [
+            Prediction(
+                config=cs.configs[survivors[i]],
+                predicted_tflops=float(2.0 ** preds[i]),
+            )
+            for i in top
+        ]
+        stats.cascade_queries += 1
+        stats.pruned += n - len(survivors)
+        stats.stage2_ms += (time.perf_counter() - t1) * 1e3
+        return out
+
+    def _cascade_select(
+        self, cs: _CandidateSet, shape, k: int
+    ) -> list[Prediction] | None:
+        """One query through both stages; None means search exhaustively."""
+        ready = self._cascade_ready(cs, shape.dtype.name, k)
+        if ready is None:
+            return None
+        cas, delta = ready
+        key = self._spec.candidate_cache_key(self._device, shape, self._space)
+        t0 = time.perf_counter()
+        proxy = cas.scores(
+            self._ensure_lowres(key, cs),
+            self._spec.shape_vector(shape, log=True),
+        )
+        self.cascade_stats.stage1_ms += (time.perf_counter() - t0) * 1e3
+        return self._cascade_finish(cs, shape, k, proxy, delta)
+
     def candidates(self, shape) -> tuple[list, np.ndarray]:
         """Candidate configs + config-feature matrix for one query shape."""
         cs = self._candidate_set(shape)
@@ -672,7 +1071,12 @@ class ExhaustiveSearch:
     def top_k(self, shape, k: int = 100) -> list[Prediction]:
         """The k configs the model believes are fastest, best first."""
         cs = self._candidate_set(shape)
+        if self._folded is not None:
+            sel = self._cascade_select(cs, shape, k)
+            if sel is not None:
+                return sel
         preds = self.predictions(shape)
+        self.cascade_stats.exhaustive_queries += 1
         return self._select(cs.configs, preds, k, shape)
 
     def top_k_batch(
@@ -682,7 +1086,9 @@ class ExhaustiveSearch:
 
         Shapes sharing a candidate set (e.g. GEMM shapes of one dtype) are
         evaluated together chunk-wise; results match per-shape
-        :meth:`top_k` exactly.
+        :meth:`top_k` exactly.  Cascade-eligible shapes run stage 1
+        batched over the same cache-resident chunks; fallbacks rejoin the
+        exhaustive batch path.
         """
         results: list[list[Prediction] | None] = [None] * len(shapes)
         groups: dict[Hashable, list[int]] = {}
@@ -691,17 +1097,49 @@ class ExhaustiveSearch:
                 self._device, shape, self._space
             )
             groups.setdefault(key, []).append(i)
-        for idxs in groups.values():
+        for key, idxs in groups.items():
             cs = self._candidate_set(shapes[idxs[0]])
             if self._folded is None:
                 for i in idxs:
                     results[i] = self.top_k(shapes[i], k)
                 continue
+            pending = idxs
+            # All shapes in a group share a dtype (it is part of the
+            # candidate cache key), so one margin covers the group.
+            ready = self._cascade_ready(cs, shapes[idxs[0]].dtype.name, k)
+            if ready is not None:
+                cas, delta = ready
+                h0_lo = self._ensure_lowres(key, cs)
+                per = max(
+                    1, (2 * _BATCH_BLOCK_ELEMS) // max(1, len(cs.configs))
+                )
+                pending = []
+                for lo in range(0, len(idxs), per):
+                    sub = idxs[lo:lo + per]
+                    t0 = time.perf_counter()
+                    proxies = cas.scores_many(
+                        h0_lo,
+                        [
+                            self._spec.shape_vector(shapes[i], log=True)
+                            for i in sub
+                        ],
+                    )
+                    self.cascade_stats.stage1_ms += (
+                        time.perf_counter() - t0
+                    ) * 1e3
+                    for row, i in zip(proxies, sub):
+                        sel = self._cascade_finish(
+                            cs, shapes[i], k, row, delta
+                        )
+                        if sel is None:
+                            pending.append(i)
+                        else:
+                            results[i] = sel
             # Bound the materialized (shapes x candidates) prediction block
             # so arbitrarily large batches cannot exhaust memory.
             per_group = max(1, _BATCH_BLOCK_ELEMS // max(1, len(cs.configs)))
-            for lo in range(0, len(idxs), per_group):
-                sub = idxs[lo:lo + per_group]
+            for lo in range(0, len(pending), per_group):
+                sub = pending[lo:lo + per_group]
                 vecs = [
                     self._spec.shape_vector(shapes[i], log=True) for i in sub
                 ]
@@ -709,5 +1147,6 @@ class ExhaustiveSearch:
                     self._folded.predict_batch(cs.h0, vecs)
                 )
                 for row, i in zip(rows, sub):
+                    self.cascade_stats.exhaustive_queries += 1
                     results[i] = self._select(cs.configs, row, k, shapes[i])
         return results  # type: ignore[return-value]

@@ -38,12 +38,41 @@ class FitLineage:
     seed: int = 0
 
 
+@dataclass(frozen=True)
+class CascadeCalibration:
+    """Offline-calibrated safety margins for the two-stage cascade search.
+
+    ``margins`` maps a dtype name to delta: the largest gap observed
+    between the full standardized model output and the cascade's cheap
+    stage-1 proxy over the calibration shapes, times ``safety``.  The
+    cascade keeps every candidate whose proxy score is within ``2*delta``
+    of the shortlist threshold, which provably contains the exhaustive
+    top-k whenever the margin holds (and query-time checks fall back to
+    exhaustive scoring whenever it does not).
+
+    ``weights_digest`` hashes every model weight and scaler statistic at
+    calibration time; a mismatch at query time means the weights moved
+    since calibration (fine-tune hot-swap, in-place mutation) and
+    disables the cascade until recalibration — stale-margin pruning is
+    structurally impossible.
+    """
+
+    margins: dict[str, float]
+    weights_digest: str
+    n_shapes: int = 0
+    safety: float = 4.0
+
+
 @dataclass
 class FitResult:
     """A trained model with its transforms and held-out error.
 
     ``lineage`` is None for fits that predate the versioned model store
     (or were never versioned); readers treat that as version 0.
+    ``cascade`` is None until the two-stage search margins have been
+    calibrated for this exact set of weights (``Isaac.tune`` /
+    ``Engine.warmup`` do so); uncalibrated fits always search
+    exhaustively.
     """
 
     model: MLP
@@ -52,6 +81,7 @@ class FitResult:
     history: History
     val_mse: float
     lineage: FitLineage | None = None
+    cascade: CascadeCalibration | None = None
 
     @property
     def model_version(self) -> int:

@@ -10,17 +10,38 @@ and restores it bit-exactly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.mlp.crossval import FitLineage, FitResult
+from repro.mlp.crossval import CascadeCalibration, FitLineage, FitResult
 from repro.mlp.network import MLP
 from repro.mlp.scaler import StandardScaler, TargetScaler
 from repro.mlp.training import History
 
 FORMAT_VERSION = 1
+
+
+def fit_weights_digest(fit: FitResult) -> str:
+    """BLAKE2b over every weight, bias and scaler statistic of a fit.
+
+    The cascade's calibrated margins are only valid for the exact weights
+    they were measured against; this digest is stored inside
+    :class:`~repro.mlp.crossval.CascadeCalibration` and re-checked before
+    pruning, so a hot-swapped or mutated model can never prune with a
+    stale margin.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for layer in fit.model.layers:
+        h.update(np.ascontiguousarray(layer.w, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(layer.b, dtype=np.float64).tobytes())
+    h.update(np.ascontiguousarray(fit.x_scaler.mean_, dtype=np.float64).tobytes())
+    h.update(np.ascontiguousarray(fit.x_scaler.scale_, dtype=np.float64).tobytes())
+    h.update(np.float64(fit.y_scaler.mean_).tobytes())
+    h.update(np.float64(fit.y_scaler.scale_).tobytes())
+    return h.hexdigest()
 
 
 def fit_to_bytes(fit: FitResult) -> bytes:
@@ -74,6 +95,14 @@ def _write_fit(fit: FitResult, f) -> None:
             "parent_version": fit.lineage.parent_version,
             "n_samples": fit.lineage.n_samples,
             "seed": fit.lineage.seed,
+        }
+    if fit.cascade is not None:
+        # Optional header too, same back-compat contract as "lineage".
+        meta["cascade"] = {
+            "margins": {k: float(v) for k, v in fit.cascade.margins.items()},
+            "weights_digest": fit.cascade.weights_digest,
+            "n_shapes": fit.cascade.n_shapes,
+            "safety": fit.cascade.safety,
         }
     arrays: dict[str, np.ndarray] = {
         "x_mean": fit.x_scaler.mean_,
@@ -135,6 +164,18 @@ def _read_fit(f, origin) -> FitResult:
                 n_samples=int(raw_lineage.get("n_samples", 0)),
                 seed=int(raw_lineage.get("seed", 0)),
             )
+        raw_cascade = meta.get("cascade")
+        cascade = None
+        if raw_cascade is not None:
+            cascade = CascadeCalibration(
+                margins={
+                    str(k): float(v)
+                    for k, v in raw_cascade.get("margins", {}).items()
+                },
+                weights_digest=str(raw_cascade.get("weights_digest", "")),
+                n_shapes=int(raw_cascade.get("n_shapes", 0)),
+                safety=float(raw_cascade.get("safety", 0.0)),
+            )
     return FitResult(
         model=model,
         x_scaler=xs,
@@ -142,4 +183,5 @@ def _read_fit(f, origin) -> FitResult:
         history=history,
         val_mse=float(meta["val_mse"]),
         lineage=lineage,
+        cascade=cascade,
     )

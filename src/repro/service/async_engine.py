@@ -112,7 +112,7 @@ class _Shard:
 
     __slots__ = (
         "key", "queue", "worker", "lock", "submitted", "batches",
-        "reasons", "sizes", "latencies",
+        "reasons", "sizes", "latencies", "queue_waits", "search_times",
     )
 
     def __init__(self, key: tuple, maxsize: int):
@@ -125,6 +125,10 @@ class _Shard:
         self.reasons = Counter()      # "window" | "full" | "drain"
         self.sizes = Counter()        # batch size -> count
         self.latencies: deque[float] = deque(maxlen=4096)
+        # The miss latency split: time spent waiting for the batch to
+        # form vs. time inside the dispatched search itself.
+        self.queue_waits: deque[float] = deque(maxlen=4096)
+        self.search_times: deque[float] = deque(maxlen=4096)
 
 
 def _percentile_ms(sorted_s: list[float], q: float) -> float:
@@ -171,7 +175,14 @@ class AsyncEngineStats:
     inline from the caches (microseconds), ``miss_*`` covers everything
     that waited for a search (leaders and coalesced waiters).  A single
     merged reservoir would report the search latency as if every caller
-    paid it the moment the hit ratio is high.
+    paid it the moment the hit ratio is high.  Misses split once more —
+    ``miss_queue_p50_ms`` (batching-window wait) vs ``miss_search_p50_ms``
+    (the dispatched search itself) — so a fat window and a slow search
+    are distinguishable from the outside.
+
+    The ``cascade_*`` counters come from the underlying engine (summed
+    over its hot tuners): shortlist-path searches, exhaustive ones, and
+    query-time safety fallbacks.
     """
 
     submitted: int
@@ -187,6 +198,11 @@ class AsyncEngineStats:
     hit_p95_ms: float
     miss_p50_ms: float
     miss_p95_ms: float
+    miss_queue_p50_ms: float
+    miss_search_p50_ms: float
+    cascade_searches: int
+    exhaustive_searches: int
+    cascade_fallbacks: int
     model_versions: dict[int, int]
     online_updates: int
     shards: tuple[ShardStats, ...]
@@ -199,8 +215,16 @@ class AsyncEngineStats:
             f"  hit p50={self.hit_p50_ms:.3f}ms "
             f"p95={self.hit_p95_ms:.3f}ms | "
             f"miss p50={self.miss_p50_ms:.1f}ms "
-            f"p95={self.miss_p95_ms:.1f}ms",
+            f"p95={self.miss_p95_ms:.1f}ms "
+            f"(queue p50={self.miss_queue_p50_ms:.1f}ms, "
+            f"search p50={self.miss_search_p50_ms:.1f}ms)",
         ]
+        if self.cascade_searches or self.cascade_fallbacks:
+            lines.append(
+                f"  cascade searches={self.cascade_searches} "
+                f"exhaustive={self.exhaustive_searches} "
+                f"fallbacks={self.cascade_fallbacks}"
+            )
         if self.workers:
             lines.append(
                 f"  workers={self.workers} "
@@ -566,6 +590,7 @@ class AsyncEngine:
         """
         loop = self._loop
         requests = [p.request for p in batch]
+        t_flush = loop.time()
         if self._n_workers:
             try:
                 outcomes = await loop.run_in_executor(
@@ -577,7 +602,7 @@ class AsyncEngine:
                 self._n_worker_fallbacks += len(batch)
             else:
                 for p, (reply, exc) in zip(batch, outcomes):
-                    self._settle(shard, p, reply, exc)
+                    self._settle(shard, p, reply, exc, t_flush)
                 with shard.lock:
                     shard.batches += 1
                     shard.reasons[reason] += 1
@@ -608,10 +633,10 @@ class AsyncEngine:
             for p, reply, exc in await asyncio.gather(
                 *(recover(p) for p in batch)
             ):
-                self._settle(shard, p, reply, exc)
+                self._settle(shard, p, reply, exc, t_flush)
         else:
             for p, reply in zip(batch, replies):
-                self._settle(shard, p, reply, None)
+                self._settle(shard, p, reply, None, t_flush)
         with shard.lock:
             shard.batches += 1
             shard.reasons[reason] += 1
@@ -623,12 +648,18 @@ class AsyncEngine:
         p: _Pending,
         reply: KernelReply | None,
         exc: BaseException | None,
+        t_flush: float | None = None,
     ) -> None:
         if self._inflight.get(p.key) is p.future:
             del self._inflight[p.key]
         self._pending -= 1
+        now = self._loop.time()
         with shard.lock:
-            shard.latencies.append(self._loop.time() - p.t_submit)
+            shard.latencies.append(now - p.t_submit)
+            if t_flush is not None:
+                # Split the miss: batching-window wait vs. search time.
+                shard.queue_waits.append(max(0.0, t_flush - p.t_submit))
+                shard.search_times.append(max(0.0, now - t_flush))
         if reply is not None and reply.source == "search":
             with self._lat_lock:
                 self._version_counts[reply.model_version or 0] += 1
@@ -857,12 +888,16 @@ class AsyncEngine:
     def _snapshot(self) -> AsyncEngineStats:
         shards = []
         miss_all: list[float] = []
+        queue_all: list[float] = []
+        search_all: list[float] = []
         for shard in list(self._shards.values()):
             with shard.lock:
                 lat = sorted(shard.latencies)
                 reasons = dict(shard.reasons)
                 sizes = dict(shard.sizes)
                 batches = shard.batches
+                queue_all.extend(shard.queue_waits)
+                search_all.extend(shard.search_times)
             miss_all.extend(lat)
             shards.append(ShardStats(
                 shard=shard.key,
@@ -880,8 +915,11 @@ class AsyncEngine:
             miss_all.extend(self._coalesced_latencies)
             versions = dict(self._version_counts)
         miss_all.sort()
+        queue_all.sort()
+        search_all.sort()
         learner = self._engine.online
         online_updates = len(learner.update_log()) if learner else 0
+        estats = self._engine.stats()
         return AsyncEngineStats(
             submitted=self._n_submitted,
             cache_hits=self._n_cache_hits,
@@ -896,6 +934,11 @@ class AsyncEngine:
             hit_p95_ms=_percentile_ms(hits, 0.95),
             miss_p50_ms=_percentile_ms(miss_all, 0.50),
             miss_p95_ms=_percentile_ms(miss_all, 0.95),
+            miss_queue_p50_ms=_percentile_ms(queue_all, 0.50),
+            miss_search_p50_ms=_percentile_ms(search_all, 0.50),
+            cascade_searches=estats.cascade_searches,
+            exhaustive_searches=estats.exhaustive_searches,
+            cascade_fallbacks=estats.cascade_fallbacks,
             model_versions=versions,
             online_updates=online_updates,
             shards=tuple(shards),

@@ -43,7 +43,7 @@ import re
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, wait
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -126,7 +126,14 @@ class KernelReply:
 
 @dataclass
 class EngineStats:
-    """Counters since construction (returned by :meth:`Engine.stats`)."""
+    """Counters since construction (returned by :meth:`Engine.stats`).
+
+    The ``cascade_*`` fields aggregate the two-stage cascade counters of
+    every hot tuner's search: searches served from the shortlist path,
+    searches that ran exhaustively (disabled/uncalibrated/tiny sets),
+    query-time fallbacks (failed margin or width check), candidates
+    stage 2 never scored, and wall-clock spent in each stage.
+    """
 
     lru_hits: int = 0
     profile_hits: int = 0
@@ -135,6 +142,12 @@ class EngineStats:
     evictions: int = 0
     online_updates: int = 0
     model_swaps: int = 0
+    cascade_searches: int = 0
+    exhaustive_searches: int = 0
+    cascade_fallbacks: int = 0
+    cascade_pruned: int = 0
+    cascade_stage1_ms: float = 0.0
+    cascade_stage2_ms: float = 0.0
 
     @property
     def queries(self) -> int:
@@ -229,8 +242,14 @@ class Engine:
         lru_capacity: int = 4096,
         max_workers: int | None = None,
         online: OnlineConfig | None = None,
+        cascade: bool = True,
+        cascade_keep: int | None = None,
     ):
         self._model_dir = Path(model_dir) if model_dir is not None else None
+        #: two-stage cascade policy, applied to every tuner the engine
+        #: serves (registered, tuned or lazily loaded).
+        self._cascade_enabled = bool(cascade)
+        self._cascade_keep = cascade_keep
         if isinstance(profile_cache, (str, Path)):
             profile_cache = ProfileCache(profile_cache)
         self._profiles = profile_cache
@@ -326,9 +345,17 @@ class Engine:
                 f"tuner for ({tuner.device.name}, {tuner.op}) is not tuned"
             )
         key = (tuner.device.name, tuner.op)
+        self._configure_cascade(tuner)
         with self._registry_lock:
             self._tuners[key] = tuner
             self._tuner_locks.setdefault(key, threading.Lock())
+
+    def _configure_cascade(self, tuner: Isaac) -> None:
+        """Apply the engine's cascade policy to one tuner's search."""
+        search = tuner.searcher
+        if search is not None:
+            search.set_cascade(self._cascade_enabled,
+                               keep=self._cascade_keep)
 
     def tune(
         self,
@@ -384,6 +411,7 @@ class Engine:
                 if tuner is not None:
                     return tuner
             tuner = Isaac.load(path)
+            self._configure_cascade(tuner)
             with self._registry_lock:
                 self._tuners[key] = tuner
                 self._tuner_locks.setdefault(key, threading.Lock())
@@ -589,9 +617,10 @@ class Engine:
                 "columns": columns,
             })
         prescaled: list[dict] = []
+        cascade: list[dict] = []
         with self._registry_lock:
             hot = dict(self._tuners)
-        n = 0
+        n = m = 0
         for (device_name, op_name), tuner in sorted(hot.items()):
             search = tuner.searcher
             if search is None:
@@ -604,8 +633,19 @@ class Engine:
                     "device": device_name, "op": op_name, "key": key,
                     "name": aname,
                 })
+            for key, h0_lo in search.cascade_snapshot().items():
+                aname = f"cas.{m}"
+                m += 1
+                arrays[aname] = np.ascontiguousarray(h0_lo)
+                cascade.append({
+                    "device": device_name, "op": op_name, "key": key,
+                    "name": aname,
+                })
         return WorkerState(
-            fits=fits, records=records, prescaled=prescaled, arrays=arrays
+            fits=fits, records=records, prescaled=prescaled,
+            arrays=arrays, cascade=cascade,
+            cascade_enabled=self._cascade_enabled,
+            cascade_keep=self._cascade_keep,
         )
 
     # ------------------------------------------------------------------
@@ -843,11 +883,48 @@ class Engine:
                 if key not in seen:
                     seen.add(key)
                     requests.append(req)
+        # Calibrate cascade margins for every pair the warmup touches so
+        # the cold searches below (and all later traffic) already serve
+        # from the shortlist path.  Fits loaded from a store that predates
+        # the cascade get calibrated here and re-persisted.
+        for device_name, op_name in sorted(
+            {(r.device, r.op) for r in requests}
+        ):
+            self.ensure_cascade(device_name, op_name)
         replies = self.query_many(requests)
         # Searches populate the candidate caches; persist them so the next
         # process cold-starts off the store instead of re-enumerating.
         self.save_candidates()
         return sum(1 for r in replies if r.source == "search")
+
+    def ensure_cascade(self, device: str, op: str) -> bool:
+        """Make (device, op)'s cascade calibration current; True if armed.
+
+        No-op when the engine disables the cascade.  Otherwise, if the
+        pair's fit carries no calibration — or one whose weights digest
+        no longer matches the live weights — the margins are recalibrated
+        under the tuner lock and, when the fit came from the model store,
+        re-saved so the next process boots already calibrated.
+        """
+        if not self._cascade_enabled:
+            return False
+        from repro.mlp.serialize import fit_weights_digest
+
+        key = (get_device(device).name, get_op(op).name)
+        tuner = self._tuner(*key)
+        with self._tuner_locks[key]:
+            fit = tuner.fit_result
+            if fit is None or tuner.searcher is None:
+                return False
+            calib = fit.cascade
+            if (calib is not None
+                    and calib.weights_digest == fit_weights_digest(fit)):
+                return True
+            tuner.calibrate_cascade()
+            path = self._model_index.get(key)
+            if path is not None:
+                tuner.save(path)
+        return True
 
     def op_for_shape(self, shape: Any, *, device: str | None = None) -> str:
         """The served op whose shape type matches ``shape``.
@@ -929,6 +1006,12 @@ class Engine:
         reader either completes against the old (fit, H0) pair or starts
         against the new one; the eager ``refold()`` inside the critical
         section means no reader can ever mix the two.
+
+        The swap drops the cascade calibration (its margins hashed the
+        old weights) and, when the cascade is enabled, recalibrates for
+        the new ones inside the same critical section — so no search ever
+        observes new weights with stale pruning margins, and the first
+        post-swap query already serves from the shortlist path.
         """
         key = (update.device, update.op)
         with self._registry_lock:
@@ -938,12 +1021,16 @@ class Engine:
             return
         with lock:
             live = tuner.fit_result
+            had_calibration = live.cascade is not None
             live.model.set_weights(update.fit.model.get_weights())
             live.history = update.fit.history
             live.val_mse = update.fit.val_mse
             live.lineage = update.fit.lineage
+            live.cascade = None
             if tuner.searcher is not None:
                 tuner.searcher.refold()
+                if self._cascade_enabled and had_calibration:
+                    tuner.calibrate_cascade()
         self._n_swaps += 1
 
     def start_online(self) -> bool:
@@ -1053,12 +1140,23 @@ class Engine:
             len(self._learner.update_log())
             if self._learner is not None else 0
         )
+        with self._registry_lock:
+            searchers = [t.searcher for t in self._tuners.values()]
+        cascade = [s.cascade_stats for s in searchers if s is not None]
         with self._cache_lock:
             return replace(
                 self._stats,
                 evictions=self._lru.evictions,
                 online_updates=updates,
                 model_swaps=self._n_swaps,
+                cascade_searches=sum(c.cascade_queries for c in cascade),
+                exhaustive_searches=sum(
+                    c.exhaustive_queries for c in cascade
+                ),
+                cascade_fallbacks=sum(c.fallbacks for c in cascade),
+                cascade_pruned=sum(c.pruned for c in cascade),
+                cascade_stage1_ms=sum(c.stage1_ms for c in cascade),
+                cascade_stage2_ms=sum(c.stage2_ms for c in cascade),
             )
 
     def save_profiles(self) -> None:
@@ -1122,16 +1220,21 @@ class WorkerState:
     """One engine's serving state, split for cross-process shipping.
 
     ``fits`` (small: tens of KB of npz bytes per pair) travel over the
-    boot pipe; ``arrays`` (large: survivor columns and prescaled ``H0``
-    terms, ~160k rows each) are destined for one
-    :class:`~repro.core.soa.SharedArrayPack` segment.  ``records`` and
-    ``prescaled`` reference arrays by manifest name, never by value.
+    boot pipe; ``arrays`` (large: survivor columns, prescaled ``H0``
+    terms and their float32 cascade twins, ~160k rows each) are destined
+    for one :class:`~repro.core.soa.SharedArrayPack` segment.
+    ``records``, ``prescaled`` and ``cascade`` reference arrays by
+    manifest name, never by value; ``cascade_enabled``/``cascade_keep``
+    carry the parent engine's cascade policy to every worker.
     """
 
     fits: dict[tuple[str, str], tuple[bytes, tuple[str, ...]]]
     records: list[dict]
     prescaled: list[dict]
     arrays: dict[str, np.ndarray]
+    cascade: list[dict] = field(default_factory=list)
+    cascade_enabled: bool = True
+    cascade_keep: int | None = None
 
 
 class WorkerEngine:
@@ -1154,6 +1257,9 @@ class WorkerEngine:
         prescaled: Sequence[Mapping],
         views: Mapping[str, np.ndarray],
         shared_bytes: int = 0,
+        cascade: Sequence[Mapping] = (),
+        cascade_enabled: bool = True,
+        cascade_keep: int | None = None,
     ):
         from repro.core.candidate_store import seed_cache_record
         from repro.mlp.serialize import fit_from_bytes
@@ -1161,8 +1267,11 @@ class WorkerEngine:
         self.shared_bytes = int(shared_bytes)
         self.seeded_records = 0
         self.adopted_h0 = 0
+        self.adopted_cascade = 0
         self.adopted_fits = 0
         self.searches = 0
+        self._cascade_enabled = bool(cascade_enabled)
+        self._cascade_keep = cascade_keep
         for rec in records:
             params = {
                 p: views[name] for p, name in rec["columns"].items()
@@ -1174,12 +1283,14 @@ class WorkerEngine:
                 self.seeded_records += 1
         self._tuners: dict[tuple[str, str], Isaac] = {}
         for (device_name, op_name), (blob, dtype_names) in fits.items():
-            self._tuners[(device_name, op_name)] = Isaac.from_fit(
+            tuner = Isaac.from_fit(
                 get_device(device_name),
                 op_name,
                 fit_from_bytes(blob),
                 dtypes=tuple(DType[n] for n in dtype_names),
             )
+            self._apply_cascade_policy(tuner)
+            self._tuners[(device_name, op_name)] = tuner
         for item in prescaled:
             tuner = self._tuners.get((item["device"], item["op"]))
             if tuner is None or tuner.searcher is None:
@@ -1188,6 +1299,20 @@ class WorkerEngine:
                 tuple(item["key"]), views[item["name"]]
             )
             self.adopted_h0 += 1
+        for item in cascade:
+            tuner = self._tuners.get((item["device"], item["op"]))
+            if tuner is None or tuner.searcher is None:
+                continue
+            tuner.searcher.adopt_cascade(
+                tuple(item["key"]), views[item["name"]]
+            )
+            self.adopted_cascade += 1
+
+    def _apply_cascade_policy(self, tuner: Isaac) -> None:
+        search = tuner.searcher
+        if search is not None:
+            search.set_cascade(self._cascade_enabled,
+                               keep=self._cascade_keep)
 
     def pairs(self) -> tuple[tuple[str, str], ...]:
         """The (device, op) pairs this worker can search."""
@@ -1212,24 +1337,43 @@ class WorkerEngine:
         adopted: dict[tuple[str, str], int] = {}
         for (device_name, op_name), (blob, dtype_names) in fits.items():
             fit = fit_from_bytes(blob)
-            self._tuners[(device_name, op_name)] = Isaac.from_fit(
+            tuner = Isaac.from_fit(
                 get_device(device_name),
                 op_name,
                 fit,
                 dtypes=tuple(DType[n] for n in dtype_names),
             )
+            # The shipped fit bytes carry the parent's fresh cascade
+            # calibration (or none): the rebuilt search arms itself from
+            # those margins alone, so a worker can never prune against
+            # the old weights' margins.
+            self._apply_cascade_policy(tuner)
+            self._tuners[(device_name, op_name)] = tuner
             adopted[(device_name, op_name)] = fit.model_version
             self.adopted_fits += 1
         return adopted
 
     def stats(self) -> dict:
         """Zero-copy accounting, reported back over the control pipe."""
+        cascade_searches = exhaustive = fallbacks = 0
+        for tuner in self._tuners.values():
+            search = tuner.searcher
+            if search is None:
+                continue
+            cs = search.cascade_stats
+            cascade_searches += cs.cascade_queries
+            exhaustive += cs.exhaustive_queries
+            fallbacks += cs.fallbacks
         return {
             "shared_bytes": self.shared_bytes,
             "seeded_records": self.seeded_records,
             "adopted_h0": self.adopted_h0,
+            "adopted_cascade": self.adopted_cascade,
             "adopted_fits": self.adopted_fits,
             "searches": self.searches,
+            "cascade_searches": cascade_searches,
+            "exhaustive_searches": exhaustive,
+            "cascade_fallbacks": fallbacks,
         }
 
     # ------------------------------------------------------------------

@@ -105,6 +105,9 @@ def _worker_main(conn, blas_threads: int) -> None:
             boot["prescaled"],
             pack.views(),
             shared_bytes=pack.nbytes,
+            cascade=boot.get("cascade", ()),
+            cascade_enabled=boot.get("cascade_enabled", True),
+            cascade_keep=boot.get("cascade_keep"),
         )
         conn.send(("ready", engine.stats()))
     except BaseException:
@@ -357,6 +360,9 @@ class WorkerPool:
             "fits": state.fits,
             "records": state.records,
             "prescaled": state.prescaled,
+            "cascade": state.cascade,
+            "cascade_enabled": state.cascade_enabled,
+            "cascade_keep": state.cascade_keep,
             "shm": self._pack.name,
             "manifest": self._pack.manifest,
         }
@@ -431,6 +437,11 @@ class WorkerPool:
         gets an ``adopt`` RPC; a worker that dies here is already marked
         dead by its manager and simply misses the update — its respawn
         path has the new state.
+
+        The cascade's float32 twins are dropped for the updated pairs for
+        the same reason as the prescaled terms: they were cast from the
+        old weights' ``H0``.  Respawned workers recast lazily; margins
+        travel inside the new fit bytes themselves.
         """
         if self._closed:
             raise WorkerCrashed("pool closed")
@@ -441,6 +452,10 @@ class WorkerPool:
         self._boot["prescaled"] = [
             p for p in self._boot["prescaled"]
             if (p["device"], p["op"]) not in updated
+        ]
+        self._boot["cascade"] = [
+            c for c in self._boot["cascade"]
+            if (c["device"], c["op"]) not in updated
         ]
         futures = []
         for w in self._workers:

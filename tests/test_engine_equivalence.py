@@ -94,6 +94,43 @@ def test_all_front_doors_agree(front_doors, trained_gemm_tuner, shape):
 
 @given(shape=gemm_shapes())
 @settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_cascade_front_door_matches_exhaustive(
+    front_doors, trained_gemm_tuner, shape
+):
+    """The two-stage cascade changes dispatch, never answers: engine
+    replies (served from the shortlist path) equal a direct search with
+    the cascade forced off."""
+    sync, async_engine = front_doors
+    search = trained_gemm_tuner.searcher
+    request = KernelRequest("gemm", shape, k=K, reps=REPS)
+    via_sync = sync.query(request)
+    via_async = async_engine.query_sync(request)
+    try:
+        search.set_cascade(False)
+        direct = trained_gemm_tuner.best_kernel(shape, k=K, reps=REPS)
+    finally:
+        search.set_cascade(True)
+    assert via_sync.config == direct.config
+    assert via_async.config == direct.config
+    assert via_sync.measured_tflops == direct.measured_tflops
+    assert via_async.measured_tflops == direct.measured_tflops
+
+
+def test_front_door_searches_used_the_cascade(front_doors):
+    """The equivalence fuzz above ran through the shortlist path — the
+    cascade counters prove it was exercised, not silently disarmed."""
+    sync, async_engine = front_doors
+    assert sync.stats().cascade_searches > 0
+    astats = async_engine.stats()
+    assert astats.cascade_searches > 0
+
+
+@given(shape=gemm_shapes())
+@settings(
     max_examples=10,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
