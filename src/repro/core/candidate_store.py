@@ -47,6 +47,15 @@ from typing import Hashable, Mapping
 
 import numpy as np
 
+from repro.core import integrity
+
+
+def _inject(site: str, path: Path | None = None) -> None:
+    """Fault-injection checkpoint (lazy import keeps core/ -> service/ soft)."""
+    from repro.service.faults import inject
+
+    inject(site, path)
+
 _KIND_ENUM = "enum"
 _KIND_CONV = "conv-bucket"
 
@@ -195,6 +204,8 @@ class CandidateStore:
             with os.fdopen(fd, "wb") as f:
                 np.savez(f, __meta__=np.array(meta), **params)
             os.replace(tmp, path)
+            integrity.write_digest(path)
+            _inject("candidate_store.save", path)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -207,11 +218,23 @@ class CandidateStore:
         """Seed the in-process candidate caches from disk.
 
         Returns the number of records seeded (keys already cached in
-        memory keep their entry).  Unreadable files are skipped — the
+        memory keep their entry).  A file that fails its digest check or
+        cannot be parsed is quarantined (``*.corrupt-<digest8>``) — the
         corresponding set simply re-enumerates and is re-saved later.
         """
         seeded = 0
         for path in self.files():
+            _inject("candidate_store.load", path)
+            if integrity.check(path) is False:
+                import warnings
+
+                target = integrity.quarantine(path)
+                warnings.warn(
+                    f"candidate record {path} failed its integrity check; "
+                    f"quarantined to {target.name} (will re-enumerate)",
+                    stacklevel=2,
+                )
+                continue
             try:
                 with np.load(path, allow_pickle=False) as z:
                     meta = json.loads(str(z["__meta__"]))
@@ -222,8 +245,10 @@ class CandidateStore:
                     zipfile.BadZipFile) as exc:
                 import warnings
 
+                target = integrity.quarantine(path)
                 warnings.warn(
-                    f"skipping unreadable candidate record {path}: {exc}",
+                    f"skipping unreadable candidate record {path}: {exc} "
+                    f"(quarantined to {target.name})",
                     stacklevel=2,
                 )
                 continue

@@ -1,0 +1,98 @@
+"""File-integrity sidecars: BLAKE2b digests + quarantine-on-mismatch.
+
+Every persistent artifact the serving tier boots from — `CandidateStore`
+``.npz`` records, saved model fits, the profile cache, the online update
+log — gets a sidecar file (``<name>.b2``) holding the BLAKE2b digest of
+its bytes.  Loaders call :func:`check` before trusting a file:
+
+* ``True`` — digest matches, file is intact;
+* ``None`` — no sidecar (a legacy file written before digests existed);
+  callers accept it and rely on their format-level parsing guards;
+* ``False`` — the bytes changed since they were written.  Callers
+  :func:`quarantine` the file (rename to ``<name>.corrupt-<digest8>``,
+  preserving the evidence) and rebuild the state instead of crashing.
+
+Digests detect *corruption*, not tampering: there is no secret key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+__all__ = [
+    "DIGEST_SUFFIX",
+    "check",
+    "digest_path",
+    "file_digest",
+    "quarantine",
+    "write_digest",
+]
+
+DIGEST_SUFFIX = ".b2"
+
+_CHUNK = 1 << 20
+
+
+def file_digest(path: os.PathLike[str] | str) -> str:
+    """Streaming BLAKE2b-256 hex digest of ``path``'s bytes."""
+    digest = hashlib.blake2b(digest_size=32)
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def digest_path(path: os.PathLike[str] | str) -> Path:
+    """The sidecar path for ``path`` (``<name>.b2`` next to it)."""
+    path = Path(path)
+    return path.with_name(path.name + DIGEST_SUFFIX)
+
+
+def write_digest(path: os.PathLike[str] | str) -> str:
+    """Write ``path``'s digest sidecar; returns the hex digest."""
+    digest = file_digest(path)
+    digest_path(path).write_text(digest + "\n", encoding="utf-8")
+    return digest
+
+
+def check(path: os.PathLike[str] | str) -> bool | None:
+    """Verify ``path`` against its sidecar.
+
+    Returns ``True`` on match, ``False`` on mismatch, and ``None`` when
+    no sidecar exists (legacy file) or the sidecar itself is unreadable.
+    """
+    sidecar = digest_path(path)
+    try:
+        expected = sidecar.read_text(encoding="utf-8").strip()
+    except OSError:
+        return None
+    if not expected:
+        return None
+    return file_digest(path) == expected
+
+
+def quarantine(path: os.PathLike[str] | str) -> Path:
+    """Move a corrupt file aside as ``<name>.corrupt-<digest8>``.
+
+    The rename keeps the bytes for post-mortem while freeing the
+    canonical name for a rebuild.  The digest sidecar, now meaningless,
+    is removed.  Returns the quarantine path.
+    """
+    path = Path(path)
+    try:
+        tag = file_digest(path)[:8]
+    except OSError:
+        tag = "unread"
+    target = path.with_name(path.name + f".corrupt-{tag}")
+    os.replace(path, target)
+    sidecar = digest_path(path)
+    try:
+        sidecar.unlink()
+    except OSError:
+        pass
+    return target

@@ -19,7 +19,15 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core import integrity
 from repro.core.ops import OpSpec, get_op
+
+
+def _inject(site: str, path: Path | None = None) -> None:
+    """Fault-injection checkpoint (lazy import keeps core/ -> service/ soft)."""
+    from repro.service.faults import inject
+
+    inject(site, path)
 
 
 @dataclass(frozen=True)
@@ -29,13 +37,36 @@ class CachedKernel:
 
 
 class ProfileCache:
-    """A JSON-backed map from problem descriptions to tuned kernels."""
+    """A JSON-backed map from problem descriptions to tuned kernels.
+
+    A cache file that fails its digest check or no longer parses is
+    quarantined (``*.corrupt-<digest8>``) and the cache starts empty —
+    a corrupt profile cache costs re-searches, never a failed boot.
+    """
 
     def __init__(self, path: str | Path):
         self._path = Path(path)
         self._data: dict[str, dict] = {}
         if self._path.exists():
-            self._data = json.loads(self._path.read_text())
+            _inject("profile_cache.load", self._path)
+            if integrity.check(self._path) is False:
+                self._quarantine("failed its integrity check")
+                return
+            try:
+                self._data = json.loads(self._path.read_text())
+            except (OSError, ValueError):
+                self._data = {}
+                self._quarantine("is not valid JSON")
+
+    def _quarantine(self, why: str) -> None:
+        import warnings
+
+        target = integrity.quarantine(self._path)
+        warnings.warn(
+            f"profile cache {self._path} {why}; quarantined to "
+            f"{target.name} and starting empty",
+            stacklevel=3,
+        )
 
     def __len__(self) -> int:
         return len(self._data)
@@ -103,6 +134,8 @@ class ProfileCache:
                 mode = 0o666 & ~umask
             os.chmod(tmp, mode)
             os.replace(tmp, self._path)
+            integrity.write_digest(self._path)
+            _inject("profile_cache.save", self._path)
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -261,6 +261,11 @@ class Isaac:
         path.with_suffix(path.suffix + ".meta.json").write_text(
             json.dumps(sidecar)
         )
+        # Integrity sidecar: lets the Engine quarantine a fit whose bytes
+        # rotted on disk instead of crashing (or worse, mispredicting).
+        from repro.core.integrity import write_digest
+
+        write_digest(path)
 
     @classmethod
     def load(cls, path) -> "Isaac":

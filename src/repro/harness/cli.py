@@ -213,6 +213,10 @@ def _service_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=0,
                        help="worker processes for the sharded serving "
                        "tier (0 = in-process flushes)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="end-to-end deadline per request; expired "
+                       "requests are shed with DeadlineExceeded instead "
+                       "of served late (default: no deadline)")
     serve.add_argument("--online", action="store_true",
                        help="fine-tune the served model from measured "
                        "rerank results (versioned hot-swaps)")
@@ -224,6 +228,10 @@ def _service_parser() -> argparse.ArgumentParser:
                        "the replay-determinism contract)")
     serve.add_argument("--online-epochs", type=int, default=4,
                        help="training epochs per fine-tune step")
+    serve.add_argument("--online-rollback-tol", type=float, default=None,
+                       help="reject a fine-tune whose anchor-slice "
+                       "val_mse regresses past the parent's by this "
+                       "relative tolerance (default: guard off)")
     cascade_opts(serve)
 
     models = sub.add_parser(
@@ -239,7 +247,7 @@ def _run_serve(args) -> int:
     import asyncio
 
     from repro.service.async_engine import AsyncEngine, BackpressureError
-    from repro.service.engine import KernelRequest
+    from repro.service.engine import DeadlineExceeded, KernelRequest
 
     names = list(_networks()) if args.network == "all" else [args.network]
     steps = [_networks()[name]() for name in names]
@@ -255,6 +263,7 @@ def _run_serve(args) -> int:
             update_every=args.online_every,
             interval_s=args.online_interval,
             epochs=args.online_epochs,
+            rollback_tolerance=args.online_rollback_tol,
         )
 
     async def main() -> None:
@@ -278,6 +287,7 @@ def _run_serve(args) -> int:
                     device=args.device,
                     k=args.k,
                     reps=args.reps,
+                    deadline_ms=args.deadline_ms,
                 )
                 for _ in range(args.passes)
                 for step in steps
@@ -285,12 +295,19 @@ def _run_serve(args) -> int:
             ]
             work = iter(enumerate(requests))
             replies: list = [None] * len(requests)
+            shed = 0
 
             async def client() -> None:
+                nonlocal shed
                 for i, req in work:
                     while True:
                         try:
                             replies[i] = await engine.query(req)
+                            break
+                        except DeadlineExceeded:
+                            # The request's budget is spent; serving it
+                            # late helps nobody. Count it and move on.
+                            shed += 1
                             break
                         except BackpressureError as exc:
                             if not exc.transient:
@@ -310,12 +327,16 @@ def _run_serve(args) -> int:
 
             by_source: dict[str, int] = {}
             for reply in replies:
+                if reply is None:  # shed on deadline: no reply to count
+                    continue
                 by_source[reply.source] = by_source.get(reply.source, 0) + 1
+            answered = len(requests) - shed
+            shed_note = f" ({shed} shed on deadline)" if shed else ""
             print(
-                f"served {len(requests)} requests "
+                f"served {answered} requests{shed_note} "
                 f"({', '.join(s.name for s in steps)} x {args.passes}) "
                 f"with {args.concurrency} clients in {dt:.2f}s "
-                f"({len(requests) / dt:.0f} req/s) {by_source}"
+                f"({answered / dt:.0f} req/s) {by_source}"
             )
             print(engine.stats().describe())
             es = engine.engine.stats()
@@ -383,17 +404,29 @@ def _run_models(args) -> int:
         print(f"no saved fits in {model_dir}")
     log_path = model_dir / "online_updates.json"
     if log_path.exists():
+        from repro.core import integrity
+
+        if integrity.check(log_path) is False:
+            target = integrity.quarantine(log_path)
+            print(
+                f"online update log failed its integrity check; "
+                f"quarantined to {target.name}"
+            )
+            return 0
         records = json.loads(log_path.read_text())
         print(f"online update log ({len(records)} update(s)):")
         for r in records:
             if wanted is not None and r["device"] != wanted:
                 continue
+            status = r.get("status", "applied")
+            tag = "" if status == "applied" else f" [{status}]"
             print(
                 f"  {r['device']}/{r['op']} "
                 f"v{r['parent_version']}->v{r['version']} "
                 f"trigger={r['trigger']} "
                 f"samples={r['n_buffer']}+{r['n_anchor']} "
                 f"val_mse={r['val_mse']:.4g} digest={r['digest'][:12]}"
+                f"{tag}"
             )
     return 0
 

@@ -10,6 +10,10 @@ objects instead of hand-wiring ``Isaac`` + ``ExhaustiveSearch`` +
 door on top: per-shard time-windowed micro-batching, request coalescing,
 admission control (:class:`~repro.service.async_engine.BackpressureError`)
 and graceful drain — for serving independent request streams at rate.
+
+:mod:`~repro.service.faults` is the chaos plane: deterministic seeded
+fault plans (:class:`~repro.service.faults.FaultPlan`) injected at named
+sites across the stack, for fault-tolerance tests that replay exactly.
 """
 
 from repro.service.async_engine import (
@@ -19,20 +23,26 @@ from repro.service.async_engine import (
     ShardStats,
 )
 from repro.service.engine import (
+    DeadlineExceeded,
     Engine,
     EngineError,
     EngineStats,
     KernelReply,
     KernelRequest,
 )
+from repro.service.faults import FaultPlan, FaultSpec, InjectedFault
 
 __all__ = [
     "AsyncEngine",
     "AsyncEngineStats",
     "BackpressureError",
+    "DeadlineExceeded",
     "Engine",
     "EngineError",
     "EngineStats",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "KernelReply",
     "KernelRequest",
     "ShardStats",

@@ -52,7 +52,9 @@ Sync use (harness, legacy callers) — a background event-loop thread::
 from __future__ import annotations
 
 import asyncio
+import functools
 import threading
+import time
 from collections import Counter, deque
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -63,11 +65,13 @@ from typing import Any, Sequence
 from repro.core.ops import OpSpec
 from repro.inference.topk import RankedKernel
 from repro.service.engine import (
+    DeadlineExceeded,
     Engine,
     EngineError,
     KernelReply,
     KernelRequest,
 )
+from repro.service.faults import InjectedFault, inject
 
 
 class BackpressureError(EngineError):
@@ -91,6 +95,93 @@ class BackpressureError(EngineError):
 _CLOSE = object()
 
 
+def _consume_result(future: asyncio.Future) -> None:
+    """Mark an abandoned future's outcome as retrieved.
+
+    A client whose deadline expired stops waiting, but the search (and
+    its :meth:`_settle`) still completes; without this callback a failed
+    settle would log "exception was never retrieved" noise.
+    """
+    if not future.cancelled():
+        future.exception()
+
+
+class _CircuitBreaker:
+    """Closed / open / half-open gate in front of the worker pool.
+
+    ``record_failure`` counts *consecutive* pool-RPC failures; at
+    ``threshold`` the breaker trips open and :meth:`allow` refuses the
+    pool, sending every flush down the in-process path (answers stay
+    config-identical — only placement changes).  After ``reset_s`` the
+    next flush becomes a half-open probe: exactly one flush is allowed
+    through; its success closes the breaker (a *recovery*), its failure
+    re-opens it.  Thread-safe — flushes record from executor threads.
+    """
+
+    def __init__(self, threshold: int, reset_s: float):
+        self._threshold = threshold
+        self._reset_s = reset_s
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+        self.recoveries = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        now = time.monotonic()
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if now - self._opened_at >= self._reset_s:
+                    self._state = "half-open"
+                    self._probing = True
+                    return True
+                return False
+            # half-open: one probe at a time.
+            if not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == "half-open":
+                self.recoveries += 1
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            self._failures += 1
+            if self._state == "half-open" or self._failures >= self._threshold:
+                if self._state != "open":
+                    self.trips += 1
+                self._state = "open"
+                self._opened_at = now
+                self._failures = 0
+                self._probing = False
+
+    def abandon_probe(self) -> None:
+        """A probe flush that never reached the pool (all cache hits /
+        fallbacks) proves nothing: return to open and wait again."""
+        now = time.monotonic()
+        with self._lock:
+            if self._state == "half-open" and self._probing:
+                self._state = "open"
+                self._opened_at = now
+                self._probing = False
+
+
 @dataclass
 class _Pending:
     """One admitted cache miss waiting for its shard to flush."""
@@ -99,6 +190,7 @@ class _Pending:
     key: str
     future: asyncio.Future
     t_submit: float
+    deadline: float | None = None
 
 
 class _Shard:
@@ -206,6 +298,11 @@ class AsyncEngineStats:
     model_versions: dict[int, int]
     online_updates: int
     shards: tuple[ShardStats, ...]
+    deadlines_exceeded: int = 0
+    deadline_shed: int = 0
+    breaker_state: str = "closed"
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
 
     def describe(self) -> str:
         lines = [
@@ -225,11 +322,19 @@ class AsyncEngineStats:
                 f"exhaustive={self.exhaustive_searches} "
                 f"fallbacks={self.cascade_fallbacks}"
             )
+        if self.deadlines_exceeded or self.deadline_shed:
+            lines.append(
+                f"  deadlines exceeded={self.deadlines_exceeded} "
+                f"shed={self.deadline_shed}"
+            )
         if self.workers:
             lines.append(
                 f"  workers={self.workers} "
                 f"worker_flushes={self.worker_flushes} "
-                f"worker_fallbacks={self.worker_fallbacks}"
+                f"worker_fallbacks={self.worker_fallbacks} "
+                f"breaker={self.breaker_state} "
+                f"trips={self.breaker_trips} "
+                f"recoveries={self.breaker_recoveries}"
             )
         if self.model_versions:
             by_version = " ".join(
@@ -295,6 +400,20 @@ class AsyncEngine:
         fall back to the in-process path, so answers (and their
         config-identity to ``Engine.query``) never depend on pool
         health.
+    worker_timeout_s:
+        Per-RPC reply deadline for the worker tier (pool
+        ``reply_timeout_s``).  A hung-but-alive worker is detected when
+        its reply misses this deadline, killed, respawned from the same
+        shared segment and the flush replayed.  ``None`` (default)
+        keeps the crash-only detection.
+    worker_heartbeat_s:
+        Watchdog ping period for the worker tier; ``None`` disables.
+    breaker_threshold:
+        Consecutive pool-RPC failures before the circuit breaker trips
+        open and every flush falls back in-process.
+    breaker_reset_s:
+        Seconds an open breaker waits before letting one half-open
+        probe flush test the pool again (success re-closes it).
     """
 
     def __init__(
@@ -308,6 +427,10 @@ class AsyncEngine:
         max_shards: int = 64,
         max_workers: int | None = None,
         workers: int = 0,
+        worker_timeout_s: float | None = None,
+        worker_heartbeat_s: float | None = None,
+        breaker_threshold: int = 8,
+        breaker_reset_s: float = 30.0,
         own_engine: bool | None = None,
         **engine_kwargs,
     ):
@@ -337,6 +460,14 @@ class AsyncEngine:
             )
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if breaker_threshold <= 0:
+            raise ValueError(
+                f"breaker_threshold must be positive, got {breaker_threshold}"
+            )
+        if breaker_reset_s <= 0:
+            raise ValueError(
+                f"breaker_reset_s must be positive, got {breaker_reset_s}"
+            )
         self._engine = engine
         self._own_engine = bool(own_engine)
         self._window_s = window_ms / 1e3
@@ -359,6 +490,9 @@ class AsyncEngine:
         self._n_workers = workers
         self._pool = None
         self._pool_lock = threading.Lock()
+        self._worker_timeout_s = worker_timeout_s
+        self._worker_heartbeat_s = worker_heartbeat_s
+        self._breaker = _CircuitBreaker(breaker_threshold, breaker_reset_s)
 
         #: the background fine-tune driver (created on loop bind when
         #: the engine has an online learner configured).
@@ -379,6 +513,8 @@ class AsyncEngine:
         self._n_batch_failures = 0
         self._n_worker_flushes = 0
         self._n_worker_fallbacks = 0
+        self._n_deadlines = 0
+        self._n_deadline_shed = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -395,6 +531,10 @@ class AsyncEngine:
         max_shards: int = 64,
         max_workers: int | None = None,
         workers: int = 0,
+        worker_timeout_s: float | None = None,
+        worker_heartbeat_s: float | None = None,
+        breaker_threshold: int = 8,
+        breaker_reset_s: float = 30.0,
         **engine_kwargs,
     ) -> "AsyncEngine":
         """An owned front door over ``Engine.open(model_dir)``."""
@@ -407,6 +547,10 @@ class AsyncEngine:
             max_shards=max_shards,
             max_workers=max_workers,
             workers=workers,
+            worker_timeout_s=worker_timeout_s,
+            worker_heartbeat_s=worker_heartbeat_s,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_s=breaker_reset_s,
             own_engine=True,
         )
 
@@ -440,7 +584,15 @@ class AsyncEngine:
             raise EngineError("async engine is closed")
         loop = self._bind_loop()
         t0 = loop.time()
-        request, spec, key = self._engine.resolve(request)
+        try:
+            request, spec, key = self._engine.resolve(request)
+        except DeadlineExceeded:
+            # Admission check: a non-positive budget is dead on arrival.
+            self._n_deadlines += 1
+            raise
+        deadline = None
+        if request.deadline_ms is not None:
+            deadline = t0 + request.deadline_ms / 1e3
         self._n_submitted += 1
 
         reply = self._engine.probe_cache(request, spec, key)
@@ -453,7 +605,8 @@ class AsyncEngine:
         leader = self._inflight.get(key)
         if leader is not None:
             self._n_coalesced += 1
-            reply = await asyncio.shield(leader)
+            reply = await self._await_reply(leader, deadline, request,
+                                            own=False)
             # A coalesced waiter paid (part of) the leader's search, so
             # its wait belongs on the miss side of the latency split.
             with self._lat_lock:
@@ -469,7 +622,7 @@ class AsyncEngine:
             )
         future: asyncio.Future = loop.create_future()
         shard = self._shard_for(request, spec)
-        item = _Pending(request, key, future, loop.time())
+        item = _Pending(request, key, future, loop.time(), deadline)
         try:
             shard.queue.put_nowait(item)
         except asyncio.QueueFull:
@@ -481,7 +634,40 @@ class AsyncEngine:
         self._inflight[key] = future
         self._pending += 1
         shard.submitted += 1
-        return await asyncio.shield(future)
+        return await self._await_reply(future, deadline, request, own=True)
+
+    async def _await_reply(
+        self,
+        future: asyncio.Future,
+        deadline: float | None,
+        request: KernelRequest,
+        *,
+        own: bool,
+    ) -> KernelReply:
+        """Await a (shielded) reply future within the request's deadline.
+
+        The shield matters twice over: a coalesced waiter timing out
+        must not cancel the leader's future, and a leader timing out
+        must not cancel the search — the flush still completes, settles
+        the future and warms the cache for the next request.  ``own``
+        marks the future this caller created (nobody else will read it,
+        so its eventual outcome is explicitly consumed).
+        """
+        if deadline is None:
+            return await asyncio.shield(future)
+        remaining = deadline - self._loop.time()
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), max(0.0, remaining)
+            )
+        except asyncio.TimeoutError:
+            self._n_deadlines += 1
+            if own:
+                future.add_done_callback(_consume_result)
+            raise DeadlineExceeded(
+                f"deadline_ms={request.deadline_ms} expired while waiting "
+                "for the search"
+            ) from None
 
     async def query_many(
         self, requests: Sequence[KernelRequest]
@@ -573,9 +759,37 @@ class AsyncEngine:
                 reason = "full"
             else:
                 reason = "window"
-            await self._flush(shard, batch, reason)
+            batch = self._shed_expired(shard, batch)
+            if batch:
+                await self._flush(shard, batch, reason)
             if draining:
                 return
+
+    def _shed_expired(
+        self, shard: _Shard, batch: list[_Pending]
+    ) -> list[_Pending]:
+        """Drop batch members whose deadline already passed.
+
+        Queue shedding, not just client-side timeouts: an expired
+        request would burn a worker's search budget on an answer nobody
+        is waiting for, and in a deep queue that work delays every
+        live request behind it.
+        """
+        now = self._loop.time()
+        kept: list[_Pending] = []
+        for p in batch:
+            if p.deadline is not None and now >= p.deadline:
+                self._n_deadline_shed += 1
+                self._settle(
+                    shard, p, None,
+                    DeadlineExceeded(
+                        f"deadline_ms={p.request.deadline_ms} expired in "
+                        "the shard queue before the flush"
+                    ),
+                )
+            else:
+                kept.append(p)
+        return kept
 
     async def _flush(
         self, shard: _Shard, batch: list[_Pending], reason: str
@@ -591,14 +805,46 @@ class AsyncEngine:
         loop = self._loop
         requests = [p.request for p in batch]
         t_flush = loop.time()
-        if self._n_workers:
+        try:
+            inject("async.flush")
+        except InjectedFault as exc:
+            # A chaos fault at the flush site settles the whole batch
+            # with a typed error; letting it propagate would kill the
+            # shard's worker task and deadlock every later request.
+            for p in batch:
+                self._settle(shard, p, None, exc, t_flush)
+            with shard.lock:
+                shard.batches += 1
+                shard.reasons[reason] += 1
+                shard.sizes[len(batch)] += 1
+            return
+        use_pool = bool(self._n_workers)
+        if use_pool and not self._breaker.allow():
+            # Breaker open: the pool has been failing; route in-process
+            # until a half-open probe proves it healthy again.
+            use_pool = False
+            self._n_worker_fallbacks += len(batch)
+        if use_pool:
+            # A live deadline caps how long we wait on worker pipes; the
+            # earliest one in the batch governs (plus slack so a reply
+            # racing the deadline still lands).
+            timeout_s = None
+            deadlines = [p.deadline for p in batch if p.deadline is not None]
+            if deadlines:
+                timeout_s = max(0.05, min(deadlines) - loop.time() + 0.25)
+                if self._worker_timeout_s is not None:
+                    # The deadline tightens the configured RPC timeout,
+                    # never loosens it.
+                    timeout_s = min(timeout_s, self._worker_timeout_s)
             try:
                 outcomes = await loop.run_in_executor(
-                    self._get_executor(), self._pool_flush, requests
+                    self._get_executor(),
+                    functools.partial(self._pool_flush, requests, timeout_s),
                 )
             except Exception:
                 # Pool unusable (e.g. boot failure, now disabled):
                 # serve this batch in-process like workers=0.
+                self._breaker.record_failure()
                 self._n_worker_fallbacks += len(batch)
             else:
                 for p, (reply, exc) in zip(batch, outcomes):
@@ -694,7 +940,12 @@ class AsyncEngine:
                 from repro.service.worker_pool import WorkerPool
 
                 try:
-                    self._pool = WorkerPool(self._engine, self._n_workers)
+                    self._pool = WorkerPool(
+                        self._engine,
+                        self._n_workers,
+                        reply_timeout_s=self._worker_timeout_s,
+                        heartbeat_s=self._worker_heartbeat_s,
+                    )
                 except BaseException:
                     # A boot that cannot succeed (resource limits, bad
                     # state) must not be retried on every flush; degrade
@@ -704,7 +955,9 @@ class AsyncEngine:
             return self._pool
 
     def _pool_flush(
-        self, requests: Sequence[KernelRequest]
+        self,
+        requests: Sequence[KernelRequest],
+        timeout_s: float | None = None,
     ) -> list[tuple[KernelReply | None, BaseException | None]]:
         """One shard batch through the worker pool (executor thread).
 
@@ -745,14 +998,22 @@ class AsyncEngine:
             shapes = [resolved[i][0].shape for i in idxs]
             # One shard per batch => one (device, op, k, reps) per batch.
             submitted.append((idxs, pool.submit_flush(
-                wid, req0.device, req0.op, shapes, req0.k, req0.reps
+                wid, req0.device, req0.op, shapes, req0.k, req0.reps,
+                timeout_s=timeout_s,
             )))
             self._n_worker_flushes += 1
+        if not submitted:
+            # A half-open probe that never reached the pool proves
+            # nothing; re-open so the next flush probes for real.
+            self._breaker.abandon_probe()
         for idxs, future in submitted:
             try:
                 results = future.result()
             except Exception:
+                self._breaker.record_failure()
                 results = [(False, "worker crashed")] * len(idxs)
+            else:
+                self._breaker.record_success()
             for i, (ok, payload) in zip(idxs, results):
                 req = resolved[i][0]
                 if not ok:
@@ -942,6 +1203,11 @@ class AsyncEngine:
             model_versions=versions,
             online_updates=online_updates,
             shards=tuple(shards),
+            deadlines_exceeded=self._n_deadlines,
+            deadline_shed=self._n_deadline_shed,
+            breaker_state=self._breaker.state,
+            breaker_trips=self._breaker.trips,
+            breaker_recoveries=self._breaker.recoveries,
         )
 
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core import integrity
 from repro.core.candidate_store import CandidateStore
 from repro.core.ops import OpSpec, get_op
 from repro.core.profile_cache import ProfileCache
@@ -56,12 +57,23 @@ from repro.core.tuner import Isaac, TuneReport
 from repro.core.types import DType
 from repro.gpu.device import DeviceSpec, get_device
 from repro.inference.topk import RankedKernel, best_after_rerank, rerank
+from repro.service.faults import inject
 from repro.service.online import ModelUpdate, OnlineConfig, OnlineLearner
 from repro.workloads.networks import NetworkStep
 
 
 class EngineError(RuntimeError):
     """A request the engine cannot serve (unknown model, closed engine)."""
+
+
+class DeadlineExceeded(EngineError):
+    """A request's ``deadline_ms`` budget ran out before its answer.
+
+    Raised at admission when the budget is already non-positive, when a
+    queued request expires before its batch flushes (shed, never
+    searched), and to a waiting client whose reply did not arrive in
+    time.  Always a per-request error: the engine itself stays healthy.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -78,6 +90,14 @@ class KernelRequest:
     ``cache`` parameter, they are not part of the cached result's
     identity — the first answer for a (device, op, shape) is served to
     every later request for it.
+
+    ``deadline_ms`` is this request's end-to-end budget, measured from
+    admission.  ``None`` (the default) means wait forever.  A request
+    whose budget runs out fails with :class:`DeadlineExceeded` — at
+    admission if already non-positive, shed from its shard queue if it
+    expires before the batch flushes, or raised to the waiting client.
+    Like ``k``/``reps`` it is not part of result identity or of
+    :meth:`group_key`.
     """
 
     op: str
@@ -85,6 +105,7 @@ class KernelRequest:
     device: str | None = None
     k: int = 100
     reps: int = 3
+    deadline_ms: float | None = None
 
     def group_key(self) -> tuple:
         """The batchable-unit key for a *resolved* request.
@@ -330,10 +351,20 @@ class Engine:
 
     def _scan_model_dir(self) -> None:
         import json
+        import warnings
 
         for path in sorted(self._model_dir.glob("*.npz")):
             sidecar = path.with_suffix(path.suffix + ".meta.json")
             if not sidecar.exists():
+                continue
+            if integrity.check(path) is False:
+                target = integrity.quarantine(path)
+                warnings.warn(
+                    f"model file {path} failed its integrity check; "
+                    f"quarantined to {target.name} — retune or restore "
+                    "the fit to serve this (device, op) again",
+                    stacklevel=2,
+                )
                 continue
             meta = json.loads(sidecar.read_text())
             self._model_index[(meta["device"], meta["op"])] = path
@@ -410,7 +441,28 @@ class Engine:
                 tuner = self._tuners.get(key)
                 if tuner is not None:
                     return tuner
-            tuner = Isaac.load(path)
+            try:
+                tuner = Isaac.load(path)
+            except Exception as exc:
+                # A fit that rotted after the boot-time scan: quarantine
+                # it and drop the index entry so later queries fail fast
+                # with a typed error instead of re-parsing garbage.
+                import warnings
+
+                target = None
+                if path.exists():
+                    target = integrity.quarantine(path)
+                with self._registry_lock:
+                    self._model_index.pop(key, None)
+                warnings.warn(
+                    f"model file {path} is unreadable; quarantined to "
+                    f"{target.name if target else '(missing)'}",
+                    stacklevel=2,
+                )
+                raise EngineError(
+                    f"model for device={device_name!r} op={op_name!r} is "
+                    f"unreadable and was quarantined ({exc})"
+                ) from exc
             self._configure_cascade(tuner)
             with self._registry_lock:
                 self._tuners[key] = tuner
@@ -458,6 +510,11 @@ class Engine:
             raise EngineError(
                 f"op {spec.name!r} expects {spec.shape_type.__name__}, "
                 f"got {type(request.shape).__name__}"
+            )
+        if request.deadline_ms is not None and request.deadline_ms <= 0:
+            raise DeadlineExceeded(
+                f"deadline_ms={request.deadline_ms} was already spent at "
+                "admission"
             )
         if request.device != device_name or request.op != spec.name:
             request = replace(request, device=device_name, op=spec.name)
@@ -543,6 +600,7 @@ class Engine:
         :meth:`stats`, exactly as if :meth:`query` had run it; returns
         the reply to hand to the caller.
         """
+        inject("engine.store")
         request, spec, key = self._resolve(request)
         with self._cache_lock:
             self._store_locked(request, spec, key, best)
@@ -694,6 +752,7 @@ class Engine:
     ) -> RankedKernel:
         """One model search + device re-rank; identical to
         ``Isaac.best_kernel(shape, k=k, reps=reps)`` with no cache."""
+        inject("engine.search")
         tuner = self._tuner(request.device, request.op)
         with self._tuner_locks[(request.device, request.op)]:
             # ExhaustiveSearch mutates per-instance caches and reuses
@@ -802,6 +861,7 @@ class Engine:
         replies: list[KernelReply | None],
     ) -> None:
         """One (device, op, dtype, k, reps) group: batch search + rerank."""
+        inject("engine.search")
         (device_name, op_name, _dtype, k, reps), keys = item
         spec = get_op(op_name)
         tuner = self._tuner(device_name, op_name)
@@ -1112,9 +1172,12 @@ class Engine:
         log = self._learner.update_log()
         if persisted or log:
             self._model_dir.mkdir(parents=True, exist_ok=True)
-            (self._model_dir / "online_updates.json").write_text(
+            log_path = self._model_dir / "online_updates.json"
+            log_path.write_text(
                 json.dumps([r.to_json() for r in log], indent=2)
             )
+            integrity.write_digest(log_path)
+            inject("online.log", log_path)
 
     def online_status(self) -> dict[tuple[str, str], dict]:
         """Per-(device, op) version/buffer/update counters (CLI, stats)."""

@@ -1,0 +1,251 @@
+"""Deterministic fault injection: the serving tier's chaos plane.
+
+The robustness machinery in the serving stack — reply deadlines, the
+hung-worker watchdog, the circuit breaker, quarantine-and-rebuild of
+corrupt state files — only earns trust if its failure paths can be
+*driven*, deterministically, in tests.  This module provides that
+driver.
+
+A :class:`FaultPlan` is a frozen, picklable description of faults to
+inject: each :class:`FaultSpec` names an injection *site* (a dotted
+path such as ``"worker.reply"`` or ``"candidate_store.load"``), a
+trigger window (skip the first ``after`` hits, then fire at most
+``times`` times), a firing ``probability``, and an *action*:
+
+``raise``
+    raise :class:`InjectedFault` at the checkpoint;
+``sleep``
+    delay ``delay_s`` seconds, then continue (latency injection);
+``hang``
+    delay ``hang_s`` seconds (default five minutes) — long enough
+    that only an external deadline or watchdog can end the wait;
+``corrupt``
+    flip bytes of the file the checkpoint is guarding (sites that
+    guard a file pass its path to :func:`inject`);
+``kill``
+    ``SIGKILL`` the current process (worker-crash injection).
+
+Production code threads explicit ``inject(site)`` checkpoints through
+its failure-relevant paths.  Disarmed (the default), a checkpoint is a
+single global read — zero overhead.  Armed via :func:`arm` or the
+:func:`armed` context manager, every fire decision is a pure function
+of ``(plan seed, site, hit index)``: replaying the same plan against
+the same call sequence fires the same faults, which is what makes
+chaos test failures reproducible.
+
+The plan is plain data (stdlib only, no numpy) so it can be pickled
+over a worker pipe and armed inside a live worker process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "arm",
+    "armed",
+    "disarm",
+    "fire_log",
+    "inject",
+]
+
+_ACTIONS = ("raise", "sleep", "hang", "corrupt", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """An error raised on purpose by an armed :class:`FaultPlan`."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where it triggers, when, and what it does."""
+
+    site: str
+    action: str = "raise"
+    after: int = 0
+    times: int | None = 1
+    probability: float = 1.0
+    delay_s: float = 0.05
+    hang_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("site must be a non-empty dotted path")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}, got {self.action!r}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 (or None for unbounded), got {self.times}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_s < 0 or self.hang_s < 0:
+            raise ValueError("delay_s and hang_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable set of :class:`FaultSpec`s.
+
+    The plan itself is immutable; per-site hit counters live in the
+    armed runtime state, not here, so one plan value can be armed in
+    several processes at once (parent and workers) without sharing
+    mutable state.
+    """
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def sites(self) -> tuple[str, ...]:
+        return tuple(sorted({s.site for s in self.specs}))
+
+
+def _draw(seed: int, site: str, spec_index: int, hit: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (spec, hit) pair."""
+    token = f"{seed}:{site}:{spec_index}:{hit}".encode()
+    raw = int.from_bytes(hashlib.blake2b(token, digest_size=8).digest(), "big")
+    return raw / float(1 << 64)
+
+
+class _ArmedPlan:
+    """Runtime state for one armed plan: hit/fire counters + fire log."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._hits: dict[int, int] = {}
+        self._fired: dict[int, int] = {}
+        self.log: list[tuple[str, int, str]] = []
+
+    def decide(self, site: str) -> list[FaultSpec]:
+        """Advance counters for ``site`` and return the specs that fire."""
+        firing: list[FaultSpec] = []
+        with self._lock:
+            for idx, spec in enumerate(self.plan.specs):
+                if spec.site != site:
+                    continue
+                hit = self._hits.get(idx, 0)
+                self._hits[idx] = hit + 1
+                if hit < spec.after:
+                    continue
+                if spec.times is not None and self._fired.get(idx, 0) >= spec.times:
+                    continue
+                if spec.probability < 1.0 and _draw(
+                    self.plan.seed, site, idx, hit
+                ) >= spec.probability:
+                    continue
+                self._fired[idx] = self._fired.get(idx, 0) + 1
+                self.log.append((site, hit, spec.action))
+                firing.append(spec)
+        return firing
+
+    def fire_counts(self) -> dict[str, int]:
+        with self._lock:
+            counts: dict[str, int] = {}
+            for idx, n in self._fired.items():
+                site = self.plan.specs[idx].site
+                counts[site] = counts.get(site, 0) + n
+            return counts
+
+
+_armed: _ArmedPlan | None = None
+_arm_lock = threading.Lock()
+
+
+def arm(plan: FaultPlan) -> None:
+    """Arm ``plan`` process-wide, replacing any previously armed plan."""
+    global _armed
+    with _arm_lock:
+        _armed = _ArmedPlan(plan)
+
+
+def disarm() -> None:
+    """Disarm fault injection; checkpoints return to zero-cost no-ops."""
+    global _armed
+    with _arm_lock:
+        _armed = None
+
+
+@contextmanager
+def armed(plan: FaultPlan) -> Iterator[None]:
+    """Context manager: arm ``plan`` for the block, then disarm."""
+    arm(plan)
+    try:
+        yield
+    finally:
+        disarm()
+
+
+def fire_log() -> tuple[tuple[str, int, str], ...]:
+    """(site, hit index, action) tuples fired so far, in firing order."""
+    state = _armed
+    if state is None:
+        return ()
+    with state._lock:
+        return tuple(state.log)
+
+
+def fire_counts() -> dict[str, int]:
+    """Fired-fault counts per site for the currently armed plan."""
+    state = _armed
+    return {} if state is None else state.fire_counts()
+
+
+def _corrupt_file(path: "os.PathLike[str] | str", seed: int, hit: int) -> None:
+    """Flip bytes of ``path`` at deterministic, seed-derived offsets."""
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return
+    if size == 0:
+        return
+    token = f"{seed}:corrupt:{hit}".encode()
+    base = int.from_bytes(hashlib.blake2b(token, digest_size=8).digest(), "big")
+    with open(path, "r+b") as fh:
+        for i in range(8):
+            offset = (base + i * 2654435761) % size
+            fh.seek(offset)
+            byte = fh.read(1)
+            if not byte:
+                continue
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+def inject(site: str, path: "os.PathLike[str] | str | None" = None) -> None:
+    """Fault-injection checkpoint.
+
+    No-op (one global read) unless a plan is armed.  ``path`` is the
+    file a persistence checkpoint is guarding; only ``corrupt`` faults
+    use it.
+    """
+    state = _armed
+    if state is None:
+        return
+    for spec in state.decide(site):
+        if spec.action == "raise":
+            raise InjectedFault(f"injected fault at {site!r}")
+        if spec.action == "sleep":
+            time.sleep(spec.delay_s)
+        elif spec.action == "hang":
+            time.sleep(spec.hang_s)
+        elif spec.action == "corrupt":
+            if path is not None:
+                with state._lock:
+                    hit = len(state.log)
+                _corrupt_file(path, state.plan.seed, hit)
+        elif spec.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)

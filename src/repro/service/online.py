@@ -79,6 +79,14 @@ class OnlineConfig:
     adds a wall-clock liveness trigger for long-idle services — it
     changes *when* a snapshot is cut, so replays that rely on
     bit-identity leave it ``None`` (the default).
+
+    ``rollback_tolerance`` is the regression guard: when set, a
+    fine-tune whose anchor-slice ``val_mse`` exceeds the parent fit's by
+    more than this relative fraction is *rejected* — the candidate fit
+    is discarded instead of hot-swapped, and the rejection is logged in
+    ``online_updates.json``.  ``None`` (the default) disables the guard;
+    a negative value makes the guard strict enough to reject any
+    non-improving update (chaos tests use it to force rejections).
     """
 
     buffer_capacity: int = 4096
@@ -89,6 +97,7 @@ class OnlineConfig:
     batch_size: int = 64
     lr: float = 5e-4
     anchor_size: int = 512
+    rollback_tolerance: float | None = None
 
     def __post_init__(self):
         if self.buffer_capacity <= 0:
@@ -275,6 +284,12 @@ class UpdateRecord:
     the same traffic with the same :class:`OnlineConfig` must reproduce
     every digest, which is how the reproducibility contract is audited
     without storing full fit blobs per update.
+
+    ``status`` is ``"applied"`` for a hot-swapped fit and ``"rejected"``
+    for a candidate the rollback guard discarded (its ``val_mse``
+    regressed the anchor slice beyond ``rollback_tolerance`` relative to
+    ``parent_val_mse``).  Rejected records keep the digest so a replay
+    can audit the discarded bytes too.
     """
 
     device: str
@@ -287,6 +302,8 @@ class UpdateRecord:
     total_pairs: int
     val_mse: float
     digest: str
+    status: str = "applied"     # "applied" | "rejected"
+    parent_val_mse: float = float("nan")
 
     def to_json(self) -> dict:
         return {
@@ -296,6 +313,7 @@ class UpdateRecord:
             "trigger": self.trigger, "n_buffer": self.n_buffer,
             "n_anchor": self.n_anchor, "total_pairs": self.total_pairs,
             "val_mse": self.val_mse, "digest": self.digest,
+            "status": self.status, "parent_val_mse": self.parent_val_mse,
         }
 
 
@@ -484,6 +502,9 @@ class OnlineLearner:
                     ),
                     seed=self.config.seed,
                 )
+                from repro.service.faults import inject
+
+                inject("online.fine_tune")
                 fit = fine_tune_fit(
                     state.fit, snap.x, snap.y,
                     anchor_x=state.anchor_x, anchor_y=state.anchor_y,
@@ -492,6 +513,7 @@ class OnlineLearner:
                 digest = hashlib.blake2b(
                     fit_to_bytes(fit), digest_size=16
                 ).hexdigest()
+                parent_val, rejected = self._judge(state, fit)
                 record = UpdateRecord(
                     device=device, op=op,
                     version=lineage.model_version,
@@ -505,13 +527,45 @@ class OnlineLearner:
                     total_pairs=snap.total,
                     val_mse=fit.val_mse,
                     digest=digest,
+                    status="rejected" if rejected else "applied",
+                    parent_val_mse=parent_val,
                 )
                 with self._lock:
-                    state.fit = fit
-                    state.version = lineage.model_version
+                    if not rejected:
+                        state.fit = fit
+                        state.version = lineage.model_version
                     self._log.append(record)
-                updates.append(ModelUpdate(device, op, fit, record))
+                if not rejected:
+                    updates.append(ModelUpdate(device, op, fit, record))
         return updates
+
+    def _judge(
+        self, state: _PairState, fit: FitResult
+    ) -> tuple[float, bool]:
+        """(parent anchor val_mse, reject?) for one candidate fit.
+
+        The guard compares the candidate's anchor-slice ``val_mse`` to
+        the *parent's* on the same slice, through the same frozen
+        scalers, so the two numbers are directly comparable.  Disabled
+        (tolerance None) or with no anchor slice, nothing is rejected —
+        there is no held-out signal to judge by.
+        """
+        tol = self.config.rollback_tolerance
+        anchored = (
+            state.anchor_x is not None
+            and state.anchor_y is not None
+            and len(state.anchor_x) > 0
+        )
+        if tol is None or not anchored:
+            return float("nan"), False
+        xa = state.fit.x_scaler.transform(
+            _maybe_log(np.atleast_2d(state.anchor_x), True)
+        )
+        ya = state.fit.y_scaler.transform(
+            np.asarray(state.anchor_y, dtype=np.float64).ravel()
+        )
+        parent_val = float(mse(state.fit.model.predict(xa), ya))
+        return parent_val, bool(fit.val_mse > parent_val * (1.0 + tol))
 
     def flush(self) -> list[ModelUpdate]:
         """Consume every unconsumed pair now (the close() path).
@@ -553,7 +607,12 @@ class OnlineLearner:
                 "buffer_size": len(state.buffer),
                 "total_pairs": state.buffer.total,
                 "pending_jobs": len(state.jobs),
-                "updates": len(updates),
+                "updates": len(
+                    [r for r in updates if r.status == "applied"]
+                ),
+                "rejections": len(
+                    [r for r in updates if r.status == "rejected"]
+                ),
                 "val_mse": state.fit.val_mse,
             }
         return out

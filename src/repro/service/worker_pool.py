@@ -24,8 +24,16 @@ pipe, dead process) respawns the worker and retries the same job up to
 ``retries`` times before failing its future with :class:`WorkerCrashed`;
 a worker whose *respawn* fails is marked dead and every later job routed
 to it fails fast, which the async engine answers by falling back to the
-in-process path.  ``close()`` drains each inbox, asks workers to exit,
-and unlinks the shared segment exactly once.
+in-process path.  With ``reply_timeout_s`` set, a *hung-but-alive*
+worker takes the same road: a reply that misses the deadline gets the
+process killed, a fresh worker respawned from the same shared segment,
+and the job replayed — hangs degrade into the crash path instead of
+stalling a flush forever.  An optional watchdog (``heartbeat_s``) pings
+each live worker between requests so a hang is caught even on an idle
+pool.  ``close()`` drains each inbox, asks workers to exit, and unlinks
+the shared segment exactly once — escalating ``terminate()`` to
+``kill()`` for any worker that ignores it, so close never leaks a
+process.
 
 Determinism makes this tier safe: measurement noise is keyed BLAKE2b
 (:mod:`repro.gpu.noise`), candidate materialization from shared columns
@@ -51,7 +59,8 @@ _VNODES = 64
 
 #: Seconds between liveness checks while waiting on a worker reply.  A
 #: flush can legitimately run for seconds (device re-rank), so replies
-#: have no deadline — only death interrupts the wait.
+#: have no deadline by default — death, or the pool's ``reply_timeout_s``
+#: when one is configured, interrupts the wait.
 _POLL_S = 0.1
 
 #: Ceiling on one warm boot (imports + tuner rebuild + cache seeding).
@@ -68,6 +77,18 @@ def _ring_hash(data: str) -> int:
     return int.from_bytes(
         hashlib.blake2b(data.encode(), digest_size=8).digest(), "big"
     )
+
+
+def _chaos(site: str) -> None:
+    """Fault-injection checkpoint (:mod:`repro.service.faults`).
+
+    Imported lazily: in the child this runs long after the BLAS env caps
+    landed, and in the parent the service package is already up — either
+    way the module's stdlib-only import surface stays intact.
+    """
+    from repro.service.faults import inject
+
+    inject(site)
 
 
 # ----------------------------------------------------------------------
@@ -132,9 +153,29 @@ def _worker_main(conn, blas_threads: int) -> None:
             if kind == "flush":
                 device, op, shapes, k, reps = payload
                 try:
+                    _chaos("worker.flush")
                     results = engine.search_batch(device, op, shapes, k,
                                                   reps)
+                    _chaos("worker.reply")
                     conn.send(("ok", results))
+                except BaseException:
+                    import traceback
+
+                    conn.send(("error", traceback.format_exc()))
+                continue
+            if kind == "chaos":
+                # Arm (or disarm, payload None) a FaultPlan inside this
+                # live worker.  Deliberately *not* part of the boot
+                # payload: a worker killed for a hang respawns clean, so
+                # replay-after-kill completes instead of re-hanging.
+                try:
+                    from repro.service import faults
+
+                    if payload is None:
+                        faults.disarm()
+                    else:
+                        faults.arm(payload)
+                    conn.send(("ok", None))
                 except BaseException:
                     import traceback
 
@@ -186,6 +227,8 @@ class _Worker:
         self.flushes = 0
         self.respawns = 0
         self.retries = 0
+        self.hangs = 0
+        self.heartbeats = 0
         self._spawn()
         self.thread = threading.Thread(
             target=self._run, name=f"repro-worker-mgr-{index}", daemon=True
@@ -232,23 +275,43 @@ class _Worker:
     @staticmethod
     def _wait_readable(conn, process, timeout: float | None) -> bool:
         """Poll for a reply, giving up only on death (or boot timeout)."""
+        return _Worker._await_reply(conn, process, timeout) == "ready"
+
+    @staticmethod
+    def _await_reply(conn, process, timeout: float | None) -> str:
+        """Poll for a reply: ``"ready"``, ``"dead"`` or ``"timeout"``.
+
+        Death and deadline are distinct outcomes on purpose — a dead
+        worker is already gone, while a timed-out one is *hung* and must
+        be killed before its pipe can be reused.
+        """
         import time
 
         deadline = None if timeout is None else time.monotonic() + timeout
         while not conn.poll(_POLL_S):
             if not process.is_alive() and not conn.poll(0):
-                return False
+                return "dead"
             if deadline is not None and time.monotonic() > deadline:
-                return False
-        return True
+                return "timeout"
+        return "ready"
 
     @staticmethod
     def _reap(process) -> None:
+        """Stop a worker process for good, escalating until the pid is gone.
+
+        ``terminate()`` (SIGTERM) can leave a zombie if the child blocks
+        with the signal pending — e.g. wedged in a C extension — so a
+        failed ``join`` escalates to ``kill()`` (SIGKILL, uncatchable)
+        and joins again.  The final join reaps the kernel zombie entry.
+        """
         if process is None:
             return
         if process.is_alive():
             process.terminate()
         process.join(timeout=5)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5)
 
     def _respawn(self) -> None:
         self.conn.close()
@@ -265,13 +328,18 @@ class _Worker:
             job = self.inbox.get()
             if job is _CLOSE:
                 break
-            kind, payload, future = job
+            kind, payload, future, timeout_s = job
             if not future.set_running_or_notify_cancel():
                 continue
-            self._serve(kind, payload, future)
+            self._serve(kind, payload, future, timeout_s)
         self._shutdown()
 
-    def _serve(self, kind: str, payload, future: Future) -> None:
+    def _serve(
+        self, kind: str, payload, future: Future,
+        timeout_s: float | None,
+    ) -> None:
+        if timeout_s is None:
+            timeout_s = self._pool._reply_timeout_s
         for attempt in range(self._pool._retries + 1):
             if self.dead:
                 break
@@ -279,7 +347,19 @@ class _Worker:
                 self.retries += 1
             try:
                 self.conn.send((kind, payload))
-                if not self._wait_readable(self.conn, self.process, None):
+                status = self._await_reply(self.conn, self.process,
+                                           timeout_s)
+                if status == "timeout":
+                    # Hung but alive: only a kill frees the pipe.  The
+                    # respawn below replays the job on a fresh worker
+                    # booted from the same shared segment.
+                    self.hangs += 1
+                    if self.process.is_alive():
+                        self.process.kill()
+                    raise EOFError(
+                        f"worker reply missed its {timeout_s}s deadline"
+                    )
+                if status == "dead":
                     raise EOFError("worker died mid-request")
                 reply_kind, result = self.conn.recv()
             except (EOFError, OSError, BrokenPipeError):
@@ -316,6 +396,7 @@ class _Worker:
                 break
             if job is not _CLOSE and job[2].set_running_or_notify_cancel():
                 job[2].set_exception(WorkerCrashed("pool closed"))
+        assert self.process is None or not self.process.is_alive()
 
 
 # ----------------------------------------------------------------------
@@ -342,9 +423,19 @@ class WorkerPool:
         *,
         blas_threads: int = 1,
         retries: int = 2,
+        reply_timeout_s: float | None = None,
+        heartbeat_s: float | None = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if reply_timeout_s is not None and reply_timeout_s <= 0:
+            raise ValueError(
+                f"reply_timeout_s must be positive, got {reply_timeout_s}"
+            )
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be positive, got {heartbeat_s}"
+            )
         import multiprocessing
 
         from repro.core.soa import SharedArrayPack
@@ -352,7 +443,11 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context("spawn")
         self._blas_threads = int(blas_threads)
         self._retries = int(retries)
+        self._reply_timeout_s = reply_timeout_s
+        self._heartbeat_s = heartbeat_s
         self._closed = False
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
         state = engine.export_worker_state()
         self.pairs = frozenset(state.fits)
         self._pack = SharedArrayPack.create(state.arrays)
@@ -379,6 +474,35 @@ class WorkerPool:
             for v in range(_VNODES)
         )
         self._ring_keys = [h for h, _ in self._ring]
+        if heartbeat_s is not None:
+            self._watchdog = threading.Thread(
+                target=self._watch, name="repro-worker-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
+
+    def _watch(self) -> None:
+        """Watchdog: heartbeat-ping live workers between real traffic.
+
+        The ping rides the normal RPC path, so a worker hung outside any
+        request is detected by the manager's reply deadline (one
+        heartbeat period) and killed/respawned exactly like a hung
+        flush.  Each completed round increments ``heartbeats`` per
+        worker probed.
+        """
+        while not self._watchdog_stop.wait(self._heartbeat_s):
+            if self._closed:
+                return
+            for w in self._workers:
+                if self._closed or w.dead:
+                    continue
+                future: Future = Future()
+                w.inbox.put(("ping", None, future, self._heartbeat_s))
+                try:
+                    future.result(timeout=_BOOT_TIMEOUT_S)
+                except Exception:
+                    pass  # respawn/fail-fast handled by the manager
+                w.heartbeats += 1
 
     def __len__(self) -> int:
         return len(self._workers)
@@ -406,21 +530,43 @@ class WorkerPool:
         shapes: Sequence,
         k: int,
         reps: int,
+        *,
+        timeout_s: float | None = None,
     ) -> Future:
         """Queue one search batch on ``worker``.
 
         Resolves to per-shape ``(ok, payload)`` pairs (see
         :meth:`~repro.service.engine.WorkerEngine.search_batch`), or
         raises :class:`WorkerCrashed` if the worker cannot be kept alive
-        long enough to answer.
+        long enough to answer.  ``timeout_s`` overrides the pool's
+        ``reply_timeout_s`` for this job (a caller-side deadline budget);
+        a reply missing it marks the worker hung and kills it.
+        """
+        if self._closed:
+            raise WorkerCrashed("pool closed")
+        _chaos("pool.submit")
+        future: Future = Future()
+        self._workers[worker].inbox.put(
+            ("flush", (device, op, list(shapes), k, reps), future,
+             timeout_s)
+        )
+        return future
+
+    def arm_faults(
+        self, worker: int, plan, timeout: float | None = 60.0
+    ) -> None:
+        """Arm a :class:`~repro.service.faults.FaultPlan` in one worker.
+
+        Chaos-test plumbing: the plan is armed in the *live* process
+        only, never added to the boot payload, so a worker killed by
+        the watchdog or a reply deadline respawns clean and the replay
+        completes.  ``plan=None`` disarms.
         """
         if self._closed:
             raise WorkerCrashed("pool closed")
         future: Future = Future()
-        self._workers[worker].inbox.put(
-            ("flush", (device, op, list(shapes), k, reps), future)
-        )
-        return future
+        self._workers[worker].inbox.put(("chaos", plan, future, None))
+        future.result(timeout=timeout)
 
     def broadcast_fits(
         self,
@@ -462,7 +608,7 @@ class WorkerPool:
             if w.dead:
                 continue
             future: Future = Future()
-            w.inbox.put(("adopt", fits, future))
+            w.inbox.put(("adopt", fits, future, None))
             futures.append(future)
         adopted = 0
         for future in futures:
@@ -478,7 +624,7 @@ class WorkerPool:
         if self._closed:
             raise WorkerCrashed("pool closed")
         future: Future = Future()
-        self._workers[worker].inbox.put(("ping", None, future))
+        self._workers[worker].inbox.put(("ping", None, future, None))
         return future.result(timeout=timeout)
 
     def kill_worker(self, worker: int) -> None:
@@ -497,6 +643,8 @@ class WorkerPool:
                 "flushes": w.flushes,
                 "respawns": w.respawns,
                 "retries": w.retries,
+                "hangs": w.hangs,
+                "heartbeats": w.heartbeats,
                 **{f"boot_{k}": v for k, v in w.boot_stats.items()},
             }
             for w in self._workers
@@ -508,6 +656,9 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=10)
         for w in self._workers:
             w.inbox.put(_CLOSE)
         for w in self._workers:

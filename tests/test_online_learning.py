@@ -589,3 +589,64 @@ class TestCli:
             "serve", "--models", "m", "--network", "rnn",
         ])
         assert not frozen.online
+
+
+class TestRollbackGuard:
+    """The anchor-regression guard: a fine-tune that regresses the
+    anchor slice beyond tolerance is discarded, recorded as rejected,
+    and the serving fit stays at the parent version."""
+
+    def _cfg(self, tol):
+        return OnlineConfig(update_every=8, epochs=2, anchor_size=64,
+                            batch_size=32, rollback_tolerance=tol)
+
+    def test_negative_tolerance_rejects_every_update(self):
+        engine = _online_engine(config=self._cfg(-1.0))
+        replies, digests = _run_traffic(engine)
+        # Every candidate was judged and thrown away: no applied updates,
+        # no version bump, but the rejection is on the record.
+        assert digests == []
+        assert engine.model_version(DEVICE, "gemm") == 0
+        log = engine.online.update_log()
+        assert log and all(r.status == "rejected" for r in log)
+        assert all(np.isfinite(r.parent_val_mse) for r in log)
+        desc = engine.online.describe()[(DEVICE, "gemm")]
+        assert desc["updates"] == 0
+        assert desc["rejections"] == len(log)
+        # Serving stayed on the offline fit throughout.
+        assert all(
+            r.model_version in (None, 0) for r in replies
+        )
+
+    def test_huge_tolerance_applies_updates(self):
+        engine = _online_engine(config=self._cfg(1e6))
+        _, digests = _run_traffic(engine)
+        assert digests
+        log = engine.online.update_log()
+        assert all(r.status == "applied" for r in log)
+        assert all(np.isfinite(r.parent_val_mse) for r in log)
+        assert engine.model_version(DEVICE, "gemm") >= 1
+        desc = engine.online.describe()[(DEVICE, "gemm")]
+        assert desc["rejections"] == 0
+
+    def test_rejection_is_deterministic(self):
+        log1 = None
+        for _ in range(2):
+            engine = _online_engine(config=self._cfg(-1.0))
+            _run_traffic(engine)
+            log = [
+                (r.status, r.digest) for r in engine.online.update_log()
+            ]
+            if log1 is None:
+                log1 = log
+            else:
+                assert log == log1
+
+    def test_disabled_guard_never_judges(self):
+        engine = _online_engine(config=CFG)  # rollback_tolerance=None
+        _, digests = _run_traffic(engine)
+        assert digests
+        log = engine.online.update_log()
+        assert all(r.status == "applied" for r in log)
+        # No judging happened: the parent mse field stays unset.
+        assert all(np.isnan(r.parent_val_mse) for r in log)

@@ -245,7 +245,9 @@ class TestProfileCacheAtomicity:
             GemmConfig(ms=8, ns=8, ml=64, nl=64, u=8), 1.0,
         )
         cache.save()
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["p.json"]
+        # save() writes the cache plus its integrity sidecar, nothing else
+        # (no leftover tempfiles from the atomic-replace dance).
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["p.json", "p.json.b2"]
         assert json.loads((tmp_path / "p.json").read_text())
 
     def test_failed_replace_preserves_old_file(self, tmp_path, monkeypatch):
@@ -270,5 +272,10 @@ class TestProfileCacheAtomicity:
         # The original file is untouched and still valid JSON …
         assert path.read_text() == before
         assert len(ProfileCache(path)) == 1
-        # … and the aborted temp file was cleaned up.
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["p.json"]
+        # … and the aborted temp file was cleaned up.  The integrity
+        # sidecar from the first save survives (the digest update runs
+        # after the replace, which never happened) and still matches.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["p.json", "p.json.b2"]
+        from repro.core import integrity
+
+        assert integrity.check(path) is True

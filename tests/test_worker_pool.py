@@ -227,8 +227,15 @@ def test_broadcast_fits_adopts_new_model_version():
 def test_close_is_idempotent_and_fails_fast(pool_engine):
     pool = WorkerPool(pool_engine, 1)
     assert pool.ping(0)["searches"] == 0
+    processes = [w.process for w in pool._workers]
+    assert all(p is not None and p.is_alive() for p in processes)
     pool.close()
     pool.close()  # second close is a no-op, not an error
+    # The drain escalation guarantees no zombie survives close(): every
+    # child process is really gone, not just disowned.
+    for p in processes:
+        assert not p.is_alive()
+        assert p.exitcode is not None
     with pytest.raises(WorkerCrashed):
         pool.submit_flush(0, DEVICE, "gemm", [_shape(64, 64, 64)], K, REPS)
     with pytest.raises(WorkerCrashed):
