@@ -45,6 +45,14 @@ miss-throughput scaling floor (4 workers vs 1) is asserted only when the
 host actually has >= 4 CPUs — process sharding cannot beat the GIL on a
 single core, and CI smoke runners frequently have exactly one.
 
+**The SLO axis.**  ``--slo`` (CLI) or REPRO_BENCH_SLO (pytest) replays
+the workload once more through ``AsyncEngine.from_slo`` with a compiled
+``ServingSLO(target_qps=200, p95_ms=50)`` plan — every serving knob
+derived, none hand-set — asserting config-identity against the
+per-request loop and that the warm-path ``hit_p95_ms`` meets the
+declared p95 budget.  The compiled plan and the measured numbers land
+under ``"slo"`` in ``BENCH_serving_async.json``.
+
 Every workload knob is an explicit CLI flag (``--seed --concurrency
 --requests --distinct``), so scaling runs are reproducible and
 comparable across machines and PRs.  Model quality is irrelevant to
@@ -67,8 +75,9 @@ import numpy as np
 from repro.core.tuner import Isaac
 from repro.core.types import DType, GemmShape
 from repro.gpu.device import TESLA_P100
-from repro.service.async_engine import AsyncEngine
+from repro.service.async_engine import AsyncEngine, BackpressureError
 from repro.service.engine import Engine, KernelRequest
+from repro.service.slo import ServingSLO
 
 #: Miss-throughput scaling floor for the worker axis (max point vs 1
 #: worker), asserted only with >= 4 workers on a >= 4-CPU host.
@@ -90,6 +99,7 @@ class BenchConfig:
     speedup_floor: float = 3.0
     smoke: bool = False
     workers: tuple[int, ...] = ()
+    slo: bool = False
 
 
 def default_config(**overrides) -> BenchConfig:
@@ -104,6 +114,7 @@ def default_config(**overrides) -> BenchConfig:
         # bench's 10x -> 3x.
         speedup_floor=2.0 if smoke else 3.0,
         smoke=smoke,
+        slo=os.environ.get("REPRO_BENCH_SLO", "") not in ("", "0"),
     )
     overrides = {k: v for k, v in overrides.items() if v is not None}
     return replace(cfg, **overrides)
@@ -228,6 +239,54 @@ def _run_async(
         return replies, elapsed, stats
 
     return asyncio.run(main())
+
+
+#: The SLO-axis spec: the acceptance-bar deployment shape
+#: (``serve --slo-qps 200 --slo-p95-ms 50``).
+SLO_SPEC = ServingSLO(target_qps=200.0, p95_ms=50.0, memory_mb=256.0)
+
+
+def _run_slo(tuner: Isaac, requests: list[KernelRequest],
+             cfg: BenchConfig):
+    """Replay through a fully compiled config (``AsyncEngine.from_slo``).
+
+    The derived admission bound is sized for the declared QPS, not the
+    bench's client count, so clients back off one derived window on
+    transient backpressure — what a real client does — instead of the
+    unconditional ``await`` the hand-tuned replays can afford.
+    """
+    plan = SLO_SPEC.compile()
+    inner = Engine(max_workers=0, lru_capacity=plan.lru_capacity,
+                   cascade=plan.cascade, cascade_keep=plan.cascade_keep)
+    inner.register(tuner)
+    engine = AsyncEngine.from_slo(inner, plan, own_engine=True)
+
+    async def main():
+        replies: list = [None] * len(requests)
+        work = iter(enumerate(requests))
+
+        async def client() -> None:
+            for i, req in work:
+                while True:
+                    try:
+                        replies[i] = await engine.query(req)
+                        break
+                    except BackpressureError as exc:
+                        if not exc.transient:
+                            raise
+                        await asyncio.sleep(
+                            max(plan.window_ms, 1.0) / 1e3
+                        )
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(client() for _ in range(cfg.concurrency)))
+        elapsed = time.perf_counter() - t0
+        stats = engine.stats()
+        await engine.aclose()
+        return replies, elapsed, stats
+
+    replies, elapsed, stats = asyncio.run(main())
+    return plan, replies, elapsed, stats
 
 
 def _mismatches(replies, reference) -> int:
@@ -392,6 +451,48 @@ def run_bench(cfg: BenchConfig, record) -> dict:
                     f"{peak['workers']} workers (floor {SCALING_FLOOR}x)"
                 )
 
+    # ------------------------------------------------------------------
+    # The compiled-config (SLO) axis
+    # ------------------------------------------------------------------
+    if cfg.slo:
+        plan, s_replies, s_s, s_stats = _run_slo(tuner, requests, cfg)
+        s_mism = _mismatches(s_replies, loop_replies)
+        assert s_mism == 0, (
+            f"{s_mism} config mismatches under the compiled SLO config"
+        )
+        budget = plan.slo.p95_ms
+        assert s_stats.hit_p95_ms <= budget, (
+            f"warm-path hit_p95 {s_stats.hit_p95_ms:.3f}ms blows the "
+            f"declared p95 budget {budget}ms under the compiled config"
+        )
+        data["slo"] = {
+            "target_qps": plan.slo.target_qps,
+            "p95_ms": plan.slo.p95_ms,
+            "memory_mb": plan.slo.memory_mb,
+            "workload": plan.slo.workload,
+            "window_ms": plan.window_ms,
+            "max_batch": plan.max_batch,
+            "max_pending": plan.max_pending,
+            "max_queue": plan.max_queue,
+            "lru_capacity": plan.lru_capacity,
+            "flush_threads": plan.flush_threads,
+            "deadline_ms": plan.deadline_ms,
+            "breaker_threshold": plan.breaker_threshold,
+            "async_s": s_s,
+            "req_per_s": n / s_s,
+            "hit_p95_ms": s_stats.hit_p95_ms,
+            "miss_p50_ms": s_stats.miss_p50_ms,
+            "rejected": s_stats.rejected,
+            "config_mismatches": s_mism,
+        }
+        lines.append(
+            f"{'compiled SLO config':>28s} {s_s:8.2f}s {n / s_s:8.1f}"
+            f"   hit_p95={s_stats.hit_p95_ms:.3f}ms "
+            f"(budget {budget:.0f}ms), rejected={s_stats.rejected}, "
+            f"derived window={plan.window_ms}ms batch={plan.max_batch} "
+            f"pending={plan.max_pending}"
+        )
+
     record("serving_async", "\n".join(lines), data=data)
 
     assert speedup >= cfg.speedup_floor, (
@@ -440,6 +541,9 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", default="",
                         help="worker-tier axis, e.g. '4' or '1,2,4' "
                         "(a lone N > 1 implies the 1-worker baseline)")
+    parser.add_argument("--slo", action="store_true",
+                        help="also replay through AsyncEngine.from_slo "
+                        "with the compiled qps=200/p95=50ms plan")
     parser.add_argument("--json", action="store_true",
                         help="write BENCH_serving_async.json (results/ "
                         "and the repo root)")
@@ -465,6 +569,7 @@ def main(argv=None) -> int:
         distinct=args.distinct,
         samples=args.samples,
         workers=_workers_axis(args.workers),
+        slo=args.slo or None,
     )
     run_bench(cfg, record)
     return 0

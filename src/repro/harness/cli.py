@@ -232,6 +232,21 @@ def _service_parser() -> argparse.ArgumentParser:
                        help="reject a fine-tune whose anchor-slice "
                        "val_mse regresses past the parent's by this "
                        "relative tolerance (default: guard off)")
+    serve.add_argument("--slo-qps", type=float, default=None,
+                       help="SLO mode: target sustained throughput "
+                       "(req/s); derives every serving knob via the "
+                       "config compiler instead of the raw --window-ms/"
+                       "--max-batch/--max-pending flags")
+    serve.add_argument("--slo-p95-ms", type=float, default=None,
+                       help="SLO mode: p95 latency budget for warm "
+                       "traffic, in ms (required with --slo-qps)")
+    serve.add_argument("--slo-mem-mb", type=float, default=512.0,
+                       help="SLO mode: memory cap for serving-tier "
+                       "state (admission queue + profile cache)")
+    serve.add_argument("--slo-profile", default="steady",
+                       choices=["steady", "bursty", "cold-heavy"],
+                       help="SLO mode: workload modifier picking the "
+                       "calibrated derivation profile")
     cascade_opts(serve)
 
     models = sub.add_parser(
@@ -248,6 +263,58 @@ def _run_serve(args) -> int:
 
     from repro.service.async_engine import AsyncEngine, BackpressureError
     from repro.service.engine import DeadlineExceeded, KernelRequest
+    from repro.service.slo import (
+        ServingSLO,
+        SLOConfigError,
+        validate_serving_knobs,
+    )
+
+    # Every CLI-sourced knob goes through the compiler's guard-rail
+    # vocabulary; all violations are aggregated into one report so a
+    # bad invocation is rejected once, completely, before boot.
+    slo_mode = args.slo_qps is not None or args.slo_p95_ms is not None
+    if slo_mode and (args.slo_qps is None or args.slo_p95_ms is None):
+        raise SystemExit(
+            "serve: --slo-qps and --slo-p95-ms must be given together"
+        )
+    knobs = {
+        "deadline_ms": args.deadline_ms,
+        "cascade_keep": args.cascade_keep,
+        "concurrency": args.concurrency,
+        "passes": args.passes,
+        "k": args.k,
+        "reps": args.reps,
+        "online_every": args.online_every,
+        "online_epochs": args.online_epochs,
+    }
+    if not slo_mode:
+        # Raw mode: the batching/admission knobs are adopter-set, so
+        # they need checking too.  In SLO mode they are derived (and
+        # guarded) by the compiler instead.
+        knobs.update(
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            workers=args.workers,
+        )
+    violations = validate_serving_knobs(**knobs)
+    plan = None
+    if slo_mode:
+        spec = ServingSLO(
+            target_qps=args.slo_qps,
+            p95_ms=args.slo_p95_ms,
+            memory_mb=args.slo_mem_mb,
+            workload=args.slo_profile,
+            workers=args.workers or None,
+        )
+        try:
+            plan = spec.compile()
+        except SLOConfigError as exc:
+            violations.extend(exc.violations)
+    if violations:
+        raise SystemExit(f"serve: {SLOConfigError(violations)}")
+    if plan is not None:
+        print(plan.describe())
 
     names = list(_networks()) if args.network == "all" else [args.network]
     steps = [_networks()[name]() for name in names]
@@ -266,15 +333,22 @@ def _run_serve(args) -> int:
             rollback_tolerance=args.online_rollback_tol,
         )
 
-    async def main() -> None:
-        async with AsyncEngine.open(
+    def front_door() -> AsyncEngine:
+        if plan is not None:
+            # SLO mode: every serving knob comes from the compiled
+            # plan; the cascade/online flags remain expert overrides.
+            return AsyncEngine.from_slo(args.models, plan, **engine_kwargs)
+        return AsyncEngine.open(
             args.models,
             window_ms=args.window_ms,
             max_batch=args.max_batch,
             max_pending=args.max_pending,
             workers=args.workers,
             **engine_kwargs,
-        ) as engine:
+        )
+
+    async def main() -> None:
+        async with front_door() as engine:
             if args.workers:
                 # Boot the pool before timing starts, like a deployment.
                 await asyncio.get_running_loop().run_in_executor(

@@ -14,6 +14,13 @@ and graceful drain — for serving independent request streams at rate.
 :mod:`~repro.service.faults` is the chaos plane: deterministic seeded
 fault plans (:class:`~repro.service.faults.FaultPlan`) injected at named
 sites across the stack, for fault-tolerance tests that replay exactly.
+
+:mod:`~repro.service.slo` is the config compiler: a
+:class:`~repro.service.slo.ServingSLO` (five adopter-facing inputs)
+compiles into a :class:`~repro.service.slo.ServingPlan` carrying every
+derived serving knob, with guard rails that reject infeasible specs
+before boot via an aggregated
+:class:`~repro.service.slo.SLOConfigError` report.
 """
 
 from repro.service.async_engine import (
@@ -31,6 +38,12 @@ from repro.service.engine import (
     KernelRequest,
 )
 from repro.service.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.service.slo import (
+    ServingPlan,
+    ServingSLO,
+    SLOConfigError,
+    WorkloadProfile,
+)
 
 __all__ = [
     "AsyncEngine",
@@ -45,5 +58,9 @@ __all__ = [
     "InjectedFault",
     "KernelReply",
     "KernelRequest",
+    "SLOConfigError",
+    "ServingPlan",
+    "ServingSLO",
     "ShardStats",
+    "WorkloadProfile",
 ]

@@ -224,8 +224,10 @@ class _Shard:
 
 
 def _percentile_ms(sorted_s: list[float], q: float) -> float:
+    # Fresh-engine contract: empty reservoirs report 0.0, matching the
+    # EngineStats hit-ratio properties (never NaN, never a div-by-zero).
     if not sorted_s:
-        return float("nan")
+        return 0.0
     return sorted_s[int(q * (len(sorted_s) - 1))] * 1e3
 
 
@@ -255,7 +257,9 @@ class ShardStats:
     def mean_batch(self) -> float:
         n = sum(self.batch_sizes.values())
         if n == 0:
-            return float("nan")
+            # Same fresh-engine contract as the hit-ratio properties:
+            # no traffic reports 0.0, not NaN.
+            return 0.0
         return sum(s * c for s, c in self.batch_sizes.items()) / n
 
 
@@ -368,7 +372,11 @@ class AsyncEngine:
         by :meth:`aclose`).  Passing an engine you constructed leaves its
         lifetime to you unless ``own_engine=True``.
     window_ms:
-        How long the first request of a batch waits for company.
+        How long the first request of a batch waits for company.  ``0``
+        selects the explicit immediate-flush mode: each batch is
+        whatever is already queued when its first request is picked up
+        (coalescing still applies), no flush timer is ever armed, and
+        an idle shard parks on its queue instead of spinning.
     max_batch:
         Flush early once a batch reaches this size.
     max_pending:
@@ -458,8 +466,26 @@ class AsyncEngine:
             raise ValueError(
                 f"max_shards must be positive, got {max_shards}"
             )
+        if max_batch > max_pending:
+            raise ValueError(
+                f"max_batch ({max_batch}) must not exceed max_pending "
+                f"({max_pending}): a full batch could never be admitted"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1 when given, got {max_workers}"
+            )
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise ValueError(
+                f"worker_timeout_s must be positive, got {worker_timeout_s}"
+            )
+        if worker_heartbeat_s is not None and worker_heartbeat_s <= 0:
+            raise ValueError(
+                f"worker_heartbeat_s must be positive, got "
+                f"{worker_heartbeat_s}"
+            )
         if breaker_threshold <= 0:
             raise ValueError(
                 f"breaker_threshold must be positive, got {breaker_threshold}"
@@ -477,6 +503,8 @@ class AsyncEngine:
         self._max_shards = max_shards
         self._max_workers = max_workers
         self._executor: ThreadPoolExecutor | None = None
+        #: the compiled ServingPlan when built via from_slo, else None.
+        self._plan = None
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -553,6 +581,54 @@ class AsyncEngine:
             breaker_reset_s=breaker_reset_s,
             own_engine=True,
         )
+
+    @classmethod
+    def from_slo(
+        cls,
+        source: "Engine | str | Path",
+        slo,
+        **engine_kwargs,
+    ) -> "AsyncEngine":
+        """Boot a fully derived configuration from a :class:`ServingSLO`.
+
+        ``source`` is either a model directory (an owned ``Engine`` is
+        opened with the plan's cache/cascade settings, plus any extra
+        ``engine_kwargs``) or an already-built ``Engine`` (the caller is
+        responsible for sizing it; only ``own_engine`` is accepted as a
+        keyword then).  ``slo`` may be a ``ServingSLO`` -- compiled
+        here, so an infeasible spec fails before anything boots -- or an
+        already-compiled ``ServingPlan``.
+        """
+        from repro.service.slo import ServingPlan, ServingSLO
+
+        if isinstance(slo, ServingSLO):
+            plan = slo.compile()
+        elif isinstance(slo, ServingPlan):
+            plan = slo
+        else:
+            raise TypeError(
+                f"expected ServingSLO or ServingPlan, got {type(slo)!r}"
+            )
+        if isinstance(source, Engine):
+            own = bool(engine_kwargs.pop("own_engine", False))
+            if engine_kwargs:
+                raise TypeError(
+                    "engine_kwargs are only accepted when from_slo opens "
+                    f"its own Engine, got {sorted(engine_kwargs)}"
+                )
+            engine = cls(source, own_engine=own, **plan.async_kwargs())
+        else:
+            inner = Engine.open(
+                source, **{**plan.engine_kwargs(), **engine_kwargs}
+            )
+            engine = cls(inner, own_engine=True, **plan.async_kwargs())
+        engine._plan = plan
+        return engine
+
+    @property
+    def plan(self):
+        """The compiled ``ServingPlan`` when built via ``from_slo``."""
+        return self._plan
 
     @property
     def engine(self) -> Engine:
@@ -728,28 +804,44 @@ class AsyncEngine:
         so the next batch is already forming.
         """
         loop = self._loop
+        immediate = self._window_s <= 0.0
         while True:
             item = await shard.queue.get()
             if item is _CLOSE:
                 return
             batch = [item]
             draining = False
-            deadline = loop.time() + self._window_s
-            while len(batch) < self._max_batch:
-                remaining = deadline - loop.time()
-                try:
-                    if remaining <= 0:
+            if immediate:
+                # Explicit zero-window mode: flush whatever is already
+                # queued, without arming a timer.  The only await is the
+                # blocking get() above, so an idle shard parks on the
+                # queue -- no timer churn and no busy spin.
+                while len(batch) < self._max_batch:
+                    try:
                         nxt = shard.queue.get_nowait()
-                    else:
-                        nxt = await asyncio.wait_for(
-                            shard.queue.get(), remaining
-                        )
-                except (asyncio.QueueEmpty, asyncio.TimeoutError):
-                    break
-                if nxt is _CLOSE:
-                    draining = True
-                    break
-                batch.append(nxt)
+                    except asyncio.QueueEmpty:
+                        break
+                    if nxt is _CLOSE:
+                        draining = True
+                        break
+                    batch.append(nxt)
+            else:
+                deadline = loop.time() + self._window_s
+                while len(batch) < self._max_batch:
+                    remaining = deadline - loop.time()
+                    try:
+                        if remaining <= 0:
+                            nxt = shard.queue.get_nowait()
+                        else:
+                            nxt = await asyncio.wait_for(
+                                shard.queue.get(), remaining
+                            )
+                    except (asyncio.QueueEmpty, asyncio.TimeoutError):
+                        break
+                    if nxt is _CLOSE:
+                        draining = True
+                        break
+                    batch.append(nxt)
             if draining:
                 # Nothing can sit behind the sentinel: aclose() enqueues
                 # it only after admissions stop, so consuming it means
@@ -757,6 +849,8 @@ class AsyncEngine:
                 reason = "drain"
             elif len(batch) >= self._max_batch:
                 reason = "full"
+            elif immediate:
+                reason = "immediate"
             else:
                 reason = "window"
             batch = self._shed_expired(shard, batch)

@@ -266,6 +266,15 @@ class Engine:
         cascade: bool = True,
         cascade_keep: int | None = None,
     ):
+        if max_workers is not None and max_workers < 0:
+            # 0 is meaningful (inline group dispatch, no executor).
+            raise ValueError(
+                f"max_workers must be >= 0 when given, got {max_workers}"
+            )
+        if cascade_keep is not None and cascade_keep < 1:
+            raise ValueError(
+                f"cascade_keep must be >= 1 when given, got {cascade_keep}"
+            )
         self._model_dir = Path(model_dir) if model_dir is not None else None
         #: two-stage cascade policy, applied to every tuner the engine
         #: serves (registered, tuned or lazily loaded).
@@ -511,6 +520,10 @@ class Engine:
                 f"op {spec.name!r} expects {spec.shape_type.__name__}, "
                 f"got {type(request.shape).__name__}"
             )
+        if request.k < 1:
+            raise EngineError(f"k must be >= 1, got {request.k}")
+        if request.reps < 1:
+            raise EngineError(f"reps must be >= 1, got {request.reps}")
         if request.deadline_ms is not None and request.deadline_ms <= 0:
             raise DeadlineExceeded(
                 f"deadline_ms={request.deadline_ms} was already spent at "

@@ -1,0 +1,671 @@
+"""SLO-driven config compiler for the serving stack.
+
+The serving tier exposes a dozen-plus interacting knobs (flush window,
+batch and admission bounds, shard queue depth, LRU capacity, thread-pool
+width, worker processes, deadlines, breaker thresholds, online cadence).
+Hand-balancing them requires knowing how they interact; this module
+replaces that with the config-compiler pattern: adopters state a
+:class:`ServingSLO` (at most five parameters -- target throughput, a p95
+latency budget, a memory cap, a workload modifier and an optional worker
+count) and :meth:`ServingSLO.compile` derives every internal knob from
+it.
+
+Parameters fall into four buckets:
+
+``SLO``
+    The five adopter-facing inputs on :class:`ServingSLO`.
+``derived``
+    Everything computed from the SLO: ``window_ms``, ``max_batch``,
+    ``max_pending``, ``max_queue``, ``lru_capacity``, thread widths,
+    worker supervision timeouts, breaker settings, the recommended
+    per-request deadline and the online update cadence.
+``expert``
+    Escape hatches the compiler leaves alone unless the adopter reaches
+    past the SLO surface (`deadline_ms` applied per request,
+    ``cascade_keep`` overriding the calibrated survivor count).
+``pinned``
+    Values with one correct setting (`max_shards`, cascade enabled).
+
+Guard rails run before anything boots.  Every violated rail is collected
+-- there are no silent clamps and no first-error-only reporting -- and
+raised as one :class:`SLOConfigError` whose message names each rail.
+
+The same rail vocabulary backs :func:`check_serving_knobs`, which the
+``serve`` CLI routes raw (non-SLO) knobs through so nonsensical
+combinations (negative deadlines, ``max_batch > max_pending``, a zero
+cascade survivor count) are rejected with the same aggregated report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.service.engine import EngineError
+
+__all__ = [
+    "MEMORY_FLOOR_MB",
+    "MIN_WINDOW_MS",
+    "MAX_WINDOW_MS",
+    "SLOConfigError",
+    "ServingPlan",
+    "ServingSLO",
+    "Violation",
+    "WORKLOAD_PROFILES",
+    "WorkloadProfile",
+    "check_serving_knobs",
+    "validate_serving_knobs",
+]
+
+# Smallest memory cap the compiler will plan for.  Below this even the
+# floor-sized LRU plus one admission window of pending requests does not
+# fit, so the spec is rejected rather than silently shrunk.
+MEMORY_FLOOR_MB = 64.0
+
+# Flush-window clamp.  Below half a millisecond the event-loop timer
+# resolution dominates and batching stops paying for itself; above 20 ms
+# the window itself becomes a visible latency tax on every cold miss.
+MIN_WINDOW_MS = 0.5
+MAX_WINDOW_MS = 20.0
+
+# Sizing model for the memory-derived bounds.  A pending request is an
+# asyncio future plus a small request dataclass (~8 KiB with queue and
+# bookkeeping overhead); an LRU entry is a keyed kernel config plus
+# timing metadata (~2 KiB).  The shares keep the two pools from jointly
+# over-committing the cap: a quarter for in-flight admission, half for
+# the profile cache, the rest headroom for the model and executor.
+PENDING_KB = 8.0
+LRU_KB = 2.0
+PENDING_SHARE = 0.25
+LRU_SHARE = 0.5
+
+# Hard bounds on derived values that are independent of the SLO.
+MIN_BATCH = 8
+MAX_BATCH = 512
+MIN_LRU = 256
+MAX_WORKER_PROCS = 64
+MAX_FLUSH_THREADS = 8
+
+# The recommended per-request deadline is a multiple of the p95 budget:
+# tight enough to shed requests that already blew the SLO, loose enough
+# that an ordinary cold-path search is not sheared off.
+DEADLINE_P95_MULT = 4.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated guard rail: a stable slug plus a human sentence."""
+
+    rail: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.rail}] {self.message}"
+
+
+class SLOConfigError(EngineError):
+    """Aggregated guard-rail report raised before anything boots.
+
+    Every violated rail is listed -- callers never see a first-error-only
+    message and the compiler never silently clamps an unsafe value.
+    """
+
+    def __init__(self, violations: tuple[Violation, ...] | list[Violation]):
+        self.violations = tuple(violations)
+        lines = [
+            f"serving config rejected: {len(self.violations)} guard-rail "
+            f"violation(s)"
+        ]
+        lines.extend(f"  [{v.rail}] {v.message}" for v in self.violations)
+        super().__init__("\n".join(lines))
+
+    @property
+    def rails(self) -> tuple[str, ...]:
+        """Stable slugs of every violated rail, in report order."""
+        return tuple(v.rail for v in self.violations)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Calibrated shape of one workload modifier.
+
+    The numbers are calibrated against the zipf workloads in
+    ``benchmarks/bench_serving_async.py`` (see ``tests/test_slo.py``,
+    which replays scaled-down versions of those workloads through each
+    preset and asserts the compiled plan meets its budget).
+    """
+
+    name: str
+    # Fraction of the p95 budget spent waiting for a flush window.
+    window_frac: float
+    # Peak-to-mean arrival ratio the admission bounds must absorb.
+    burst: float
+    # Expected distinct (device, op, shape, k, reps) population.
+    distinct_shapes: int
+    # Expected fraction of queries that miss every cache level.
+    miss_ratio: float
+    # Consecutive worker-tier failures before the breaker opens.
+    breaker_threshold: int
+
+
+WORKLOAD_PROFILES: dict[str, WorkloadProfile] = {
+    # Flat arrival rate, warm working set: spend little of the budget
+    # on the window, size admission for mild 2x bursts.
+    "steady": WorkloadProfile(
+        name="steady",
+        window_frac=1 / 20,
+        burst=2.0,
+        distinct_shapes=4096,
+        miss_ratio=0.02,
+        breaker_threshold=8,
+    ),
+    # Spiky arrivals: a wider window amortises the spikes into larger
+    # batches and admission absorbs 6x peaks; the breaker is slower to
+    # open because bursts produce correlated transient failures.
+    "bursty": WorkloadProfile(
+        name="bursty",
+        window_frac=1 / 10,
+        burst=6.0,
+        distinct_shapes=4096,
+        miss_ratio=0.05,
+        breaker_threshold=16,
+    ),
+    # Cold-heavy: most queries search, so the window stays narrow (the
+    # search dominates latency, batching buys little), the LRU is sized
+    # for a large distinct population and the breaker trips fast.
+    "cold-heavy": WorkloadProfile(
+        name="cold-heavy",
+        window_frac=1 / 40,
+        burst=2.0,
+        distinct_shapes=32768,
+        miss_ratio=0.50,
+        breaker_threshold=4,
+    ),
+}
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+def _is_finite_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+@dataclass(frozen=True)
+class ServingPlan:
+    """A fully derived serving configuration plus its derivation trace.
+
+    Produced only by :meth:`ServingSLO.compile`; every field except the
+    originating ``slo`` is a derived or pinned knob.  ``derivation``
+    records one ``(knob, value, why)`` triple per derived knob so the
+    CLI can print how each setting follows from the SLO.
+    """
+
+    slo: ServingSLO
+    window_ms: float
+    max_batch: int
+    max_pending: int
+    max_queue: int
+    max_shards: int
+    lru_capacity: int
+    flush_threads: int
+    engine_threads: int
+    workers: int
+    worker_timeout_s: float | None
+    worker_heartbeat_s: float | None
+    deadline_ms: float
+    breaker_threshold: int
+    breaker_reset_s: float
+    online_update_every: int
+    cascade: bool = True
+    cascade_keep: int | None = None
+    derivation: tuple[tuple[str, str, str], ...] = field(default=())
+
+    def async_kwargs(self) -> dict[str, object]:
+        """Keyword arguments for the ``AsyncEngine`` constructor."""
+        kwargs: dict[str, object] = {
+            "window_ms": self.window_ms,
+            "max_batch": self.max_batch,
+            "max_pending": self.max_pending,
+            "max_queue": self.max_queue,
+            "max_shards": self.max_shards,
+            "max_workers": self.flush_threads,
+            "workers": self.workers,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_reset_s": self.breaker_reset_s,
+        }
+        if self.workers > 0:
+            kwargs["worker_timeout_s"] = self.worker_timeout_s
+            kwargs["worker_heartbeat_s"] = self.worker_heartbeat_s
+        return kwargs
+
+    def engine_kwargs(self) -> dict[str, object]:
+        """Keyword arguments for ``Engine.open`` / ``Engine()``."""
+        return {
+            "lru_capacity": self.lru_capacity,
+            "max_workers": self.engine_threads,
+            "cascade": self.cascade,
+            "cascade_keep": self.cascade_keep,
+        }
+
+    def describe(self) -> str:
+        """Human-readable plan: inputs, derivation, classification."""
+        slo = self.slo
+        workers = "auto" if slo.workers is None else str(slo.workers)
+        lines = [
+            "compiled serving plan",
+            "  SLO inputs:",
+            f"    target_qps={slo.target_qps:g}  p95_ms={slo.p95_ms:g}  "
+            f"memory_mb={slo.memory_mb:g}  workload={slo.workload}  "
+            f"workers={workers}",
+            "  derived:",
+        ]
+        for knob, value, why in self.derivation:
+            lines.append(f"    {knob}={value}  <- {why}")
+        lines.append(
+            "  expert: deadline_ms is a recommendation -- pass it "
+            "per-request (or --deadline-ms) to enforce shedding; "
+            "cascade_keep left to the calibrated policy"
+        )
+        lines.append(
+            f"    max_shards={self.max_shards}  cascade="
+            f"{'on' if self.cascade else 'off'}"
+        )
+        lines[-1] = "  pinned:" + "\n  " + lines[-1]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ServingSLO:
+    """Adopter-facing service-level objective: at most five inputs.
+
+    Parameters
+    ----------
+    target_qps:
+        Sustained throughput the deployment must absorb, in requests
+        per second.
+    p95_ms:
+        End-to-end p95 latency budget for warm (cache-hit) traffic, in
+        milliseconds.  Cold searches are governed by the derived
+        deadline recommendation instead.
+    memory_mb:
+        Cap on serving-tier state (admission queue + profile cache).
+    workload:
+        One of ``steady`` / ``bursty`` / ``cold-heavy``; picks the
+        calibrated :class:`WorkloadProfile`.
+    workers:
+        Optional worker-process count.  ``None`` means in-process
+        execution (no worker tier); the compiler derives supervision
+        timeouts only when workers are requested.
+    """
+
+    target_qps: float
+    p95_ms: float
+    memory_mb: float = 512.0
+    workload: str = "steady"
+    workers: int | None = None
+
+    def compile(self) -> ServingPlan:
+        """Derive the full knob set, or raise :class:`SLOConfigError`.
+
+        All guard rails are evaluated before raising so the report
+        names every violation, not just the first.
+        """
+        violations: list[Violation] = []
+
+        qps_ok = _is_finite_number(self.target_qps) and self.target_qps > 0
+        if not qps_ok:
+            violations.append(
+                Violation(
+                    "qps-positive",
+                    f"target_qps must be a positive finite number, got "
+                    f"{self.target_qps!r}",
+                )
+            )
+        p95_ok = _is_finite_number(self.p95_ms) and self.p95_ms > 0
+        if not p95_ok:
+            violations.append(
+                Violation(
+                    "p95-positive",
+                    f"p95_ms must be a positive finite number, got "
+                    f"{self.p95_ms!r}",
+                )
+            )
+        mem_ok = (
+            _is_finite_number(self.memory_mb)
+            and self.memory_mb >= MEMORY_FLOOR_MB
+        )
+        if not mem_ok:
+            violations.append(
+                Violation(
+                    "memory-floor",
+                    f"memory_mb must be >= {MEMORY_FLOOR_MB:g} MB (the "
+                    f"compiler will not plan below the floor), got "
+                    f"{self.memory_mb!r}",
+                )
+            )
+        profile = WORKLOAD_PROFILES.get(self.workload)
+        if profile is None:
+            known = ", ".join(sorted(WORKLOAD_PROFILES))
+            violations.append(
+                Violation(
+                    "unknown-profile",
+                    f"workload must be one of {known}, got "
+                    f"{self.workload!r}",
+                )
+            )
+        workers_ok = self.workers is None or (
+            isinstance(self.workers, int)
+            and 0 <= self.workers <= MAX_WORKER_PROCS
+        )
+        if not workers_ok:
+            violations.append(
+                Violation(
+                    "workers-bound",
+                    f"workers must be None or an int in "
+                    f"[0, {MAX_WORKER_PROCS}], got {self.workers!r}",
+                )
+            )
+
+        # Stand-ins let every remaining rail be evaluated even when an
+        # input rail already fired -- the report must be complete.
+        qps = self.target_qps if qps_ok else 1.0
+        p95 = self.p95_ms if p95_ok else 100.0
+        mem = self.memory_mb if mem_ok else MEMORY_FLOOR_MB
+        prof = profile or WORKLOAD_PROFILES["steady"]
+        workers = self.workers if workers_ok and self.workers else 0
+
+        # --- window ---------------------------------------------------
+        window_ms = _clamp(
+            p95 * prof.window_frac, MIN_WINDOW_MS, MAX_WINDOW_MS
+        )
+        if p95_ok and self.p95_ms < 2 * MIN_WINDOW_MS:
+            violations.append(
+                Violation(
+                    "window-vs-p95",
+                    f"p95 budget {self.p95_ms:g} ms cannot fit one "
+                    f"minimum flush window ({MIN_WINDOW_MS:g} ms) plus "
+                    f"its flush; raise p95_ms to at least "
+                    f"{2 * MIN_WINDOW_MS:g} ms",
+                )
+            )
+
+        # --- batch / admission (Little's law) -------------------------
+        max_batch = int(
+            _clamp(
+                math.ceil(qps * (window_ms / 1e3) * prof.burst),
+                MIN_BATCH,
+                MAX_BATCH,
+            )
+        )
+        inflight = math.ceil(qps * (p95 / 1e3) * prof.burst)
+        pending_budget = int(mem * 1024.0 * PENDING_SHARE / PENDING_KB)
+        if inflight > pending_budget:
+            violations.append(
+                Violation(
+                    "pending-vs-memory",
+                    f"Little's-law in-flight estimate {inflight} "
+                    f"(qps x p95 x burst {prof.burst:g}) exceeds the "
+                    f"memory-derived admission budget {pending_budget} "
+                    f"({PENDING_SHARE:.0%} of {mem:g} MB at "
+                    f"{PENDING_KB:g} KiB/request); raise memory_mb or "
+                    f"lower target_qps/p95_ms",
+                )
+            )
+        max_pending = int(
+            _clamp(max(inflight, max_batch), max_batch, pending_budget)
+        )
+        max_queue = int(
+            _clamp(
+                max(2 * max_batch, math.ceil(max_pending / 4)),
+                max_batch,
+                max_pending,
+            )
+        )
+
+        # --- caches ---------------------------------------------------
+        lru_budget = int(mem * 1024.0 * LRU_SHARE / LRU_KB)
+        if prof.distinct_shapes > lru_budget:
+            violations.append(
+                Violation(
+                    "lru-vs-shapes",
+                    f"the {prof.name} profile expects "
+                    f"{prof.distinct_shapes} distinct shapes but the "
+                    f"memory-derived LRU budget is {lru_budget} entries "
+                    f"({LRU_SHARE:.0%} of {mem:g} MB at {LRU_KB:g} "
+                    f"KiB/entry); raise memory_mb or use a warmer "
+                    f"profile",
+                )
+            )
+        lru_capacity = int(
+            _clamp(prof.distinct_shapes, MIN_LRU, max(lru_budget, MIN_LRU))
+        )
+
+        # --- threads / workers ----------------------------------------
+        if workers > 0:
+            flush_threads = int(_clamp(workers + 1, 2, MAX_FLUSH_THREADS))
+        else:
+            miss_qps = qps * prof.miss_ratio
+            flush_threads = int(
+                _clamp(math.ceil(miss_qps / 50.0) + 1, 2, MAX_FLUSH_THREADS)
+            )
+        engine_threads = flush_threads
+
+        # --- deadlines / breaker / online cadence ---------------------
+        deadline_ms = DEADLINE_P95_MULT * p95
+        breaker_threshold = prof.breaker_threshold
+        breaker_reset_s = _clamp(deadline_ms / 1e3 * 4.0, 5.0, 60.0)
+        worker_timeout_s = (
+            max(5.0, deadline_ms / 1e3 * 10.0) if workers > 0 else None
+        )
+        worker_heartbeat_s = (
+            max(1.0, worker_timeout_s / 4.0) if workers > 0 else None
+        )
+        online_update_every = int(_clamp(math.ceil(qps), 64, 1024))
+
+        if violations:
+            raise SLOConfigError(violations)
+
+        derivation = (
+            (
+                "window_ms",
+                f"{window_ms:g}",
+                f"p95 x {prof.window_frac:g} ({prof.name}), clamped to "
+                f"[{MIN_WINDOW_MS:g}, {MAX_WINDOW_MS:g}] ms",
+            ),
+            (
+                "max_batch",
+                f"{max_batch}",
+                f"qps x window x burst {prof.burst:g}, clamped to "
+                f"[{MIN_BATCH}, {MAX_BATCH}]",
+            ),
+            (
+                "max_pending",
+                f"{max_pending}",
+                f"Little's law in-flight {inflight} vs memory budget "
+                f"{pending_budget}",
+            ),
+            (
+                "max_queue",
+                f"{max_queue}",
+                "max(2 x batch, pending / 4) per shard",
+            ),
+            (
+                "lru_capacity",
+                f"{lru_capacity}",
+                f"{prof.name} distinct-shape estimate "
+                f"{prof.distinct_shapes} vs memory budget {lru_budget}",
+            ),
+            (
+                "flush_threads",
+                f"{flush_threads}",
+                "workers + 1"
+                if workers > 0
+                else f"miss qps ({prof.miss_ratio:.0%} of target) / 50 "
+                f"per thread",
+            ),
+            (
+                "workers",
+                f"{workers}",
+                "SLO input" if self.workers else "in-process (no tier)",
+            ),
+            (
+                "deadline_ms",
+                f"{deadline_ms:g}",
+                f"{DEADLINE_P95_MULT:g} x p95 budget (recommended "
+                f"per-request shed point)",
+            ),
+            (
+                "breaker",
+                f"threshold={breaker_threshold} reset={breaker_reset_s:g}s",
+                f"{prof.name} failure correlation; reset = 4 x deadline",
+            ),
+            (
+                "online_update_every",
+                f"{online_update_every}",
+                "~1 s of traffic between fine-tune triggers",
+            ),
+        )
+
+        return ServingPlan(
+            slo=self,
+            window_ms=window_ms,
+            max_batch=max_batch,
+            max_pending=max_pending,
+            max_queue=max_queue,
+            max_shards=64,
+            lru_capacity=lru_capacity,
+            flush_threads=flush_threads,
+            engine_threads=engine_threads,
+            workers=workers,
+            worker_timeout_s=worker_timeout_s,
+            worker_heartbeat_s=worker_heartbeat_s,
+            deadline_ms=deadline_ms,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_s=breaker_reset_s,
+            online_update_every=online_update_every,
+            derivation=derivation,
+        )
+
+
+def validate_serving_knobs(
+    *,
+    window_ms: float | None = None,
+    max_batch: int | None = None,
+    max_pending: int | None = None,
+    deadline_ms: float | None = None,
+    cascade_keep: int | None = None,
+    workers: int | None = None,
+    concurrency: int | None = None,
+    passes: int | None = None,
+    k: int | None = None,
+    reps: int | None = None,
+    online_every: int | None = None,
+    online_epochs: int | None = None,
+    breaker_threshold: int | None = None,
+    breaker_reset_s: float | None = None,
+) -> list[Violation]:
+    """Check raw (non-SLO) serving knobs; return every violation.
+
+    ``None`` means "not supplied, skip".  Used by the ``serve`` CLI so
+    hand-set knobs go through the same guard-rail vocabulary as the
+    compiler instead of reaching the constructors unchecked.
+    """
+    violations: list[Violation] = []
+
+    def bad(rail: str, message: str) -> None:
+        violations.append(Violation(rail, message))
+
+    if window_ms is not None and (
+        not _is_finite_number(window_ms) or window_ms < 0
+    ):
+        bad(
+            "knob-window",
+            f"window_ms must be >= 0 (0 = immediate flush), got "
+            f"{window_ms!r}",
+        )
+    if max_batch is not None and max_batch < 1:
+        bad("knob-max-batch", f"max_batch must be >= 1, got {max_batch!r}")
+    if max_pending is not None and max_pending < 1:
+        bad(
+            "knob-max-pending",
+            f"max_pending must be >= 1, got {max_pending!r}",
+        )
+    if (
+        max_batch is not None
+        and max_pending is not None
+        and max_batch >= 1
+        and max_pending >= 1
+        and max_batch > max_pending
+    ):
+        bad(
+            "batch-vs-pending",
+            f"max_batch ({max_batch}) exceeds max_pending "
+            f"({max_pending}): a full batch could never be admitted",
+        )
+    if deadline_ms is not None:
+        if not _is_finite_number(deadline_ms) or deadline_ms <= 0:
+            bad(
+                "knob-deadline",
+                f"deadline_ms must be > 0, got {deadline_ms!r}",
+            )
+        elif (
+            window_ms is not None
+            and _is_finite_number(window_ms)
+            and deadline_ms <= window_ms
+        ):
+            bad(
+                "deadline-vs-window",
+                f"deadline_ms ({deadline_ms:g}) is not larger than the "
+                f"flush window ({window_ms:g} ms): every batched "
+                f"request would be shed before its flush",
+            )
+    if cascade_keep is not None and cascade_keep < 1:
+        bad(
+            "knob-cascade-keep",
+            f"cascade_keep must be >= 1, got {cascade_keep!r}",
+        )
+    if workers is not None and workers < 0:
+        bad("knob-workers", f"workers must be >= 0, got {workers!r}")
+    if concurrency is not None and concurrency < 1:
+        bad(
+            "knob-concurrency",
+            f"concurrency must be >= 1, got {concurrency!r}",
+        )
+    if passes is not None and passes < 1:
+        bad("knob-passes", f"passes must be >= 1, got {passes!r}")
+    if k is not None and k < 1:
+        bad("knob-k", f"k must be >= 1, got {k!r}")
+    if reps is not None and reps < 1:
+        bad("knob-reps", f"reps must be >= 1, got {reps!r}")
+    if online_every is not None and online_every < 1:
+        bad(
+            "knob-online-every",
+            f"online update_every must be >= 1, got {online_every!r}",
+        )
+    if online_epochs is not None and online_epochs < 1:
+        bad(
+            "knob-online-epochs",
+            f"online epochs must be >= 1, got {online_epochs!r}",
+        )
+    if breaker_threshold is not None and breaker_threshold < 1:
+        bad(
+            "knob-breaker-threshold",
+            f"breaker_threshold must be >= 1, got {breaker_threshold!r}",
+        )
+    if breaker_reset_s is not None and (
+        not _is_finite_number(breaker_reset_s) or breaker_reset_s <= 0
+    ):
+        bad(
+            "knob-breaker-reset",
+            f"breaker_reset_s must be > 0, got {breaker_reset_s!r}",
+        )
+    return violations
+
+
+def check_serving_knobs(**knobs: object) -> None:
+    """Raise :class:`SLOConfigError` if any raw knob violates a rail."""
+    violations = validate_serving_knobs(**knobs)  # type: ignore[arg-type]
+    if violations:
+        raise SLOConfigError(violations)

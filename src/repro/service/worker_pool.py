@@ -436,6 +436,12 @@ class WorkerPool:
             raise ValueError(
                 f"heartbeat_s must be positive, got {heartbeat_s}"
             )
+        if blas_threads < 1:
+            raise ValueError(
+                f"blas_threads must be >= 1, got {blas_threads}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         import multiprocessing
 
         from repro.core.soa import SharedArrayPack

@@ -110,6 +110,11 @@ class TestQuery:
             ({"max_pending": 0}, "max_pending"),
             # asyncio.Queue(0) would mean *unbounded* — must be refused.
             ({"max_queue": 0}, "max_queue"),
+            # A batch larger than the admission bound can never fill.
+            ({"max_batch": 64, "max_pending": 8}, "max_pending"),
+            ({"max_workers": 0}, "max_workers"),
+            ({"worker_timeout_s": 0.0}, "worker_timeout_s"),
+            ({"worker_heartbeat_s": -1.0}, "worker_heartbeat_s"),
         ]:
             with pytest.raises(ValueError, match=match):
                 _async_engine(trained_gemm_tuner, **kwargs)
@@ -228,6 +233,39 @@ class TestBackpressure:
         assert len(replies) == 4
         assert all(r.config is not None for r in replies)
         assert stats.rejected > 0  # saturation really happened
+
+    def test_zero_window_flushes_immediately_without_timers(
+        self, trained_gemm_tuner, monkeypatch
+    ):
+        """window_ms=0 is an explicit immediate-flush mode: each batch
+        is whatever is already queued when its leader is picked up — no
+        flush timer is ever armed, and an idle shard parks on its queue
+        (blocking get) instead of spinning."""
+        import repro.service.async_engine as ae
+
+        real_wait_for = asyncio.wait_for
+        timers = {"armed": 0}
+
+        def counting_wait_for(*args, **kwargs):
+            timers["armed"] += 1
+            return real_wait_for(*args, **kwargs)
+
+        monkeypatch.setattr(ae.asyncio, "wait_for", counting_wait_for)
+        engine = _async_engine(trained_gemm_tuner, window_ms=0.0)
+
+        async def main():
+            replies = await engine.query_many(_requests())
+            stats = engine.stats()
+            await engine.aclose()
+            return replies, stats
+
+        replies, stats = asyncio.run(main())
+        assert all(r.config is not None for r in replies)
+        reasons = stats.shards[0].flush_reasons
+        assert timers["armed"] == 0          # no timer churn, ever
+        assert "window" not in reasons       # the mode is explicit...
+        assert reasons.get("immediate", 0) + reasons.get("full", 0) >= 1
+        assert set(reasons) <= {"immediate", "full", "drain"}
 
     def test_poisoned_batch_falls_back_per_request(
         self, trained_gemm_tuner, monkeypatch

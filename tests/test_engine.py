@@ -87,6 +87,71 @@ class TestQuery:
         with pytest.raises(EngineError, match="not tuned"):
             Engine().register(Isaac(TESLA_P100, op="gemm"))
 
+    def test_rejects_nonpositive_k_and_reps(self, trained_gemm_tuner):
+        engine = _engine(trained_gemm_tuner)
+        with pytest.raises(EngineError, match="k must be >= 1"):
+            engine.query(KernelRequest("gemm", GEMM_SHAPES[0], k=0))
+        with pytest.raises(EngineError, match="reps must be >= 1"):
+            engine.query(
+                KernelRequest("gemm", GEMM_SHAPES[0], k=10, reps=-1)
+            )
+        assert engine.stats().queries == 0  # nothing was admitted
+
+    def test_constructor_rejects_degenerate_knobs(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            Engine(max_workers=-1)
+        with pytest.raises(ValueError, match="cascade_keep"):
+            Engine(cascade_keep=0)
+
+
+class TestStatsContract:
+    """Fresh-engine stats never divide by zero: every ratio is 0.0
+    before any traffic, and the ratios partition once traffic flows."""
+
+    def test_fresh_engine_ratios_are_zero(self):
+        engine = Engine(max_workers=0)
+        stats = engine.stats()
+        assert stats.queries == 0
+        assert stats.lru_hit_ratio == 0.0
+        assert stats.profile_hit_ratio == 0.0
+        assert stats.hit_ratio == 0.0
+        for value in (stats.lru_hit_ratio, stats.profile_hit_ratio,
+                      stats.hit_ratio):
+            assert isinstance(value, float)
+            assert not math.isnan(value)
+        engine.close()
+
+    def test_fresh_async_engine_reports_zero_not_nan(self):
+        """The async side follows the same contract: empty latency
+        reservoirs and batch histograms report 0.0, not NaN."""
+        from repro.service.async_engine import AsyncEngine, ShardStats
+
+        engine = AsyncEngine(Engine(max_workers=0), own_engine=True)
+        try:
+            stats = engine.stats()
+            for value in (stats.hit_p50_ms, stats.hit_p95_ms,
+                          stats.miss_p50_ms, stats.miss_p95_ms):
+                assert value == 0.0
+        finally:
+            engine.close()
+        empty_shard = ShardStats(
+            shard=("d", "gemm", "fp32", 10, 2), queue_depth=0,
+            submitted=0, batches=0, flush_reasons={}, batch_sizes={},
+            p50_ms=0.0, p95_ms=0.0, max_ms=0.0,
+        )
+        assert empty_shard.mean_batch == 0.0
+
+    def test_ratios_partition_after_traffic(self, trained_gemm_tuner):
+        engine = _engine(trained_gemm_tuner)
+        req = KernelRequest("gemm", GEMM_SHAPES[0], k=10, reps=2)
+        engine.query(req)   # search
+        engine.query(req)   # lru hit
+        stats = engine.stats()
+        assert stats.queries == 2
+        assert stats.lru_hit_ratio == 0.5
+        assert stats.profile_hit_ratio == 0.0
+        assert stats.hit_ratio == 0.5
+
 
 class TestTwoLevelCache:
     def test_lru_eviction_falls_back_to_profile_cache(

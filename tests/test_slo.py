@@ -1,0 +1,410 @@
+"""Tests for the SLO-driven config compiler (`repro.service.slo`).
+
+Covers every guard-rail rejection reason (one failing spec per rail,
+plus a multi-violation spec asserting the aggregated report lists all
+of them), the derivation invariants of the three calibrated workload
+presets, ``AsyncEngine.from_slo`` boot + replay against a trained
+tuner, the raw-knob validator backing the ``serve`` CLI, and the CLI
+wiring itself (`--slo-*` flags, plan printing, pre-boot rejection).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.types import DType, GemmShape
+from repro.service.async_engine import AsyncEngine, BackpressureError
+from repro.service.engine import Engine, KernelRequest
+from repro.service.slo import (
+    MAX_WINDOW_MS,
+    MEMORY_FLOOR_MB,
+    MIN_WINDOW_MS,
+    SLOConfigError,
+    ServingPlan,
+    ServingSLO,
+    WORKLOAD_PROFILES,
+    check_serving_knobs,
+    validate_serving_knobs,
+)
+
+SHAPES = [
+    GemmShape(512, 512, 512, DType.FP32, False, True),
+    GemmShape(2560, 16, 2560, DType.FP32, False, False),
+    GemmShape(64, 64, 8192, DType.FP32, False, True),
+    GemmShape(128, 256, 1024, DType.FP32, True, False),
+]
+
+
+# ----------------------------------------------------------------------
+# Compilation: derivations
+# ----------------------------------------------------------------------
+
+class TestCompile:
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_PROFILES))
+    def test_presets_compile_to_consistent_plans(self, workload):
+        plan = ServingSLO(
+            target_qps=200, p95_ms=50, workload=workload
+        ).compile()
+        assert isinstance(plan, ServingPlan)
+        # The window is a fraction of the p95 budget, inside the clamp.
+        assert MIN_WINDOW_MS <= plan.window_ms <= MAX_WINDOW_MS
+        assert plan.window_ms <= plan.slo.p95_ms
+        # Admission ordering: batch <= pending, queue <= pending.
+        assert 1 <= plan.max_batch <= plan.max_pending
+        assert plan.max_batch <= plan.max_queue <= plan.max_pending
+        # Cache sized for the profile's distinct-shape estimate.
+        profile = WORKLOAD_PROFILES[workload]
+        assert plan.lru_capacity >= min(profile.distinct_shapes, 256)
+        # The deadline recommendation is a multiple of the budget.
+        assert plan.deadline_ms >= plan.slo.p95_ms
+        assert plan.breaker_threshold == profile.breaker_threshold
+        # No worker tier requested: no supervision knobs derived.
+        assert plan.workers == 0
+        assert plan.worker_timeout_s is None
+        assert plan.worker_heartbeat_s is None
+        # Every derived knob shows up in the derivation trace.
+        traced = {knob for knob, _, _ in plan.derivation}
+        assert {"window_ms", "max_batch", "max_pending",
+                "lru_capacity", "deadline_ms"} <= traced
+
+    def test_bursty_absorbs_larger_peaks_than_steady(self):
+        steady = ServingSLO(200, 50, workload="steady").compile()
+        bursty = ServingSLO(200, 50, workload="bursty").compile()
+        assert bursty.max_pending > steady.max_pending
+        assert bursty.window_ms > steady.window_ms
+        assert bursty.breaker_threshold > steady.breaker_threshold
+
+    def test_cold_heavy_sizes_cache_for_large_populations(self):
+        steady = ServingSLO(200, 50, workload="steady").compile()
+        cold = ServingSLO(200, 50, workload="cold-heavy").compile()
+        assert cold.lru_capacity > steady.lru_capacity
+        assert cold.window_ms < steady.window_ms
+        assert cold.breaker_threshold < steady.breaker_threshold
+
+    def test_worker_count_flows_through(self):
+        plan = ServingSLO(200, 50, workers=3).compile()
+        assert plan.workers == 3
+        assert plan.worker_timeout_s is not None
+        assert plan.worker_timeout_s > 0
+        assert plan.worker_heartbeat_s is not None
+        assert plan.worker_heartbeat_s < plan.worker_timeout_s
+        kwargs = plan.async_kwargs()
+        assert kwargs["workers"] == 3
+        assert kwargs["worker_timeout_s"] == plan.worker_timeout_s
+
+    def test_kwargs_split_cleanly_across_constructors(self):
+        """async_kwargs boots AsyncEngine, engine_kwargs boots Engine —
+        with no overlap shadowing (the two max_workers are distinct)."""
+        plan = ServingSLO(200, 50).compile()
+        engine = Engine(max_workers=0)
+        front = AsyncEngine(engine, own_engine=True,
+                            **plan.async_kwargs())
+        front.close()
+        inner = Engine(**plan.engine_kwargs())
+        inner.close()
+
+    def test_describe_names_all_buckets(self):
+        plan = ServingSLO(200, 50).compile()
+        text = plan.describe()
+        assert "SLO inputs" in text
+        assert "derived" in text
+        assert "expert" in text
+        assert "pinned" in text
+        assert "window_ms" in text
+        assert "max_shards" in text
+
+
+# ----------------------------------------------------------------------
+# Guard rails: one failing spec per rail + the aggregated report
+# ----------------------------------------------------------------------
+
+RAIL_SPECS = {
+    "qps-positive": ServingSLO(target_qps=0, p95_ms=50),
+    "p95-positive": ServingSLO(target_qps=100, p95_ms=-1),
+    "memory-floor": ServingSLO(
+        target_qps=100, p95_ms=50, memory_mb=MEMORY_FLOOR_MB / 4
+    ),
+    "unknown-profile": ServingSLO(
+        target_qps=100, p95_ms=50, workload="spiky"
+    ),
+    "workers-bound": ServingSLO(target_qps=100, p95_ms=50, workers=-1),
+    "window-vs-p95": ServingSLO(
+        target_qps=100, p95_ms=2 * MIN_WINDOW_MS * 0.7
+    ),
+    "pending-vs-memory": ServingSLO(
+        target_qps=50_000, p95_ms=2000, memory_mb=64
+    ),
+    "lru-vs-shapes": ServingSLO(
+        target_qps=10, p95_ms=100, memory_mb=64, workload="cold-heavy"
+    ),
+}
+
+
+class TestGuardRails:
+    @pytest.mark.parametrize("rail", sorted(RAIL_SPECS))
+    def test_each_rail_fires_alone(self, rail):
+        with pytest.raises(SLOConfigError) as exc_info:
+            RAIL_SPECS[rail].compile()
+        err = exc_info.value
+        assert err.rails == (rail,)
+        # The report names the rail and reads as one violation.
+        assert f"[{rail}]" in str(err)
+        assert "1 guard-rail violation" in str(err)
+
+    def test_multi_violation_report_lists_every_rail(self):
+        spec = ServingSLO(
+            target_qps=-5,
+            p95_ms=0.2,
+            memory_mb=1,
+            workload="nope",
+            workers=-3,
+        )
+        with pytest.raises(SLOConfigError) as exc_info:
+            spec.compile()
+        err = exc_info.value
+        expected = {
+            "qps-positive",
+            "memory-floor",
+            "unknown-profile",
+            "workers-bound",
+            "window-vs-p95",
+        }
+        assert set(err.rails) == expected
+        report = str(err)
+        assert f"{len(expected)} guard-rail violation" in report
+        for rail in expected:
+            assert f"[{rail}]" in report
+
+    def test_error_is_typed_and_carries_violations(self):
+        with pytest.raises(SLOConfigError) as exc_info:
+            ServingSLO(0, 50).compile()
+        err = exc_info.value
+        assert len(err.violations) == 1
+        assert err.violations[0].rail == "qps-positive"
+        assert err.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# Raw-knob validator (backs the serve CLI)
+# ----------------------------------------------------------------------
+
+KNOB_CASES = {
+    "knob-window": {"window_ms": -1.0},
+    "knob-max-batch": {"max_batch": 0},
+    "knob-max-pending": {"max_pending": -2},
+    "batch-vs-pending": {"max_batch": 64, "max_pending": 8},
+    "knob-deadline": {"deadline_ms": -5.0},
+    "deadline-vs-window": {"deadline_ms": 1.0, "window_ms": 2.0},
+    "knob-cascade-keep": {"cascade_keep": 0},
+    "knob-workers": {"workers": -1},
+    "knob-concurrency": {"concurrency": 0},
+    "knob-passes": {"passes": 0},
+    "knob-k": {"k": 0},
+    "knob-reps": {"reps": -1},
+    "knob-online-every": {"online_every": 0},
+    "knob-online-epochs": {"online_epochs": 0},
+    "knob-breaker-threshold": {"breaker_threshold": 0},
+    "knob-breaker-reset": {"breaker_reset_s": 0.0},
+}
+
+
+class TestKnobValidator:
+    @pytest.mark.parametrize("rail", sorted(KNOB_CASES))
+    def test_each_knob_rail_fires(self, rail):
+        violations = validate_serving_knobs(**KNOB_CASES[rail])
+        assert [v.rail for v in violations] == [rail]
+
+    def test_valid_knobs_pass(self):
+        assert validate_serving_knobs(
+            window_ms=2.0, max_batch=32, max_pending=1024,
+            deadline_ms=100.0, cascade_keep=20, workers=0,
+            concurrency=8, passes=2, k=10, reps=2,
+            online_every=64, online_epochs=4,
+            breaker_threshold=8, breaker_reset_s=30.0,
+        ) == []
+        check_serving_knobs(window_ms=0.0, max_batch=1, max_pending=1)
+
+    def test_check_aggregates_into_typed_error(self):
+        with pytest.raises(SLOConfigError) as exc_info:
+            check_serving_knobs(
+                deadline_ms=-5.0, cascade_keep=0,
+                max_batch=64, max_pending=8,
+            )
+        assert set(exc_info.value.rails) == {
+            "knob-deadline", "knob-cascade-keep", "batch-vs-pending",
+        }
+
+
+# ----------------------------------------------------------------------
+# from_slo: boot + preset replay against a trained tuner
+# ----------------------------------------------------------------------
+
+def _replay(engine: AsyncEngine, requests, concurrency=8):
+    async def main():
+        replies: list = [None] * len(requests)
+        work = iter(enumerate(requests))
+
+        async def client() -> None:
+            for i, req in work:
+                while True:
+                    try:
+                        replies[i] = await engine.query(req)
+                        break
+                    except BackpressureError as exc:
+                        if not exc.transient:
+                            raise
+                        await asyncio.sleep(0.002)
+
+        await asyncio.gather(*(client() for _ in range(concurrency)))
+        stats = engine.stats()
+        await engine.aclose()
+        return replies, stats
+
+    return asyncio.run(main())
+
+
+class TestFromSlo:
+    def test_boots_fully_derived_config(self, trained_gemm_tuner):
+        """An SLO spec alone configures the whole front door, and the
+        compiled config answers identically to the sync Engine."""
+        slo = ServingSLO(target_qps=200, p95_ms=50, memory_mb=256)
+        plan = slo.compile()
+        inner = Engine(max_workers=0, **{
+            k: v for k, v in plan.engine_kwargs().items()
+            if k != "max_workers"
+        })
+        inner.register(trained_gemm_tuner)
+        engine = AsyncEngine.from_slo(inner, slo, own_engine=True)
+        assert engine.plan is not None
+        assert engine.plan.window_ms == plan.window_ms
+
+        reference = Engine(max_workers=0)
+        reference.register(trained_gemm_tuner)
+        requests = [
+            KernelRequest("gemm", s, k=10, reps=2) for s in SHAPES[:2]
+        ]
+        want = [reference.query(r) for r in requests]
+        reference.close()
+
+        replies, stats = _replay(engine, requests * 4)
+        assert all(r is not None for r in replies)
+        for got, ref in zip(replies, want * 4):
+            assert got.config == ref.config
+        # The warm path met the declared p95 budget.
+        assert stats.hit_p95_ms <= slo.p95_ms
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_PROFILES))
+    def test_preset_replay_meets_budget(self, trained_gemm_tuner,
+                                        workload):
+        """Each calibrated preset boots and sustains a zipf-style
+        replay (hot head + cold tail, mirroring the serving bench)
+        within its declared warm-path budget."""
+        slo = ServingSLO(
+            target_qps=200, p95_ms=50, memory_mb=256, workload=workload
+        )
+        plan = slo.compile()
+        inner = Engine(max_workers=0, lru_capacity=plan.lru_capacity,
+                       cascade=plan.cascade,
+                       cascade_keep=plan.cascade_keep)
+        inner.register(trained_gemm_tuner)
+        engine = AsyncEngine.from_slo(inner, plan, own_engine=True)
+
+        # Zipf-flavored: the head shape dominates, every shape appears.
+        requests = [
+            KernelRequest("gemm", SHAPES[i], k=10, reps=2)
+            for i in [0, 0, 0, 0, 1, 0, 1, 2, 0, 1, 0, 2]
+        ]
+        replies, stats = _replay(engine, requests)
+        assert all(r is not None for r in replies)
+        configs = {r.config for i, r in zip([0] * 4, replies[:1])}
+        assert len(configs) == 1
+        assert stats.hit_p95_ms <= slo.p95_ms
+        assert stats.batch_failures == 0
+
+    def test_from_slo_opens_model_dir(self, trained_gemm_tuner,
+                                      tmp_path):
+        trained_gemm_tuner.save(tmp_path / "pascal--gemm.npz")
+        engine = AsyncEngine.from_slo(
+            tmp_path, ServingSLO(target_qps=100, p95_ms=40)
+        )
+        try:
+            assert engine.plan is not None
+            assert engine.engine.devices() == ("Tesla P100 (PCIE)",)
+        finally:
+            engine.close()
+
+    def test_infeasible_spec_fails_before_boot(self, tmp_path):
+        """Nothing is opened or spawned when compile() rejects."""
+        with pytest.raises(SLOConfigError) as exc_info:
+            AsyncEngine.from_slo(
+                tmp_path / "never-created",
+                ServingSLO(target_qps=0, p95_ms=-1),
+            )
+        assert set(exc_info.value.rails) == {
+            "qps-positive", "p95-positive",
+        }
+        assert not (tmp_path / "never-created").exists()
+
+    def test_rejects_non_slo_payloads(self):
+        with pytest.raises(TypeError):
+            AsyncEngine.from_slo("models/", {"target_qps": 100})
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+
+class TestServeSloCli:
+    def test_slo_serve_prints_plan_and_replays(self, trained_gemm_tuner,
+                                               tmp_path, capsys):
+        from repro.harness.cli import main
+
+        trained_gemm_tuner.save(tmp_path / "pascal--gemm.npz")
+        rc = main([
+            "serve", "--models", str(tmp_path), "--network", "rnn",
+            "--passes", "2", "--concurrency", "8", "-k", "10",
+            "--reps", "2", "--slo-qps", "200", "--slo-p95-ms", "50",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "compiled serving plan" in out
+        assert "window_ms" in out        # the derivation trace printed
+        assert "served 32 requests" in out
+        assert "req/s" in out
+
+    def test_infeasible_slo_fails_before_boot(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "serve", "--models", str(tmp_path), "--network", "rnn",
+                "--slo-qps", "-5", "--slo-p95-ms", "0.2",
+            ])
+        msg = str(exc_info.value)
+        assert "[qps-positive]" in msg
+        assert "[window-vs-p95]" in msg
+        assert "served" not in capsys.readouterr().out
+
+    def test_slo_flags_must_come_together(self, tmp_path):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit, match="together"):
+            main([
+                "serve", "--models", str(tmp_path), "--network", "rnn",
+                "--slo-qps", "200",
+            ])
+
+    def test_raw_knobs_rejected_with_aggregated_report(self, tmp_path):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "serve", "--models", str(tmp_path), "--network", "rnn",
+                "--deadline-ms", "-5", "--cascade-keep", "0",
+                "--max-batch", "64", "--max-pending", "8",
+            ])
+        msg = str(exc_info.value)
+        assert "3 guard-rail violation" in msg
+        assert "[knob-deadline]" in msg
+        assert "[knob-cascade-keep]" in msg
+        assert "[batch-vs-pending]" in msg

@@ -240,3 +240,17 @@ def test_close_is_idempotent_and_fails_fast(pool_engine):
         pool.submit_flush(0, DEVICE, "gemm", [_shape(64, 64, 64)], K, REPS)
     with pytest.raises(WorkerCrashed):
         pool.ping(0)
+
+
+@pytest.mark.parametrize("kwargs, match", [
+    ({"n_workers": 0}, "n_workers"),
+    ({"n_workers": 2, "blas_threads": 0}, "blas_threads"),
+    ({"n_workers": 2, "retries": -1}, "retries"),
+    ({"n_workers": 2, "reply_timeout_s": 0.0}, "reply_timeout_s"),
+    ({"n_workers": 2, "heartbeat_s": -1.0}, "heartbeat_s"),
+])
+def test_constructor_rejects_degenerate_knobs(kwargs, match):
+    # Validation fires before the engine is touched or any process
+    # spawns, so no engine fixture is needed.
+    with pytest.raises(ValueError, match=match):
+        WorkerPool(None, **kwargs)
